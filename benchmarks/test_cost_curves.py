@@ -1,0 +1,88 @@
+"""Cost curves and crossovers — the "figure" view of Tables 1-5.
+
+The paper's tables are point comparisons of Θ-classes; this module
+plots (textually) the measured cost curves over a size sweep for each
+graph class and locates the crossover scales, which is the closest an
+analytical paper comes to an experimental figure.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import cost_series, find_crossover
+from repro.workloads.generators import (
+    acyclic_workload,
+    cyclic_workload,
+    regular_workload,
+)
+
+from .conftest import add_report
+
+SCALES = (1, 2, 3, 4)
+CURVE_METHODS = [
+    "counting",
+    "magic_set",
+    "mc_single_integrated",
+    "mc_multiple_integrated",
+    "mc_recurring_integrated_scc",
+]
+
+
+def _family(generator):
+    return lambda scale: generator(scale=scale, seed=0)
+
+
+@pytest.mark.parametrize("name,generator", [
+    ("regular", regular_workload),
+    ("acyclic", acyclic_workload),
+    ("cyclic", cyclic_workload),
+])
+def test_cost_curves(name, generator):
+    series = cost_series(_family(generator), SCALES, CURVE_METHODS)
+    add_report(
+        f"curves_{name}",
+        series.render(f"Cost curves, {name} magic graphs (scales {SCALES})"),
+    )
+    magic = series.series("magic_set")
+    assert magic == sorted(magic)  # cost grows with scale
+    if name == "regular":
+        counting = series.series("counting")
+        # The gap widens monotonically in absolute terms.
+        gaps = [m - c for m, c in zip(magic, counting)]
+        assert gaps == sorted(gaps)
+    if name == "cyclic":
+        assert all(v is None for v in series.series("counting"))
+        hybrid = series.series("mc_multiple_integrated")
+        assert all(h < m for h, m in zip(hybrid, magic))
+
+
+def test_crossovers():
+    rows = []
+    # Counting wins immediately on regular graphs.
+    scale = find_crossover(
+        _family(regular_workload), "counting", "magic_set", SCALES
+    )
+    rows.append(["counting < magic_set (regular)", str(scale)])
+    assert scale == 1
+
+    # The integrated multiple hybrid beats plain magic sets on cyclic
+    # graphs from the start.
+    scale = find_crossover(
+        _family(cyclic_workload), "mc_multiple_integrated", "magic_set", SCALES
+    )
+    rows.append(["mc_multiple_int < magic_set (cyclic)", str(scale)])
+    assert scale == 1
+
+    # Counting never wins on cyclic graphs (unsafe at every scale).
+    scale = find_crossover(
+        _family(cyclic_workload), "counting", "magic_set", SCALES
+    )
+    rows.append(["counting < magic_set (cyclic)", str(scale)])
+    assert scale is None
+
+    from repro.analysis.tables import _render
+
+    add_report(
+        "crossovers",
+        _render("Crossovers (first winning scale; None = never)",
+                ["comparison", "scale"], rows),
+    )

@@ -1,0 +1,69 @@
+"""Figure 1 — the paper's worked query-graph example, as a benchmark.
+
+Asserts the printed answer set and classifications, reports the full
+method cost matrix on the three Figure-1 variants (original, +L(a2,a5),
++L(a5,a2)), and wall-clocks the auto-selected method.
+"""
+
+import pytest
+
+from repro.analysis.runner import measure
+from repro.analysis.tables import render_table
+from repro.core.classification import classify_nodes
+from repro.core.solver import fact2_answer, solve
+from repro.workloads.figures import (
+    FIGURE1_ANSWER,
+    figure1_acyclic_query,
+    figure1_cyclic_query,
+    figure1_query,
+)
+
+from .conftest import add_report
+
+METHODS = [
+    "counting",
+    "magic_set",
+    "mc_single_integrated",
+    "mc_multiple_integrated",
+    "mc_recurring_integrated",
+]
+
+
+def test_figure1_reproduction():
+    variants = [
+        ("fig1", figure1_query()),
+        ("fig1+a2a5", figure1_acyclic_query()),
+        ("fig1+a5a2", figure1_cyclic_query()),
+    ]
+    rows = [measure(query, methods=METHODS) for _label, query in variants]
+    add_report(
+        "figure1",
+        render_table(
+            "Figure 1: the worked example (three variants)",
+            METHODS,
+            rows,
+            labels=[label for label, _query in variants],
+        ),
+    )
+
+    # The printed answer set.
+    assert rows[0].answers == FIGURE1_ANSWER
+    # Original is regular (counting safe and cheapest-or-equal).
+    assert rows[0].costs["counting"] <= rows[0].costs["magic_set"]
+    # The cyclic variant makes counting unsafe.
+    assert rows[2].costs["counting"] is None
+    # All magic counting methods survive all variants with equal answers.
+    for row, (_label, query) in zip(rows, variants):
+        assert row.answers == fact2_answer(query)
+
+
+def test_figure1_variant_classifications():
+    assert classify_nodes(figure1_query()).is_regular
+    assert classify_nodes(figure1_acyclic_query()).multiple == {"a5"}
+    assert classify_nodes(figure1_cyclic_query()).recurring == {"a2", "a3", "a5"}
+
+
+def test_bench_figure1_auto(benchmark):
+    query = figure1_cyclic_query()
+    result = benchmark(lambda: solve(query))
+    assert result.answers == fact2_answer(query)

@@ -1,0 +1,77 @@
+"""Figure 3 — the efficiency hierarchy among all methods.
+
+Measures every method on all three magic-graph regimes at two scales
+and checks every arc of the Figure 3 dominance lattice (solid arcs
+strictly, dotted average-case arcs under the m_L ~ m_R workloads the
+paper's "on the average" assumption describes), plus the collapse of
+all methods onto the counting method on regular graphs.
+"""
+
+import pytest
+
+from repro.analysis.runner import ALL_METHODS, measure
+from repro.analysis.tables import render_table
+from repro.core.hierarchy import (
+    HIERARCHY_RELATIONS,
+    check_dominance,
+    check_regular_equivalence,
+)
+from repro.core.solver import solve
+from repro.workloads.generators import cyclic_workload
+
+from .conftest import add_report
+
+CORE_METHODS = [m for m in ALL_METHODS if not m.endswith("_scc")]
+
+
+def test_figure3_reproduction(measured):
+    rows = [measured(kind, 3) for kind in ("regular", "acyclic", "cyclic")]
+    add_report(
+        "figure3",
+        render_table("Figure 3: the full method hierarchy",
+                      ALL_METHODS, rows),
+    )
+    for row in rows:
+        violations = check_dominance(row.costs, row.graph_class, slack=1.6)
+        assert violations == [], [str(v) for v in violations]
+
+    from repro.core.hierarchy import render_figure3
+
+    add_report("figure3_lattice", render_figure3())
+
+
+def test_regular_collapse(measured):
+    """On regular graphs all magic counting methods coincide with the
+    counting method (same cost, not just same order)."""
+    row = measured("regular", 3)
+    outliers = check_regular_equivalence(row.costs, slack=2.0)
+    assert outliers == []
+    baseline = row.costs["counting"]
+    for method in ("mc_basic_independent", "mc_single_integrated",
+                   "mc_multiple_independent", "mc_recurring_integrated"):
+        assert row.costs[method] == baseline, method
+
+
+def test_hierarchy_stable_across_seeds():
+    for seed in (3, 4, 5):
+        row = measure(cyclic_workload(scale=2, seed=seed),
+                      methods=CORE_METHODS)
+        violations = check_dominance(row.costs, row.graph_class, slack=1.7)
+        assert violations == [], (seed, [str(v) for v in violations])
+
+
+def test_strict_chain_on_cyclic(measured):
+    """The headline ordering of the conclusion, measured: within the
+    integrated family, recurring <= multiple <= single <= basic-ish,
+    and everything beats plain magic sets."""
+    row = measured("cyclic", 3)
+    costs = row.costs
+    assert costs["mc_multiple_integrated"] <= costs["mc_single_integrated"]
+    assert costs["mc_single_integrated"] <= costs["mc_basic_independent"]
+    assert costs["mc_recurring_integrated"] <= 1.6 * costs["mc_multiple_integrated"]
+    assert costs["mc_multiple_integrated"] < costs["magic_set"]
+
+
+def test_bench_auto_method(benchmark):
+    query = cyclic_workload(scale=2, seed=0)
+    benchmark(lambda: solve(query))

@@ -1,0 +1,93 @@
+"""The frontier-position experiment (Section 5's observation).
+
+"The RM nodes have been relegated to the part of the graph most remote
+from the source" — the magic counting methods' savings depend on *where*
+the trouble sits.  This experiment slides the non-regular region from
+right next to the source to the far end of the graph and reports every
+strategy's cost:
+
+* basic never benefits (all-or-nothing);
+* single/multiple/recurring improve monotonically-ish as the cycle
+  recedes, because the counting part covers more of the graph;
+* with the trouble adjacent to the source, all strategies degenerate to
+  (roughly) the magic set method.
+"""
+
+import pytest
+
+from repro.analysis.runner import measure
+from repro.analysis.tables import _render
+from repro.workloads.generators import WorkloadParams, generate
+
+from .conftest import add_report
+
+METHODS = [
+    "magic_set",
+    "mc_basic_independent",
+    "mc_single_integrated",
+    "mc_multiple_integrated",
+    "mc_recurring_integrated_scc",
+]
+
+LEVELS = 10
+
+
+def instance(nonregular_from: int):
+    return generate(
+        WorkloadParams(
+            l_levels=LEVELS,
+            l_width=4,
+            kind="cyclic",
+            nonregular_from=nonregular_from,
+            skip_arcs=2,
+            seed=5,
+        )
+    )
+
+
+def test_frontier_position_reproduction():
+    positions = (1, 4, 8)
+    rows = []
+    by_method = {method: [] for method in METHODS}
+    for position in positions:
+        m = measure(instance(position), methods=METHODS)
+        for method in METHODS:
+            by_method[method].append(m.costs[method])
+    for method in METHODS:
+        rows.append([method] + [str(c) for c in by_method[method]])
+    add_report(
+        "frontier_position",
+        _render(
+            f"Cost vs. distance of the cyclic region from the source "
+            f"(levels at {positions} of {LEVELS})",
+            ["method"] + [f"trouble@{p}" for p in positions],
+            rows,
+        ),
+    )
+
+    # The single method's win over basic grows as the frontier recedes.
+    single_ratio_near = by_method["mc_single_integrated"][0] / by_method[
+        "mc_basic_independent"][0]
+    single_ratio_far = by_method["mc_single_integrated"][-1] / by_method[
+        "mc_basic_independent"][-1]
+    assert single_ratio_far < single_ratio_near
+
+    # With a remote frontier, every refined strategy clearly beats magic.
+    for method in ("mc_single_integrated", "mc_multiple_integrated",
+                   "mc_recurring_integrated_scc"):
+        assert by_method[method][-1] < by_method["magic_set"][-1], method
+
+    # With the trouble adjacent to the source, nothing can do much
+    # better than magic sets (within the Θ constant).
+    for method in METHODS[1:]:
+        assert by_method[method][0] <= 2.5 * by_method["magic_set"][0], method
+
+
+def test_recurring_cost_decreases_as_frontier_recedes():
+    costs = [
+        measure(instance(p), methods=["mc_multiple_integrated"]).costs[
+            "mc_multiple_integrated"
+        ]
+        for p in (1, 4, 8)
+    ]
+    assert costs[-1] < costs[0]

@@ -1,0 +1,67 @@
+"""Extension experiment — amortisation across many query sources.
+
+Beyond the paper's single-source setting: answering the same CSL query
+for N bindings.  The magic set method shares its fixpoint across
+sources; the counting method re-derives per-source distances.  The
+experiment sweeps N and reports the crossover.
+"""
+
+import pytest
+
+from repro.analysis.tables import _render
+from repro.core.csl import CSLQuery
+from repro.core.multi_source import multi_source_counting, multi_source_magic
+from repro.datalog.relation import CostCounter
+
+from .conftest import add_report
+
+
+def overlapping_instance(roots: int = 16, depth: int = 40) -> CSLQuery:
+    left = {(f"root{i}", "hub") for i in range(roots)}
+    left |= {("hub", "n0")} | {(f"n{i}", f"n{i+1}") for i in range(depth)}
+    exit_pairs = {(f"n{i}", "r0") for i in range(depth + 1)}
+    right = {("r1", "r0"), ("r0", "r1")}
+    return CSLQuery(left, exit_pairs, right, "root0")
+
+
+def test_multi_source_reproduction():
+    query = overlapping_instance()
+    rows = []
+    crossover = None
+    for n in (1, 2, 4, 8, 16):
+        sources = [f"root{i}" for i in range(n)]
+        counting = CostCounter()
+        multi_source_counting(query, sources, counting)
+        magic = CostCounter()
+        answers = multi_source_magic(query, sources, magic)
+        assert all(isinstance(a, frozenset) for a in answers.values())
+        rows.append([str(n), str(counting.retrievals), str(magic.retrievals)])
+        if crossover is None and magic.retrievals < counting.retrievals:
+            crossover = n
+    add_report(
+        "multi_source",
+        _render("Multi-source amortisation: total retrievals vs #sources",
+                ["sources", "counting (per-source)", "magic (shared)"], rows),
+    )
+    # Counting wins alone; shared magic wins at scale.
+    assert int(rows[0][1]) < int(rows[0][2])
+    assert int(rows[-1][2]) < int(rows[-1][1])
+    assert crossover is not None and 1 < crossover <= 16
+
+
+def test_shared_magic_subadditive():
+    query = overlapping_instance()
+    singles = 0
+    for i in range(8):
+        counter = CostCounter()
+        multi_source_magic(query, [f"root{i}"], counter)
+        singles += counter.retrievals
+    together = CostCounter()
+    multi_source_magic(query, [f"root{i}" for i in range(8)], together)
+    assert together.retrievals < 0.5 * singles
+
+
+def test_bench_multi_source_magic(benchmark):
+    query = overlapping_instance()
+    sources = [f"root{i}" for i in range(16)]
+    benchmark(lambda: multi_source_magic(query, sources))

@@ -1,0 +1,80 @@
+"""Phase breakdown — where each strategy spends its retrievals.
+
+The cost tables (2-5) are sums of a Step-1 term and Step-2 terms.  This
+module reports the measured split, making the analytical structure
+visible: basic/single/multiple pay O(m_L) in Step 1; the naive
+recurring strategy pays its Θ(n_L × m_L) sweep there (the §9 caveat);
+integrated modes shrink the Step-2 magic share.
+"""
+
+import pytest
+
+from repro.analysis.tables import _render
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.workloads.generators import cyclic_workload
+
+from .conftest import add_report
+
+
+def breakdown(query, strategy, mode, scc=False):
+    result = magic_counting(query, strategy, mode, scc_step1=scc)
+    return result.details["step1_retrievals"], result.details["step2_retrievals"]
+
+
+def test_phase_breakdown_reproduction():
+    query = cyclic_workload(scale=3, seed=0)
+    rows = []
+    cases = [
+        (Strategy.BASIC, Mode.INDEPENDENT, False),
+        (Strategy.SINGLE, Mode.INTEGRATED, False),
+        (Strategy.MULTIPLE, Mode.INTEGRATED, False),
+        (Strategy.RECURRING, Mode.INTEGRATED, False),
+        (Strategy.RECURRING, Mode.INTEGRATED, True),
+    ]
+    measured = {}
+    for strategy, mode, scc in cases:
+        step1, step2 = breakdown(query, strategy, mode, scc)
+        name = f"{strategy.value}{'_scc' if scc else ''}_{mode.value[:3]}"
+        measured[name] = (step1, step2)
+        rows.append([name, str(step1), str(step2),
+                     f"{step1 / (step1 + step2):.0%}"])
+    add_report(
+        "phase_breakdown",
+        _render("Step-1 / Step-2 retrieval split (cyclic, scale 3)",
+                ["method", "step1", "step2", "step1 share"], rows),
+    )
+
+    # basic/single/multiple Step 1 is one O(m_L) pass — all equal-ish.
+    b1 = measured["basic_ind"][0]
+    s1 = measured["single_int"][0]
+    assert abs(b1 - s1) <= 0.2 * b1 + 5
+
+    # The naive recurring Step 1 dwarfs them (the 2K-1 sweep)...
+    naive_recurring = measured["recurring_int"][0]
+    assert naive_recurring > 2 * b1
+    # ... and the SCC variant brings it back down.
+    scc_recurring = measured["recurring_scc_int"][0]
+    assert scc_recurring < naive_recurring
+
+    # Finer strategies shrink the Step-2 share (more counting, less
+    # magic product).
+    assert measured["multiple_int"][1] < measured["basic_ind"][1]
+
+
+def test_step1_shares_monotone_in_size():
+    """The recurring Step-1 share grows with instance size (n_L × m_L
+    vs the m_R-bound Step 2 on these workloads)."""
+    shares = []
+    for scale in (1, 2, 3):
+        query = cyclic_workload(scale=scale, seed=0)
+        step1, step2 = breakdown(query, Strategy.RECURRING, Mode.INTEGRATED)
+        shares.append(step1 / (step1 + step2))
+    assert shares[-1] > shares[0] * 0.5  # does not collapse
+
+
+def test_bench_step1_vs_full(benchmark):
+    query = cyclic_workload(scale=2, seed=0)
+    benchmark(
+        lambda: magic_counting(query, Strategy.MULTIPLE, Mode.INTEGRATED)
+    )

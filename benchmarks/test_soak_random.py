@@ -1,0 +1,66 @@
+"""Soak test — every method over a population of random instances.
+
+Not a paper table: a robustness experiment.  Thirty arbitrary CSL
+instances (cycles, self-loops, disconnected junk), all thirteen method
+variants, every answer checked against the Fact-2 oracle, and the
+aggregate win statistics reported.
+"""
+
+import pytest
+
+from repro.analysis.runner import ALL_METHODS, measure
+from repro.analysis.tables import _render
+from repro.workloads.random_graphs import random_csl_batch
+
+from .conftest import add_report
+
+POPULATION = 30
+
+
+def test_soak_reproduction():
+    instances = random_csl_batch(POPULATION, base_seed=100)
+    wins = {method: 0 for method in ALL_METHODS}
+    unsafe = 0
+    classes = {"regular": 0, "acyclic": 0, "cyclic": 0}
+    for query in instances:
+        measurement = measure(query)  # raises if any method disagrees
+        classes[measurement.graph_class.value] += 1
+        safe_costs = {
+            method: cost
+            for method, cost in measurement.costs.items()
+            if cost is not None
+        }
+        unsafe += len(measurement.costs) - len(safe_costs)
+        best = min(safe_costs.values())
+        for method, cost in safe_costs.items():
+            if cost == best:
+                wins[method] += 1
+    rows = [[method, str(count)] for method, count in
+            sorted(wins.items(), key=lambda kv: -kv[1])]
+    rows.append(["(instances by class)", str(classes)])
+    add_report(
+        "soak_random",
+        _render(f"Soak: cheapest-method wins over {POPULATION} random instances",
+                ["method", "wins"], rows),
+    )
+    # Sanity: the population exercised every regime and nothing won
+    # that should not be able to (counting never wins a cyclic instance,
+    # enforced structurally by its None cost there).
+    assert sum(classes.values()) == POPULATION
+    assert classes["cyclic"] > 0
+    # The counting-style methods dominate when safe: some counting-family
+    # method must take a healthy share of wins.
+    counting_family = (
+        wins["counting"] + wins["mc_multiple_integrated"]
+        + wins["mc_recurring_integrated"] + wins["mc_recurring_integrated_scc"]
+        + wins["mc_basic_independent"] + wins["mc_basic_integrated"]
+        + wins["mc_single_integrated"] + wins["mc_single_independent"]
+        + wins["mc_multiple_independent"] + wins["mc_recurring_independent"]
+    )
+    assert counting_family > 0
+
+
+def test_bench_soak_single_instance(benchmark):
+    queries = random_csl_batch(1, base_seed=42)
+    benchmark(lambda: measure(queries[0], methods=["magic_set",
+                                                   "mc_multiple_integrated"]))

@@ -1,0 +1,94 @@
+"""Table 1 — costs of the counting and magic set methods.
+
+Paper's claims, per magic-graph class:
+
+=========  =============================  ====================
+class      counting                       magic set
+=========  =============================  ====================
+regular    Θ(m_L + n_L × m_R)             Θ(m_L × m_R)
+acyclic    Θ(n_L × m_L + n_L × m_R)       Θ(m_L × m_R)
+cyclic     **unsafe**                     Θ(m_L × m_R)
+=========  =============================  ====================
+
+Shape checks: counting beats magic set on regular graphs by a factor
+that *grows* with size; counting still wins on (average-shaped) acyclic
+graphs; counting is unsafe on cyclic graphs while magic set keeps a
+bounded measured/predicted ratio everywhere.
+"""
+
+import pytest
+
+from repro.analysis.runner import measure
+from repro.analysis.tables import render_ratio_sweep, render_table
+from repro.core.counting_method import counting_method
+from repro.core.magic_method import magic_set_method
+from repro.workloads.generators import (
+    acyclic_workload,
+    cyclic_workload,
+    regular_workload,
+)
+
+from .conftest import add_report
+
+METHODS = ["counting", "magic_set"]
+SCALES = (1, 2, 3)
+
+
+def test_table1_reproduction(measured):
+    rows = []
+    for kind in ("regular", "acyclic", "cyclic"):
+        rows.append(measured(kind, 3, methods=METHODS))
+    add_report(
+        "table1",
+        render_table("Table 1: counting vs magic set", METHODS, rows),
+    )
+
+    regular, acyclic, cyclic = rows
+    # Regular: counting wins clearly.
+    assert regular.costs["counting"] * 2 < regular.costs["magic_set"]
+    # Acyclic (average case m_L ~ m_R): counting still wins.
+    assert acyclic.costs["counting"] < acyclic.costs["magic_set"]
+    # Cyclic: counting unsafe, magic set fine.
+    assert cyclic.costs["counting"] is None
+    assert cyclic.costs["magic_set"] is not None
+
+
+def test_counting_advantage_grows_with_size(measured):
+    factors = []
+    for scale in SCALES:
+        m = measured("regular", scale, methods=METHODS)
+        factors.append(m.costs["magic_set"] / m.costs["counting"])
+    assert factors[-1] > factors[0] > 1.0
+
+
+def test_ratio_shape_bounded(measured):
+    rows = [measured("regular", s, methods=METHODS) for s in SCALES]
+    rows += [measured("acyclic", s, methods=METHODS) for s in SCALES]
+    labels = [f"reg s{s}" for s in SCALES] + [f"acy s{s}" for s in SCALES]
+    add_report(
+        "table1_ratios",
+        render_ratio_sweep("Table 1 shape check (measured/predicted)",
+                           METHODS, rows, labels),
+    )
+    for m in rows:
+        for method in METHODS:
+            assert m.ratio(method) <= 4.0
+
+
+@pytest.mark.parametrize("kind,generator", [
+    ("regular", regular_workload),
+    ("acyclic", acyclic_workload),
+])
+def test_bench_counting(benchmark, kind, generator):
+    query = generator(scale=2, seed=0)
+    benchmark(lambda: counting_method(query))
+
+
+@pytest.mark.parametrize("kind,generator", [
+    ("regular", regular_workload),
+    ("acyclic", acyclic_workload),
+    ("cyclic", cyclic_workload),
+])
+def test_bench_magic_set(benchmark, kind, generator):
+    query = generator(scale=2, seed=0)
+    benchmark(lambda: magic_set_method(query))

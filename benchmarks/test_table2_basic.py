@@ -1,0 +1,68 @@
+"""Table 2 — costs of the basic magic counting methods.
+
+Paper's claims: Θ(m_L + n_L × m_R) on regular graphs (= counting),
+Θ(m_L × m_R) on non-regular ones (= magic set); hence B =_R C and
+B =_{A,C} Ms (Proposition 4) — equality of Θ classes, i.e. measured
+costs within a constant factor.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.workloads.generators import cyclic_workload, regular_workload
+
+from .conftest import add_report
+
+METHODS = [
+    "counting",
+    "magic_set",
+    "mc_basic_independent",
+    "mc_basic_integrated",
+]
+
+
+def test_table2_reproduction(measured):
+    rows = [measured(kind, 3, methods=METHODS)
+            for kind in ("regular", "acyclic", "cyclic")]
+    add_report(
+        "table2",
+        render_table("Table 2: basic magic counting", METHODS, rows),
+    )
+    regular, acyclic, cyclic = rows
+
+    # B =_R C: on regular graphs basic IS the counting method.
+    assert regular.costs["mc_basic_independent"] == regular.costs["counting"]
+    assert regular.costs["mc_basic_integrated"] == regular.costs["counting"]
+
+    # B =_{A,C} Ms: on non-regular graphs basic falls back to magic set.
+    for m in (acyclic, cyclic):
+        assert m.costs["mc_basic_independent"] == m.costs["magic_set"]
+        # Integrated adds the (asymptotically free) transfer pass.
+        assert m.costs["mc_basic_integrated"] <= 1.6 * m.costs["magic_set"]
+
+    # B is safe where counting is not.
+    assert cyclic.costs["counting"] is None
+    assert cyclic.costs["mc_basic_independent"] is not None
+
+
+def test_basic_removes_the_compile_time_dilemma(measured):
+    """The point of the basic method: one method, never a wrong choice."""
+    for kind in ("regular", "acyclic", "cyclic"):
+        m = measured(kind, 2, methods=["magic_set", "mc_basic_independent"])
+        best_classic = m.costs["magic_set"]
+        if kind == "regular":
+            # It auto-switches to counting and beats magic set.
+            assert m.costs["mc_basic_independent"] < best_classic
+        else:
+            assert m.costs["mc_basic_independent"] <= 1.6 * best_classic
+
+
+@pytest.mark.parametrize("kind,generator", [
+    ("regular", regular_workload),
+    ("cyclic", cyclic_workload),
+])
+def test_bench_basic_integrated(benchmark, kind, generator):
+    query = generator(scale=2, seed=0)
+    benchmark(lambda: magic_counting(query, Strategy.BASIC, Mode.INTEGRATED))

@@ -1,0 +1,86 @@
+"""Table 3 — costs of the single magic counting methods.
+
+Paper's claims (non-regular graphs):
+
+* independent: Θ(m_L + (m_L − m_ĵ) × m_R + n_x × m_R)
+* integrated:  Θ(m_L + (m_L − m_x) × m_R + n_x × m_R)
+
+and the ordering S_INT ≤ S_IND ≤ B (Proposition 5): the single methods
+keep counting below the frontier index i_x and only pay the magic-set
+product above it, so they beat basic on graphs whose trouble sits far
+from the source — exactly the workloads generated here (regular lower
+half, skips/cycles in the upper half).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.workloads.generators import acyclic_workload, cyclic_workload
+
+from .conftest import add_report
+
+METHODS = [
+    "mc_basic_independent",
+    "mc_single_independent",
+    "mc_single_integrated",
+    "magic_set",
+]
+
+
+def test_table3_reproduction(measured):
+    rows = [measured(kind, 3, methods=METHODS)
+            for kind in ("regular", "acyclic", "cyclic")]
+    add_report(
+        "table3",
+        render_table("Table 3: single magic counting", METHODS, rows),
+    )
+    regular, acyclic, cyclic = rows
+
+    # Regular: everything equals counting (same cost as basic).
+    assert (regular.costs["mc_single_independent"]
+            == regular.costs["mc_basic_independent"])
+
+    # Non-regular: S_IND <= B and S_INT <= S_IND (Proposition 5).
+    for m in (acyclic, cyclic):
+        assert m.costs["mc_single_independent"] <= m.costs["mc_basic_independent"]
+        assert m.costs["mc_single_integrated"] <= m.costs["mc_single_independent"]
+        assert m.costs["mc_single_integrated"] < m.costs["magic_set"]
+
+
+def test_single_advantage_grows_with_regular_region(measured):
+    """The deeper the regular region below i_x, the bigger the win over
+    basic — the counting part covers more of the graph."""
+    from repro.analysis.runner import measure
+    from repro.workloads.generators import WorkloadParams, generate
+
+    savings = []
+    for levels in (6, 10, 14):
+        params = WorkloadParams(
+            l_levels=levels, l_width=4, kind="cyclic",
+            nonregular_from=levels - 2, skip_arcs=2, seed=3,
+        )
+        m = measure(generate(params),
+                    methods=["mc_basic_independent", "mc_single_integrated"])
+        savings.append(
+            m.costs["mc_basic_independent"] / m.costs["mc_single_integrated"]
+        )
+    assert savings[-1] > savings[0] >= 1.0
+
+
+def test_i_x_split_is_what_the_paper_describes(measured):
+    m = measured("cyclic", 3, methods=["mc_single_integrated"])
+    from repro.core.step1 import single_step1
+
+    rs = single_step1(m.query.instance())
+    i_x = rs.details["i_x"]
+    # Every RC node sits strictly below the frontier, every RM node at
+    # or above it (by first index).
+    assert all(index < i_x for index, _value in rs.rc)
+
+
+@pytest.mark.parametrize("mode", [Mode.INDEPENDENT, Mode.INTEGRATED])
+def test_bench_single(benchmark, mode):
+    query = cyclic_workload(scale=2, seed=0)
+    benchmark(lambda: magic_counting(query, Strategy.SINGLE, mode))

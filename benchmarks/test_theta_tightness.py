@@ -1,0 +1,77 @@
+"""Θ-tightness — the cost formulas as two-sided bounds.
+
+The table benchmarks check that measured/predicted never explodes (the
+upper bound).  Θ also claims a matching lower bound on worst-case
+families; the complete-layered workloads realise it: every join the
+formulas charge actually fires, so the ratio must stay within a fixed
+band — neither exploding nor collapsing — as the family grows.
+"""
+
+import pytest
+
+from repro.analysis.runner import measure
+from repro.analysis.tables import _render
+from repro.workloads.tight import layered_complete
+
+from .conftest import add_report
+
+
+def _ratios(queries, method):
+    values = []
+    for query in queries:
+        m = measure(query, methods=[method])
+        ratio = m.ratio(method)
+        assert ratio is not None, method
+        values.append(ratio)
+    return values
+
+
+def test_theta_tightness_reproduction():
+    regular = [layered_complete(levels, 3) for levels in (2, 4, 6)]
+    cyclic = [layered_complete(levels, 3, with_cycle=True)
+              for levels in (2, 4, 6)]
+
+    rows = []
+    bands = {}
+    for method, family in (
+        ("counting", regular),
+        ("magic_set", regular),
+        ("mc_multiple_integrated", cyclic),
+        ("mc_recurring_integrated_scc", cyclic),
+    ):
+        ratios = _ratios(family, method)
+        bands[method] = (min(ratios), max(ratios))
+        rows.append(
+            [method] + [f"{r:.2f}" for r in ratios]
+            + [f"{max(ratios)/min(ratios):.2f}"]
+        )
+    add_report(
+        "theta_tightness",
+        _render("Θ-tightness: measured/predicted on complete-layered "
+                "families (levels 2, 4, 6)",
+                ["method", "s2", "s4", "s6", "max/min"], rows),
+    )
+
+    for method, (low, high) in bands.items():
+        # Two-sided: the ratio neither explodes nor collapses.
+        assert high / low <= 4.0, (method, low, high)
+        assert low >= 0.05, (method, low)
+        assert high <= 4.0, (method, high)
+
+
+def test_magic_cost_is_genuinely_quadratic_here():
+    """On the dense family the magic set method really pays the product:
+    doubling m_L and m_R roughly quadruples the cost relative to the
+    counting method's near-linear growth."""
+    small = measure(layered_complete(3, 2), methods=["counting", "magic_set"])
+    large = measure(layered_complete(3, 4), methods=["counting", "magic_set"])
+    counting_growth = large.costs["counting"] / small.costs["counting"]
+    magic_growth = large.costs["magic_set"] / small.costs["magic_set"]
+    assert magic_growth > 1.5 * counting_growth
+
+
+def test_bench_dense_magic(benchmark):
+    query = layered_complete(3, 3)
+    from repro.core.magic_method import magic_set_method
+
+    benchmark(lambda: magic_set_method(query))

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The full deductive-database pipeline, from Datalog text to answers.
+
+This example drives the substrate directly, the way a downstream system
+would: parse a textual Datalog program with a partially-bound goal,
+apply the magic-set and counting rewritings, evaluate each rewritten
+program bottom-up with the semi-naive engine, and compare costs.
+
+It also demonstrates the generalized CSL support: the ``up`` relation of
+the recursive rule is a *derived* predicate (union of ``father`` and
+``mother``), which the recognizer materializes before building the
+query graph.
+
+Run:  python examples/datalog_pipeline.py
+"""
+
+from repro import CSLQuery, solve
+from repro.datalog import (
+    Database,
+    answer_tuples,
+    counting_rewrite,
+    magic_rewrite,
+    parse_program,
+)
+
+SOURCE = """
+% An ancestry where 'up' is derived: two EDB relations feed it.
+up(X, Y) :- father(X, Y).
+up(X, Y) :- mother(X, Y).
+
+% Same generation, going up through either parent and down likewise.
+sg(X, Y) :- person(X), person(Y), X == Y.
+sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+
+?- sg(ann, Y).
+"""
+
+FATHER = [("ann", "frank"), ("bea", "frank"), ("frank", "gramps"),
+          ("carl", "uncle"), ("uncle", "gramps")]
+MOTHER = [("ann", "mona"), ("dora", "tia"), ("tia", "granny"),
+          ("frank", "granny")]
+PEOPLE = sorted({p for pair in FATHER + MOTHER for p in pair})
+
+
+def build_database():
+    db = Database()
+    db.add_facts("father", FATHER)
+    db.add_facts("mother", MOTHER)
+    db.add_facts("person", [(p,) for p in PEOPLE])
+    return db
+
+
+def main():
+    program = parse_program(SOURCE)
+    print("Input program:")
+    print("  " + str(program).replace("\n", "\n  "))
+    print()
+
+    # 1. Evaluate the original program (computes ALL of sg).
+    plain_db = build_database()
+    plain = answer_tuples(program, plain_db)
+    print(f"original program  : {sorted(v for (v,) in plain)}  "
+          f"(cost {plain_db.total_cost()})")
+
+    # 2. Magic-set rewriting: only facts relevant to 'ann' derived.
+    magic_db = build_database()
+    magic_program = magic_rewrite(program)
+    magic = answer_tuples(magic_program, magic_db)
+    assert magic == plain
+    print(f"magic rewriting   : {sorted(v for (v,) in magic)}  "
+          f"(cost {magic_db.total_cost()})")
+
+    # 3. Counting rewriting: distances instead of values.
+    counting_db = build_database()
+    counting_program = counting_rewrite(program)
+    counting = answer_tuples(counting_program, counting_db)
+    assert counting == plain
+    print(f"counting rewriting: {sorted(v for (v,) in counting)}  "
+          f"(cost {counting_db.total_cost()})")
+    print()
+
+    print("The counting-rewritten program:")
+    print("  " + str(counting_program).replace("\n", "\n  "))
+    print()
+
+    # 4. The graph view: extract the abstract CSL query (materializing
+    #    the derived 'up' relation) and run the best hybrid method.
+    query = CSLQuery.from_program(program, database=build_database())
+    result = solve(query)  # auto-selected magic counting method
+    assert result.answers == {v for (v,) in plain}
+    print(f"CSL extraction + {result.method}: "
+          f"{sorted(result.answers)} (cost {result.retrievals})")
+
+
+if __name__ == "__main__":
+    main()

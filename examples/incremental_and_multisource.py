@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Production patterns: incremental updates and multi-source queries.
+
+Two extensions a deployed deductive database needs beyond the paper's
+single-shot setting:
+
+1. **Incremental maintenance** — facts arrive after the model is
+   computed; the semi-naive delta step extends the closure without
+   re-deriving from scratch.
+2. **Multi-source amortisation** — the same query shape answered for
+   many bindings; the magic set fixpoint is shared across sources while
+   the counting method pays per source.
+
+Run:  python examples/incremental_and_multisource.py
+"""
+
+from repro.core.csl import CSLQuery
+from repro.core.multi_source import multi_source_counting, multi_source_magic
+from repro.datalog import (
+    Database,
+    insert_and_maintain,
+    parse_program,
+    seminaive_evaluate,
+)
+from repro.datalog.relation import CostCounter
+
+
+def incremental_demo():
+    print("=" * 60)
+    print("1. Incremental maintenance")
+    print("=" * 60)
+    program = parse_program(
+        "reach(X, Y) :- link(X, Y). reach(X, Y) :- link(X, Z), reach(Z, Y)."
+    )
+    db = Database()
+    db.add_facts("link", [(f"h{i}", f"h{i+1}") for i in range(60)])
+    seminaive_evaluate(program, db)
+    print(f"initial closure: {len(db.facts('reach'))} reach facts "
+          f"({db.total_cost()} retrievals)")
+
+    db.reset_cost()
+    derived = insert_and_maintain(program, db, {"link": [("h60", "h61")]})
+    print(f"inserted link(h60, h61): {len(derived['reach'])} new reach "
+          f"facts for {db.total_cost()} retrievals")
+
+    scratch = Database()
+    scratch.add_facts("link", [(f"h{i}", f"h{i+1}") for i in range(61)])
+    seminaive_evaluate(program, scratch)
+    print(f"recomputing from scratch would cost {scratch.total_cost()} "
+          "retrievals")
+    print()
+
+
+def multisource_demo():
+    print("=" * 60)
+    print("2. Multi-source amortisation")
+    print("=" * 60)
+    # Twelve departments query the same hierarchy.
+    left = {(f"dept{i}", "reports_hub") for i in range(12)}
+    left |= {("reports_hub", "m0")}
+    left |= {(f"m{i}", f"m{i+1}") for i in range(25)}
+    exit_pairs = {(f"m{i}", "peer0") for i in range(26)}
+    right = {("peer1", "peer0"), ("peer0", "peer1")}
+    query = CSLQuery(left, exit_pairs, right, "dept0")
+    sources = [f"dept{i}" for i in range(12)]
+
+    counting = CostCounter()
+    multi_source_counting(query, sources, counting)
+    magic = CostCounter()
+    answers = multi_source_magic(query, sources, magic)
+
+    print(f"{len(sources)} sources, per-source counting: "
+          f"{counting.retrievals} retrievals")
+    print(f"{len(sources)} sources, shared magic fixpoint: "
+          f"{magic.retrievals} retrievals "
+          f"({counting.retrievals / magic.retrievals:.1f}x cheaper)")
+    sample = sorted(answers[sources[0]], key=repr)
+    print(f"answers for {sources[0]}: {sample}")
+
+
+def main():
+    incremental_demo()
+    multisource_demo()
+
+
+if __name__ == "__main__":
+    main()

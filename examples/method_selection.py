@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Method selection across the three magic-graph regimes.
+
+Evaluates the same family of queries as the graph degrades from regular
+to acyclic to cyclic, printing the full cost matrix — a miniature of the
+paper's Tables 1-5 — and showing where each method wins.
+
+Run:  python examples/method_selection.py
+"""
+
+from repro.analysis import ALL_METHODS, measure, render_table
+from repro.core import check_dominance
+from repro.workloads import acyclic_workload, cyclic_workload, regular_workload
+
+
+def main():
+    measurements = []
+    for label, generator in (
+        ("regular", regular_workload),
+        ("acyclic", acyclic_workload),
+        ("cyclic", cyclic_workload),
+    ):
+        query = generator(scale=3, seed=1)
+        measurement = measure(query)
+        measurements.append(measurement)
+        stats = measurement.stats
+        print(f"{label:8s}: n_L={stats.n_l:3d} m_L={stats.m_l:3d} "
+              f"n_R={stats.n_r:3d} m_R={stats.m_r:3d} "
+              f"-> class {measurement.graph_class.value}")
+    print(render_table(
+        "Tuple retrievals, measured/predicted (the paper's cost unit)",
+        ALL_METHODS,
+        measurements,
+    ))
+
+    for measurement in measurements:
+        violations = check_dominance(
+            measurement.costs, measurement.graph_class, slack=1.6
+        )
+        status = "holds" if not violations else f"violated: {violations}"
+        print(f"Figure 3 hierarchy on the {measurement.graph_class.value} "
+              f"instance: {status}")
+
+    print()
+    print("Reading guide:")
+    print(" * regular: every magic counting method collapses to the fast")
+    print("   counting method; the magic set method pays the m_L x m_R join.")
+    print(" * acyclic: counting still safe; single < basic, multiple < single,")
+    print("   integrated < independent (transfer instead of full descent).")
+    print(" * cyclic: counting is unsafe ('unsafe' cells); the magic counting")
+    print("   methods stay safe and beat the magic set method.")
+
+
+if __name__ == "__main__":
+    main()

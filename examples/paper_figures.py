@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Walk through the paper's worked examples (Figures 1 and 2).
+
+Reproduces, with the library's machinery, every number the paper prints
+about its two example graphs: the Figure 1 answer set and node
+classifications (plus the two what-if edits the paper discusses), and
+the Figure 2 reduced sets of all four strategies with the associated
+graph statistics of Sections 7-9.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import (
+    Mode,
+    Strategy,
+    classify_nodes,
+    compute_statistics,
+    fact2_answer,
+    magic_counting,
+)
+from repro.core.step1 import compute_reduced_sets
+from repro.workloads import (
+    FIGURE2_EXPECTED_RM,
+    figure1_acyclic_query,
+    figure1_cyclic_query,
+    figure1_query,
+    figure2_query,
+)
+
+
+def show_figure1():
+    print("=" * 64)
+    print("Figure 1 - the example query graph")
+    print("=" * 64)
+    query = figure1_query()
+    print(f"answer of the query: {sorted(fact2_answer(query))}")
+    print("  (paper: b3, b5, b7, b8, b9 - b3 and b9 via the cyclic")
+    print("   R-side path through b8)")
+    classification = classify_nodes(query)
+    print(f"magic graph class: {classification.graph_class.value} "
+          "(all L-nodes single)")
+    print()
+
+    print("what-if edits the paper discusses:")
+    acyclic = classify_nodes(figure1_acyclic_query())
+    print(f"  + L(a2, a5): class={acyclic.graph_class.value}, "
+          f"multiple={sorted(acyclic.multiple)}")
+    cyclic = classify_nodes(figure1_cyclic_query())
+    print(f"  + L(a5, a2): class={cyclic.graph_class.value}, "
+          f"recurring={sorted(cyclic.recurring)}")
+    print()
+
+
+def show_figure2():
+    print("=" * 64)
+    print("Figure 2 - the example magic graph")
+    print("=" * 64)
+    query = figure2_query()
+    classification = classify_nodes(query)
+    print(f"single:    {sorted(classification.single)}")
+    print(f"multiple:  {sorted(classification.multiple)}")
+    print(f"recurring: {sorted(classification.recurring)}")
+    print()
+
+    print("reduced sets per strategy (RM as the paper lists them):")
+    for strategy in Strategy:
+        rs = compute_reduced_sets(query.instance(), strategy)
+        expected = "".join(sorted(FIGURE2_EXPECTED_RM[strategy.value]))
+        got = "".join(sorted(rs.rm))
+        marker = "ok" if got == expected else "MISMATCH"
+        print(f"  {strategy.value:9s} RM = {{{got}}}  (paper: {{{expected}}}) {marker}")
+        if strategy is Strategy.RECURRING:
+            print(f"            RC indices of the multiple nodes: "
+                  f"h -> {sorted(rs.rc_indices('h'))}, "
+                  f"k -> {sorted(rs.rc_indices('k'))}")
+    print()
+
+    stats = compute_statistics(query).as_dict()
+    print("graph statistics (Sections 7-9; paper's printed values in parens):")
+    printed = {"i_x": 2, "n_x": 4, "m_x": 3, "n_ĵ": 1, "m_ĵ": 1,
+               "n_s": 6, "m_s": 6, "n_î": 2, "m_î": 3,
+               "n_m": 8, "m_m": 9, "n_m̂": 7, "m_m̂": 8}
+    for key, expected in printed.items():
+        note = "" if stats[key] == expected else \
+            "   <- printed value is internally inconsistent; see EXPERIMENTS.md"
+        print(f"  {key:4s} = {stats[key]:2d}  ({expected}){note}")
+    print()
+
+    print("every method agrees on the Figure 2 instance:")
+    oracle = fact2_answer(query)
+    for strategy in Strategy:
+        for mode in Mode:
+            result = magic_counting(query, strategy, mode)
+            assert result.answers == oracle
+            print(f"  {result.method:28s} cost {result.retrievals:4d}  "
+                  f"answers {sorted(result.answers)}")
+
+
+def main():
+    show_figure1()
+    show_figure2()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: answer a recursive same-generation query five ways.
+
+The paper's running example: ``sg(X, Y)`` holds when X and Y are of the
+same generation; the query asks for everyone of the same generation as
+one person.  We build a small family tree, then answer the query with
+the counting method, the magic set method, and a magic counting hybrid,
+comparing their tuple-retrieval costs (the paper's cost unit).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CSLQuery,
+    Mode,
+    Strategy,
+    classify_nodes,
+    magic_counting,
+    naive_answer,
+    solve,
+)
+
+#           gm ─┬─ gp
+#        ┌──────┴──────┐
+#       mom           uncle
+#      ┌─┴──┐           │
+#    ann   bob        carol
+PARENT = {
+    ("mom", "gm"), ("mom", "gp"),
+    ("uncle", "gm"), ("uncle", "gp"),
+    ("ann", "mom"), ("bob", "mom"),
+    ("carol", "uncle"),
+}
+
+
+def main():
+    query = CSLQuery.same_generation(PARENT, source="ann")
+
+    print("Who is of the same generation as ann?")
+    print()
+
+    # The reference answer, computed naively (no binding propagation).
+    reference = naive_answer(query)
+    print(f"  naive evaluation      -> {sorted(reference.answers)}"
+          f"  ({reference.retrievals} tuple retrievals)")
+
+    # The optimized methods of the paper.
+    for method in ("counting", "magic_set"):
+        result = solve(query, method=method)
+        assert result.answers == reference.answers
+        print(f"  {method:21s} -> {sorted(result.answers)}"
+              f"  ({result.retrievals} tuple retrievals)")
+
+    # A magic counting method: counting where safe, magic where needed.
+    result = magic_counting(query, Strategy.MULTIPLE, Mode.INTEGRATED)
+    assert result.answers == reference.answers
+    print(f"  {result.method:21s} -> {sorted(result.answers)}"
+          f"  ({result.retrievals} tuple retrievals)")
+
+    # Why the hybrid exists: inspect the magic graph.
+    classification = classify_nodes(query)
+    print()
+    print(f"The magic graph is {classification.graph_class.value}: "
+          f"{len(classification.single)} single, "
+          f"{len(classification.multiple)} multiple, "
+          f"{len(classification.recurring)} recurring node(s).")
+    print("On a regular graph every magic counting method coincides with "
+          "the (fast) counting method.")
+
+
+if __name__ == "__main__":
+    main()

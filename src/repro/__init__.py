@@ -1,0 +1,79 @@
+"""repro — a reproduction of "Magic Counting Methods" (SIGMOD 1987).
+
+The package implements the full stack the paper builds on:
+
+* :mod:`repro.datalog` — a bottom-up Datalog engine (parser, safety,
+  stratified negation, naive/semi-naive evaluation, magic-set and
+  counting rewritings) over cost-instrumented relations;
+* :mod:`repro.core` — the paper's contribution: canonical strongly
+  linear queries, query graphs, node classification, the counting and
+  magic set methods, and the eight magic counting methods
+  (basic/single/multiple/recurring × independent/integrated);
+* :mod:`repro.workloads` — synthetic query-instance generators,
+  including the exact example graphs of Figures 1 and 2;
+* :mod:`repro.analysis` — the graph statistics and Θ-cost formulas of
+  the paper's Tables 1–5.
+
+Quickstart::
+
+    from repro import CSLQuery, solve, Strategy, Mode
+
+    query = CSLQuery.same_generation(parent_pairs, source="ann")
+    result = solve(query, strategy=Strategy.MULTIPLE, mode=Mode.INTEGRATED)
+    print(result.answers, result.cost.retrievals)
+"""
+
+from .core import (
+    AnswerResult,
+    CSLQuery,
+    MagicGraphClass,
+    Mode,
+    QueryGraph,
+    ReducedSets,
+    Strategy,
+    classify_nodes,
+    compute_statistics,
+    counting_method,
+    extended_counting_method,
+    fact2_answer,
+    magic_counting,
+    magic_set_method,
+    naive_answer,
+    solve,
+    solve_program,
+)
+from .datalog import (
+    Database,
+    Program,
+    counting_rewrite,
+    magic_rewrite,
+    parse_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerResult",
+    "CSLQuery",
+    "Database",
+    "MagicGraphClass",
+    "Mode",
+    "Program",
+    "QueryGraph",
+    "ReducedSets",
+    "Strategy",
+    "classify_nodes",
+    "compute_statistics",
+    "counting_method",
+    "counting_rewrite",
+    "extended_counting_method",
+    "fact2_answer",
+    "magic_counting",
+    "magic_rewrite",
+    "magic_set_method",
+    "naive_answer",
+    "parse_program",
+    "solve",
+    "solve_program",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Measurement harness and table rendering for the cost experiments.
+
+Graph statistics themselves live in :mod:`repro.core.complexity`
+(re-exported here for convenience, since they are analysis artefacts).
+"""
+
+from ..core.complexity import (
+    GraphStatistics,
+    all_method_predictions,
+    compute_statistics,
+    predicted_cost,
+)
+from .dot import magic_graph_to_dot, query_graph_to_dot
+from .runner import ALL_METHODS, Measurement, measure, run_method, sweep
+from .sweeps import CostSeries, cost_series, find_crossover
+from .tables import render_ratio_sweep, render_table
+
+__all__ = [
+    "ALL_METHODS",
+    "CostSeries",
+    "GraphStatistics",
+    "cost_series",
+    "find_crossover",
+    "Measurement",
+    "all_method_predictions",
+    "compute_statistics",
+    "magic_graph_to_dot",
+    "measure",
+    "query_graph_to_dot",
+    "predicted_cost",
+    "render_ratio_sweep",
+    "render_table",
+    "run_method",
+    "sweep",
+]

@@ -1,0 +1,124 @@
+"""Measurement harness: run every method on an instance, collect costs.
+
+This is the engine behind the benchmark suite and the EXPERIMENTS.md
+tables: it evaluates a query with all ten methods (two classic, eight
+magic counting), records the tuple-retrieval cost of each, checks that
+every safe method returned the same answer set, and pairs measurements
+with the Θ-predictions of :mod:`repro.core.complexity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.classification import MagicGraphClass
+from ..core.complexity import GraphStatistics, compute_statistics, predicted_cost
+from ..core.counting_method import counting_method, extended_counting_method
+from ..core.csl import CSLQuery
+from ..core.hn_method import hn_method
+from ..core.magic_method import magic_set_method
+from ..core.methods import magic_counting
+from ..core.reduced_sets import Mode, Strategy
+from ..core.solver import fact2_answer
+from ..errors import UnsafeQueryError
+
+ALL_METHODS = [
+    "counting",
+    "extended_counting",
+    "magic_set",
+    "mc_basic_independent",
+    "mc_basic_integrated",
+    "mc_single_independent",
+    "mc_single_integrated",
+    "mc_multiple_independent",
+    "mc_multiple_integrated",
+    "mc_recurring_independent",
+    "mc_recurring_integrated",
+    "mc_recurring_independent_scc",
+    "mc_recurring_integrated_scc",
+]
+
+_STRATEGIES = {
+    "basic": Strategy.BASIC,
+    "single": Strategy.SINGLE,
+    "multiple": Strategy.MULTIPLE,
+    "recurring": Strategy.RECURRING,
+}
+
+
+def run_method(query: CSLQuery, method: str):
+    """Run one named method; returns an AnswerResult or raises."""
+    if method == "counting":
+        return counting_method(query)
+    if method == "extended_counting":
+        return extended_counting_method(query)
+    if method == "magic_set":
+        return magic_set_method(query)
+    if method == "henschen_naqvi":
+        return hn_method(query)
+    if method.startswith("mc_"):
+        parts = method.split("_")
+        strategy = _STRATEGIES[parts[1]]
+        mode = Mode.INTEGRATED if parts[2] == "integrated" else Mode.INDEPENDENT
+        scc = method.endswith("_scc")
+        return magic_counting(query, strategy, mode, scc_step1=scc)
+    raise ValueError(f"unknown method {method!r}")
+
+
+@dataclass
+class Measurement:
+    """Costs and predictions for one instance across methods."""
+
+    query: CSLQuery
+    stats: GraphStatistics
+    costs: Dict[str, Optional[int]] = field(default_factory=dict)
+    predictions: Dict[str, Optional[int]] = field(default_factory=dict)
+    answers: Optional[frozenset] = None
+
+    @property
+    def graph_class(self) -> MagicGraphClass:
+        return self.stats.graph_class
+
+    def ratio(self, method: str) -> Optional[float]:
+        """measured / predicted — bounded across a sweep confirms shape."""
+        cost = self.costs.get(method)
+        predicted = self.predictions.get(method)
+        if cost is None or not predicted:
+            return None
+        return cost / predicted
+
+
+def measure(query: CSLQuery, methods: Optional[List[str]] = None) -> Measurement:
+    """Run ``methods`` (default: all) on ``query``.
+
+    Unsafe runs (counting on cyclic graphs) record cost ``None``.
+    Raises AssertionError if any two safe methods disagree on the answer
+    — the harness refuses to report costs for wrong answers.
+    """
+    if methods is None:
+        methods = ALL_METHODS
+    stats = compute_statistics(query)
+    measurement = Measurement(query=query, stats=stats)
+    oracle = fact2_answer(query)
+    measurement.answers = oracle
+    for method in methods:
+        try:
+            result = run_method(query, method)
+        except UnsafeQueryError:
+            measurement.costs[method] = None
+            measurement.predictions[method] = predicted_cost(method, stats)
+            continue
+        if result.answers != oracle:
+            raise AssertionError(
+                f"method {method} answered {sorted(map(repr, result.answers))} "
+                f"but the oracle says {sorted(map(repr, oracle))}"
+            )
+        measurement.costs[method] = result.cost.retrievals
+        measurement.predictions[method] = predicted_cost(method, stats)
+    return measurement
+
+
+def sweep(queries: List[CSLQuery], methods: Optional[List[str]] = None) -> List[Measurement]:
+    """Measure a list of instances (a size sweep)."""
+    return [measure(query, methods) for query in queries]

@@ -1,0 +1,83 @@
+"""Parametric cost sweeps and crossover detection.
+
+The paper's dominance claims are asymptotic; the interesting practical
+question is *where* the orderings kick in.  :func:`cost_series` runs a
+method set over a family of growing instances and returns the cost
+curves; :func:`find_crossover` locates the scale at which one method
+overtakes another (e.g. where the single method's Step-1 overhead is
+amortised against basic).  The Figure 3 benchmark prints these series,
+which is the closest thing the paper's analytical evaluation has to a
+plotted figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.csl import CSLQuery
+from .runner import Measurement, measure
+
+
+@dataclass
+class CostSeries:
+    """Cost curves of several methods over one instance family."""
+
+    labels: List[object] = field(default_factory=list)
+    costs: Dict[str, List[Optional[int]]] = field(default_factory=dict)
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def series(self, method: str) -> List[Optional[int]]:
+        return self.costs.get(method, [])
+
+    def render(self, title: str) -> str:
+        from .tables import _render
+
+        header = ["method"] + [str(label) for label in self.labels]
+        rows = []
+        for method, values in self.costs.items():
+            rows.append(
+                [method]
+                + ["unsafe" if v is None else str(v) for v in values]
+            )
+        return _render(title, header, rows)
+
+
+def cost_series(
+    family: Callable[[int], CSLQuery],
+    scales: Sequence[int],
+    methods: Sequence[str],
+) -> CostSeries:
+    """Measure ``methods`` on ``family(scale)`` for each scale."""
+    result = CostSeries()
+    for method in methods:
+        result.costs[method] = []
+    for scale in scales:
+        measurement = measure(family(scale), methods=list(methods))
+        result.labels.append(scale)
+        result.measurements.append(measurement)
+        for method in methods:
+            result.costs[method].append(measurement.costs.get(method))
+    return result
+
+
+def find_crossover(
+    family: Callable[[int], CSLQuery],
+    faster: str,
+    slower: str,
+    scales: Sequence[int],
+) -> Optional[int]:
+    """The first scale at which ``faster`` costs less than ``slower``.
+
+    Returns None when no crossover occurs within the sweep (either
+    ``faster`` always wins already, in which case the first scale is
+    returned, or it never wins).  Unsafe results (None costs) never
+    count as a win.
+    """
+    for scale in scales:
+        measurement = measure(family(scale), methods=[faster, slower])
+        fast_cost = measurement.costs.get(faster)
+        slow_cost = measurement.costs.get(slower)
+        if fast_cost is not None and slow_cost is not None and fast_cost < slow_cost:
+            return scale
+    return None

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmarks print the same rows the paper's tables report — method
+per row, magic-graph class per column, predicted Θ value next to the
+measured tuple-retrieval count — so a reader can eyeball "who wins, by
+roughly what factor" directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .runner import Measurement
+
+
+def format_cell(value: Optional[int]) -> str:
+    return "unsafe" if value is None else str(value)
+
+
+def render_table(
+    title: str,
+    methods: Sequence[str],
+    measurements: Sequence[Measurement],
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """One row per method, one measured/predicted pair per instance."""
+    if labels is None:
+        labels = [m.graph_class.value for m in measurements]
+    header = ["method"] + [f"{label} meas/pred" for label in labels]
+    rows: List[List[str]] = []
+    for method in methods:
+        row = [method]
+        for measurement in measurements:
+            cost = measurement.costs.get(method)
+            predicted = measurement.predictions.get(method)
+            row.append(f"{format_cell(cost)}/{format_cell(predicted)}")
+        rows.append(row)
+    return _render(title, header, rows)
+
+
+def render_ratio_sweep(
+    title: str,
+    methods: Sequence[str],
+    measurements: Sequence[Measurement],
+    labels: Sequence[str],
+) -> str:
+    """measured/predicted ratios across a size sweep: flat rows confirm
+    the Θ shape."""
+    header = ["method"] + [str(label) for label in labels]
+    rows: List[List[str]] = []
+    for method in methods:
+        row = [method]
+        for measurement in measurements:
+            ratio = measurement.ratio(method)
+            row.append("unsafe" if ratio is None else f"{ratio:.2f}")
+        rows.append(row)
+    return _render(title, header, rows)
+
+
+def _render(title: str, header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in rows)
+    return f"\n{title}\n{line(header)}\n{separator}\n{body}\n"

@@ -1,0 +1,347 @@
+"""Command-line interface.
+
+Three subcommands, all operating on textual Datalog files::
+
+    python -m repro solve   program.dl [--facts facts.dl] [--method auto]
+    python -m repro analyze program.dl [--facts facts.dl]
+    python -m repro rewrite program.dl [--kind magic|supplementary|counting|mc]
+
+``solve`` answers the program's query goal (``?- p(a, Y).``) with any of
+the paper's methods; ``analyze`` prints the magic-graph diagnosis (node
+classes, statistics, reduced-set sizes per strategy, predicted costs);
+``rewrite`` prints a rewritten program.  Facts may live in the program
+file itself (ground bodiless rules) or in a separate facts file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.classification import classify_nodes
+from .core.complexity import all_method_predictions, compute_statistics
+from .core.csl import CSLQuery
+from .core.program_rewrite import magic_counting_program
+from .core.reduced_sets import Mode, Strategy
+from .core.solver import solve
+from .core.step1 import compute_reduced_sets
+from .datalog.counting_rewrite import counting_rewrite
+from .datalog.database import Database
+from .datalog.magic_rewrite import magic_rewrite
+from .datalog.parser import parse_program
+from .datalog.program import Program
+from .datalog.supplementary import supplementary_magic_rewrite
+from .errors import ReproError
+
+_STRATEGIES = {s.value: s for s in Strategy}
+_MODES = {m.value: m for m in Mode}
+
+
+def _load(program_path: str, facts_path: Optional[str]):
+    """Parse the program file; split ground facts into a Database."""
+    with open(program_path) as handle:
+        program = parse_program(handle.read())
+    database = Database()
+    rules = []
+    for rule in program.rules:
+        if rule.is_fact:
+            database.add_atom(rule.head)
+        else:
+            rules.append(rule)
+    program = Program(rules, program.query)
+    if facts_path is not None:
+        with open(facts_path) as handle:
+            facts_program = parse_program(handle.read())
+        for rule in facts_program.rules:
+            if not rule.is_fact:
+                raise ReproError(
+                    f"facts file contains a non-fact rule: {rule}"
+                )
+            database.add_atom(rule.head)
+    return program, database
+
+
+def _extract_query(program: Program, database: Database) -> CSLQuery:
+    return CSLQuery.from_program(program, database=database)
+
+
+def cmd_solve(args) -> int:
+    program, database = _load(args.program, args.facts)
+    query = _extract_query(program, database)
+    kwargs = {}
+    if args.method == "magic_counting":
+        kwargs["strategy"] = _STRATEGIES[args.strategy]
+        kwargs["mode"] = _MODES[args.mode]
+    result = solve(query, method=args.method, **kwargs)
+    for answer in sorted(result.answers, key=repr):
+        print(answer)
+    print(f"-- method: {result.method}", file=sys.stderr)
+    print(f"-- answers: {len(result.answers)}", file=sys.stderr)
+    print(f"-- tuple retrievals: {result.cost.retrievals}", file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program, database = _load(args.program, args.facts)
+    query = _extract_query(program, database)
+    classification = classify_nodes(query)
+    stats = compute_statistics(query)
+    print(f"goal: {program.query}")
+    print(f"magic graph class: {classification.graph_class.value}")
+    print(
+        f"nodes: {stats.n_l} magic ({len(classification.single)} single, "
+        f"{len(classification.multiple)} multiple, "
+        f"{len(classification.recurring)} recurring), {stats.n_r} answer-side"
+    )
+    print(f"arcs: m_L={stats.m_l} m_E={stats.m_e} m_R={stats.m_r}")
+    print(f"single-method frontier i_x = {stats.i_x}")
+    print()
+    print("reduced sets per strategy:")
+    for strategy in Strategy:
+        reduced = compute_reduced_sets(query.instance(), strategy)
+        print(
+            f"  {strategy.value:9s} |RC| = {len(reduced.rc):4d}   "
+            f"|RM| = {len(reduced.rm):4d}"
+        )
+    print()
+    print("predicted costs (paper's Θ-expressions, tuple retrievals):")
+    for method, predicted in all_method_predictions(stats).items():
+        cell = "unsafe" if predicted is None else str(predicted)
+        print(f"  {method:26s} {cell}")
+    if args.dot:
+        from .analysis.dot import query_graph_to_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(query_graph_to_dot(query, title=str(program.query)))
+        print(f"-- wrote query graph to {args.dot}", file=sys.stderr)
+    return 0
+
+
+def cmd_rewrite(args) -> int:
+    program, database = _load(args.program, args.facts)
+    if args.kind == "magic":
+        print(magic_rewrite(program))
+    elif args.kind == "supplementary":
+        print(supplementary_magic_rewrite(program))
+    elif args.kind == "counting":
+        print(counting_rewrite(program))
+    else:  # mc
+        query = _extract_query(program, database)
+        strategy = _STRATEGIES[args.strategy]
+        mode = _MODES[args.mode]
+        reduced = compute_reduced_sets(query.instance(), strategy)
+        if mode is Mode.INTEGRATED:
+            reduced.ensure_source_pair(query.source)
+        print(magic_counting_program(program, reduced, mode))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Emit a synthetic workload as program + facts files."""
+    from .datalog.io import dump_database
+    from .workloads.generators import (
+        acyclic_workload,
+        cyclic_workload,
+        grid_workload,
+        regular_workload,
+    )
+
+    generators = {
+        "regular": regular_workload,
+        "acyclic": acyclic_workload,
+        "cyclic": cyclic_workload,
+    }
+    if args.kind == "grid":
+        query = grid_workload(side=2 + args.scale)
+    else:
+        query = generators[args.kind](scale=args.scale, seed=args.seed)
+    database = query.database()
+    count = dump_database(database, args.output)
+    program_text = str(query.to_program())
+    program_path = args.output.rsplit(".", 1)[0] + ".program.dl"
+    with open(program_path, "w") as handle:
+        handle.write(program_text + "\n")
+    print(f"wrote {count} facts to {args.output}", file=sys.stderr)
+    print(f"wrote the query program to {program_path}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the standard experiment set and print every table."""
+    from .analysis.runner import ALL_METHODS, measure
+    from .analysis.tables import render_table
+    from .core.hierarchy import check_dominance, render_figure3
+    from .workloads.generators import (
+        acyclic_workload,
+        cyclic_workload,
+        regular_workload,
+    )
+
+    scale = args.scale
+    rows = []
+    for kind, generator in (
+        ("regular", regular_workload),
+        ("acyclic", acyclic_workload),
+        ("cyclic", cyclic_workload),
+    ):
+        measurement = measure(generator(scale=scale, seed=args.seed))
+        rows.append(measurement)
+        violations = check_dominance(
+            measurement.costs, measurement.graph_class, slack=1.7
+        )
+        status = "holds" if not violations else "; ".join(map(str, violations))
+        print(f"{kind}: hierarchy {status}", file=sys.stderr)
+    print(render_table(
+        f"All methods, measured/predicted tuple retrievals "
+        f"(scale {scale}, seed {args.seed})",
+        ALL_METHODS,
+        rows,
+    ))
+    print(render_figure3())
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from .datalog.lint import lint_program
+
+    program, database = _load(args.program, args.facts)
+    diagnostics = lint_program(program, database)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    errors = sum(1 for d in diagnostics if d.level == "error")
+    print(
+        f"-- {len(diagnostics)} finding(s), {errors} error(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+def cmd_explain(args) -> int:
+    from .datalog.parser import parse_atom
+    from .datalog.provenance import evaluate_with_provenance
+
+    program, database = _load(args.program, args.facts)
+    provenance = evaluate_with_provenance(program, database)
+    goal = parse_atom(args.fact)
+    if not goal.is_ground():
+        raise ReproError(f"explain needs a ground fact, got {goal}")
+    values = tuple(t.value for t in goal.terms)
+    proof = provenance.proof(goal.predicate, values)
+    print(proof.render())
+    print(f"-- proof depth: {proof.depth()}", file=sys.stderr)
+    print(f"-- leaves: {len(proof.leaves())}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Magic counting methods for recursive Datalog queries "
+        "(Sacca & Zaniolo, SIGMOD 1987).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("program", help="Datalog program file with a ?- goal")
+        sub.add_argument("--facts", help="separate file of ground facts")
+
+    sub_solve = subparsers.add_parser("solve", help="answer the query goal")
+    add_common(sub_solve)
+    sub_solve.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "adaptive", "counting", "extended_counting",
+                 "magic_set", "henschen_naqvi", "magic_counting", "naive"],
+    )
+    sub_solve.add_argument("--strategy", default="multiple",
+                           choices=sorted(_STRATEGIES))
+    sub_solve.add_argument("--mode", default="integrated",
+                           choices=sorted(_MODES))
+    sub_solve.set_defaults(handler=cmd_solve)
+
+    sub_analyze = subparsers.add_parser(
+        "analyze", help="diagnose the magic graph and predict costs"
+    )
+    add_common(sub_analyze)
+    sub_analyze.add_argument(
+        "--dot", help="also write the query graph as Graphviz DOT"
+    )
+    sub_analyze.set_defaults(handler=cmd_analyze)
+
+    sub_rewrite = subparsers.add_parser(
+        "rewrite", help="print a rewritten program"
+    )
+    add_common(sub_rewrite)
+    sub_rewrite.add_argument(
+        "--kind", default="magic",
+        choices=["magic", "supplementary", "counting", "mc"],
+    )
+    sub_rewrite.add_argument("--strategy", default="multiple",
+                             choices=sorted(_STRATEGIES))
+    sub_rewrite.add_argument("--mode", default="integrated",
+                             choices=sorted(_MODES))
+    sub_rewrite.set_defaults(handler=cmd_rewrite)
+
+    sub_explain = subparsers.add_parser(
+        "explain", help="print a proof tree for a ground fact"
+    )
+    add_common(sub_explain)
+    sub_explain.add_argument(
+        "fact", help="ground fact to explain, e.g. 'sg(ann, bob)'"
+    )
+    sub_explain.set_defaults(handler=cmd_explain)
+
+    sub_lint = subparsers.add_parser(
+        "lint", help="static diagnostics for a program"
+    )
+    add_common(sub_lint)
+    sub_lint.set_defaults(handler=cmd_lint)
+
+    sub_repl = subparsers.add_parser(
+        "repl", help="interactive deductive-database shell"
+    )
+    sub_repl.set_defaults(handler=lambda args: _run_repl())
+
+    sub_report = subparsers.add_parser(
+        "report", help="run the standard experiments and print the tables"
+    )
+    sub_report.add_argument("--scale", type=int, default=2)
+    sub_report.add_argument("--seed", type=int, default=0)
+    sub_report.set_defaults(handler=cmd_report)
+
+    sub_generate = subparsers.add_parser(
+        "generate", help="emit a synthetic workload as Datalog files"
+    )
+    sub_generate.add_argument(
+        "--kind", default="regular",
+        choices=["regular", "acyclic", "cyclic", "grid"],
+    )
+    sub_generate.add_argument("--scale", type=int, default=2)
+    sub_generate.add_argument("--seed", type=int, default=0)
+    sub_generate.add_argument(
+        "-o", "--output", default="workload.dl",
+        help="facts file to write (program goes to *.program.dl)",
+    )
+    sub_generate.set_defaults(handler=cmd_generate)
+    return parser
+
+
+def _run_repl() -> int:  # pragma: no cover - interactive
+    from .repl import run_repl
+
+    return run_repl()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Ground-truth classification of magic-graph nodes (Section 3).
+
+For each node ``b`` of the magic graph ``G_L``, ``I_b`` is the set of
+path lengths from the source ``a`` to ``b``.  ``b`` is
+
+* **single** when ``I_b`` is a singleton,
+* **multiple** when ``I_b`` is finite with more than one element,
+* **recurring** when ``I_b`` is infinite — by Proposition 1(c) exactly
+  when some directed path from ``a`` to ``b`` passes through a cycle.
+
+The magic graph is **regular** when every node is single.
+
+The computation here is the analytical reference (used by tests to
+validate the paper's Step-1 fixpoints, and by the "smarter" SCC-based
+recurring Step 1):
+
+1. Tarjan SCC on ``G_L``; nodes of non-trivial components (or with a
+   self-loop) are *cyclic cores*;
+2. recurring = forward closure of the cores;
+3. the subgraph induced by the non-recurring nodes is a DAG; a dynamic
+   program over a topological order accumulates the exact distance sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..datalog.stratify import strongly_connected_components
+from .csl import CSLQuery
+from .query_graph import QueryGraph, build_query_graph
+
+
+class NodeClass(Enum):
+    SINGLE = "single"
+    MULTIPLE = "multiple"
+    RECURRING = "recurring"
+
+
+class MagicGraphClass(Enum):
+    """The three magic-graph regimes of the paper's cost tables."""
+
+    REGULAR = "regular"
+    ACYCLIC = "acyclic"  # non-regular but cycle-free
+    CYCLIC = "cyclic"
+
+
+@dataclass
+class Classification:
+    """Node classes and distance sets of one magic graph."""
+
+    source: object
+    distance_sets: Dict[object, FrozenSet[int]] = field(default_factory=dict)
+    single: Set[object] = field(default_factory=set)
+    multiple: Set[object] = field(default_factory=set)
+    recurring: Set[object] = field(default_factory=set)
+    shortest_distance: Dict[object, int] = field(default_factory=dict)
+
+    @property
+    def is_regular(self) -> bool:
+        return not self.multiple and not self.recurring
+
+    @property
+    def is_cyclic(self) -> bool:
+        return bool(self.recurring)
+
+    @property
+    def graph_class(self) -> MagicGraphClass:
+        if self.recurring:
+            return MagicGraphClass.CYCLIC
+        if self.multiple:
+            return MagicGraphClass.ACYCLIC
+        return MagicGraphClass.REGULAR
+
+    def node_class(self, node) -> NodeClass:
+        if node in self.recurring:
+            return NodeClass.RECURRING
+        if node in self.multiple:
+            return NodeClass.MULTIPLE
+        return NodeClass.SINGLE
+
+    def indices(self, node) -> Optional[FrozenSet[int]]:
+        """``I_b`` for non-recurring ``b``; None when infinite."""
+        return self.distance_sets.get(node)
+
+
+def classify_graph(graph: QueryGraph) -> Classification:
+    """Classify every node of the magic graph ``G_L`` of ``graph``."""
+    successors = graph.l_successors()
+    classification = Classification(source=graph.source)
+
+    # Shortest distances (BFS) — used for i_x and as a sanity anchor.
+    frontier = [graph.source]
+    classification.shortest_distance[graph.source] = 0
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier = []
+        for node in frontier:
+            for successor in successors[node]:
+                if successor not in classification.shortest_distance:
+                    classification.shortest_distance[successor] = depth
+                    next_frontier.append(successor)
+        frontier = next_frontier
+
+    # Cyclic cores: non-trivial SCCs and self-loops.
+    components = strongly_connected_components(sorted(graph.l_nodes, key=repr), successors)
+    cores: Set[object] = set()
+    for component in components:
+        if len(component) > 1:
+            cores.update(component)
+        else:
+            node = component[0]
+            if node in successors[node]:
+                cores.add(node)
+
+    # Recurring = forward closure of the cores.
+    stack = list(cores)
+    recurring = set(cores)
+    while stack:
+        node = stack.pop()
+        for successor in successors[node]:
+            if successor not in recurring:
+                recurring.add(successor)
+                stack.append(successor)
+    classification.recurring = recurring
+
+    # Distance sets for the non-recurring nodes: DP over a topological
+    # order of the induced (acyclic) subgraph.
+    finite_nodes = graph.l_nodes - recurring
+    order = _topological_order(finite_nodes, successors)
+    working: Dict[object, Set[int]] = {node: set() for node in finite_nodes}
+    if graph.source in working:
+        working[graph.source].add(0)
+    for node in order:
+        indices = working[node]
+        if not indices:
+            continue
+        for successor in successors[node]:
+            if successor in working:
+                working[successor].update(i + 1 for i in indices)
+
+    for node in finite_nodes:
+        indices = frozenset(working[node])
+        classification.distance_sets[node] = indices
+        if len(indices) == 1:
+            classification.single.add(node)
+        else:
+            classification.multiple.add(node)
+    return classification
+
+
+def _topological_order(nodes: Set[object], successors) -> List[object]:
+    """Topological order of the subgraph induced by ``nodes`` (a DAG)."""
+    indegree: Dict[object, int] = {node: 0 for node in nodes}
+    for node in nodes:
+        for successor in successors[node]:
+            if successor in indegree:
+                indegree[successor] += 1
+    ready = [node for node, degree in indegree.items() if degree == 0]
+    order: List[object] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for successor in successors[node]:
+            if successor in indegree:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+    return order
+
+
+def classify_nodes(query: CSLQuery) -> Classification:
+    """Classification of the magic-graph nodes of ``query``."""
+    return classify_graph(build_query_graph(query))
+
+
+def boundary_index(classification: Classification) -> int:
+    """The single methods' frontier ``i_x``: the maximum index such that
+    every node with shortest distance less than ``i_x`` is single.
+
+    On a regular graph this is ``max distance + 1`` (every node counted);
+    the paper's Figure 2 has ``i_x = 2``.
+    """
+    non_single_distances = [
+        distance
+        for node, distance in classification.shortest_distance.items()
+        if node in classification.multiple or node in classification.recurring
+    ]
+    if not non_single_distances:
+        return max(classification.shortest_distance.values(), default=0) + 1
+    return min(non_single_distances)

@@ -1,0 +1,43 @@
+"""Result and cost-report types shared by all evaluation methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from ..datalog.relation import CostCounter
+
+
+@dataclass
+class AnswerResult:
+    """The outcome of evaluating a CSL query with one method.
+
+    Attributes
+    ----------
+    answers:
+        The answer set — the values ``Y`` with ``P(a, Y)`` derivable.
+    method:
+        Human-readable method name (``"counting"``, ``"magic_set"``,
+        ``"mc_multiple_integrated"``, ...).
+    cost:
+        The tuple-retrieval counter that observed the whole run — the
+        paper's cost unit (Section 3).
+    details:
+        Method-specific diagnostics: iteration counts, ``|CS|``/``|MS|``,
+        the reduced sets used, etc.
+    """
+
+    answers: FrozenSet[object]
+    method: str
+    cost: CostCounter
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def retrievals(self) -> int:
+        return self.cost.retrievals
+
+    def __repr__(self):
+        return (
+            f"AnswerResult(method={self.method!r}, answers={len(self.answers)}, "
+            f"retrievals={self.cost.retrievals})"
+        )

@@ -1,0 +1,247 @@
+"""Canonical strongly linear (CSL) queries.
+
+The paper's entire development is phrased over the abstract query
+
+    P(X, Y) :- E(X, Y).
+    P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+    ?- P(a, Y).
+
+A :class:`CSLQuery` is precisely this abstraction: three binary relations
+``L``, ``E``, ``R`` (as plain sets of pairs) plus the source constant
+``a``.  Every method in :mod:`repro.core` consumes a ``CSLQuery``.
+
+Two bridges connect it to the Datalog world:
+
+* :meth:`CSLQuery.from_program` — recognizes a CSL-shaped Datalog
+  program (via :func:`repro.datalog.linear.analyze_linear`) and
+  *materializes* its ``L``/``E``/``R`` parts, which may be conjunctions
+  of derived predicates (the generalisation Section 1 sketches).  Multi-
+  column bound/free parts become tuple-valued constants.
+* :meth:`CSLQuery.to_program` — emits the canonical Datalog program,
+  used by the oracle evaluators and the rewriting round-trip tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..datalog.atom import Atom, Literal
+from ..datalog.database import Database
+from ..datalog.evaluation import seminaive_evaluate
+from ..datalog.linear import LinearRecursion, analyze_linear
+from ..datalog.program import Program
+from ..datalog.relation import CostCounter, Relation
+from ..datalog.rule import Rule
+from ..datalog.term import Constant, Variable
+from ..errors import NotCSLError
+
+Pair = Tuple[object, object]
+
+
+@dataclass(frozen=True)
+class CSLQuery:
+    """A canonical strongly linear query instance.
+
+    ``left``/``exit``/``right`` are the paper's ``L``/``E``/``R``
+    relations; ``source`` is the bound constant ``a`` of the goal.
+    """
+
+    left: FrozenSet[Pair]
+    exit: FrozenSet[Pair]
+    right: FrozenSet[Pair]
+    source: object
+
+    def __init__(self, left: Iterable[Pair], exit: Iterable[Pair],
+                 right: Iterable[Pair], source):
+        object.__setattr__(self, "left", frozenset(tuple(p) for p in left))
+        object.__setattr__(self, "exit", frozenset(tuple(p) for p in exit))
+        object.__setattr__(self, "right", frozenset(tuple(p) for p in right))
+        object.__setattr__(self, "source", source)
+
+    # --- constructors --------------------------------------------------
+
+    @classmethod
+    def same_generation(
+        cls,
+        parent: Iterable[Pair],
+        source,
+        persons: Optional[Iterable] = None,
+    ) -> "CSLQuery":
+        """The same-generation query of the introduction.
+
+        ``parent`` holds (child, parent) pairs; ``L = R = parent`` and the
+        exit relation is the identity over ``persons`` (defaults to every
+        value occurring in ``parent`` plus the source) — "every person is
+        of the same generation as himself".
+        """
+        parent = frozenset(tuple(p) for p in parent)
+        if persons is None:
+            person_set = {value for pair in parent for value in pair}
+            person_set.add(source)
+        else:
+            person_set = set(persons)
+            person_set.add(source)
+        identity = {(p, p) for p in person_set}
+        return cls(parent, identity, parent, source)
+
+    @classmethod
+    def from_program(cls, program: Program, goal: Atom = None,
+                     analysis: Optional[LinearRecursion] = None,
+                     database: Optional[Database] = None) -> "CSLQuery":
+        """Extract a CSLQuery from a CSL-shaped Datalog program.
+
+        ``database`` supplies the EDB facts.  Derived predicates used in
+        the ``L``/``E``/``R`` conjunctions are materialized first by
+        semi-naive evaluation of the non-recursive part of the program.
+        Raises :class:`NotCSLError` when the program is outside the class.
+        """
+        if database is None:
+            raise NotCSLError("a database of EDB facts is required")
+        if analysis is None:
+            analysis = analyze_linear(program, goal)
+        goal = analysis.goal
+
+        # Materialize derived predicates (everything except the recursive
+        # predicate itself) into a scratch copy of the database.
+        scratch = database.copy(CostCounter())
+        support = Program(
+            [r for r in program.rules if r.head.predicate != analysis.predicate]
+        )
+        if support.rules:
+            seminaive_evaluate(support, scratch)
+
+        def conjunction_pairs(elements, from_terms, to_terms) -> Set[Pair]:
+            """Evaluate a conjunction and project (from-part, to-part)."""
+            from ..datalog.evaluation import _FactSource, _evaluate_body
+
+            source_view = _FactSource(scratch, {})
+            pairs: Set[Pair] = set()
+            for theta in _evaluate_body(list(elements), {}, source_view):
+                def value_of(term):
+                    if term.is_constant:
+                        return term.value
+                    bound = theta.get(term)
+                    if bound is None:
+                        raise NotCSLError(
+                            f"unbound term {term} while materializing conjunct"
+                        )
+                    return bound.value
+
+                from_values = tuple(value_of(t) for t in from_terms)
+                to_values = tuple(value_of(t) for t in to_terms)
+                pairs.add(
+                    (
+                        from_values[0] if len(from_values) == 1 else from_values,
+                        to_values[0] if len(to_values) == 1 else to_values,
+                    )
+                )
+            return pairs
+
+        left_pairs = conjunction_pairs(
+            analysis.left_elements,
+            analysis.head_bound_terms,
+            analysis.rec_bound_terms,
+        )
+        right_pairs = conjunction_pairs(
+            analysis.right_elements,
+            analysis.head_free_terms,
+            analysis.rec_free_terms,
+        )
+        exit_pairs: Set[Pair] = set()
+        for exit_rule in analysis.exit_rules:
+            exit_bound = tuple(exit_rule.head.terms[i] for i in analysis.bound)
+            exit_free = tuple(exit_rule.head.terms[i] for i in analysis.free)
+            exit_pairs |= conjunction_pairs(exit_rule.body, exit_bound, exit_free)
+
+        goal_constants = tuple(goal.terms[i].value for i in analysis.bound)
+        source = goal_constants[0] if len(goal_constants) == 1 else goal_constants
+        return cls(left_pairs, exit_pairs, right_pairs, source)
+
+    # --- bridges back to Datalog ---------------------------------------
+
+    def to_program(self) -> Program:
+        """The canonical Datalog program for this query instance.
+
+        Uses predicate names ``l``, ``e``, ``r``, ``p`` and the goal
+        ``?- p(a, Y)``.  Facts are *not* included; see :meth:`database`.
+        """
+        x, y, x1, y1 = (Variable(n) for n in ("X", "Y", "X1", "Y1"))
+        program = Program()
+        program.add_rule(Rule(Atom("p", (x, y)), (Literal(Atom("e", (x, y))),)))
+        program.add_rule(
+            Rule(
+                Atom("p", (x, y)),
+                (
+                    Literal(Atom("l", (x, x1))),
+                    Literal(Atom("p", (x1, y1))),
+                    Literal(Atom("r", (y, y1))),
+                ),
+            )
+        )
+        program.query = Atom("p", (Constant(self.source), y))
+        return program
+
+    def database(self, counter: Optional[CostCounter] = None) -> Database:
+        """A database holding the EDB relations ``l``, ``e``, ``r``."""
+        database = Database(counter)
+        database.create("l", 2).add_all(self.left)
+        database.create("e", 2).add_all(self.exit)
+        database.create("r", 2).add_all(self.right)
+        return database
+
+    def instance(self, counter: Optional[CostCounter] = None) -> "CSLInstance":
+        """A cost-instrumented relation triple for the direct engines."""
+        counter = counter if counter is not None else CostCounter()
+        return CSLInstance(
+            left=Relation("l", 2, self.left, counter),
+            exit=Relation("e", 2, self.exit, counter),
+            right=Relation("r", 2, self.right, counter),
+            source=self.source,
+            counter=counter,
+        )
+
+    # --- uncharged structural views (for analysis) ----------------------
+
+    def left_successors(self) -> Dict[object, Set[object]]:
+        """Adjacency of the L relation: b -> {c : (b, c) in L}."""
+        adjacency: Dict[object, Set[object]] = {}
+        for b, c in self.left:
+            adjacency.setdefault(b, set()).add(c)
+        return adjacency
+
+    def magic_set(self) -> Set[object]:
+        """The magic set MS: values L-reachable from the source
+        (including the source itself)."""
+        adjacency = self.left_successors()
+        seen = {self.source}
+        stack = [self.source]
+        while stack:
+            node = stack.pop()
+            for successor in adjacency.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return seen
+
+    def __repr__(self):
+        return (
+            f"CSLQuery(source={self.source!r}, |L|={len(self.left)}, "
+            f"|E|={len(self.exit)}, |R|={len(self.right)})"
+        )
+
+
+@dataclass
+class CSLInstance:
+    """Cost-instrumented relations for one evaluation run.
+
+    All engines read ``left``/``exit``/``right`` exclusively through
+    :meth:`Relation.lookup`, so ``counter`` accumulates the total
+    tuple-retrieval cost — the paper's cost unit.
+    """
+
+    left: Relation
+    exit: Relation
+    right: Relation
+    source: object
+    counter: CostCounter = field(default_factory=CostCounter)

@@ -1,0 +1,100 @@
+"""The eight magic counting methods: Strategy × Mode dispatch.
+
+``magic_counting(query, strategy, mode)`` runs Step 1 (the chosen
+reduced-set computation) followed by Step 2 (independent or integrated
+modified rules) over one cost counter, and returns an
+:class:`AnswerResult` whose ``details`` expose the reduced sets and the
+per-step diagnostics.  All eight methods are safe on every input
+(Proposition 3 — every Step-1 fixpoint terminates by construction).
+"""
+
+from __future__ import annotations
+
+
+from .cost import AnswerResult
+from .csl import CSLQuery
+from .reduced_sets import Mode, Strategy
+from .step1 import compute_reduced_sets
+from .step2 import independent_step2, integrated_step2
+
+
+def method_name(strategy: Strategy, mode: Mode, scc_step1: bool = False) -> str:
+    suffix = "_scc" if scc_step1 else ""
+    return f"mc_{strategy.value}_{mode.value}{suffix}"
+
+
+def magic_counting(
+    query: CSLQuery,
+    strategy: Strategy = Strategy.MULTIPLE,
+    mode: Mode = Mode.INTEGRATED,
+    counter=None,
+    scc_step1: bool = False,
+    verify_conditions: bool = False,
+) -> AnswerResult:
+    """Evaluate ``query`` with the selected magic counting method.
+
+    Parameters
+    ----------
+    strategy:
+        How Step 1 splits the magic set (BASIC, SINGLE, MULTIPLE,
+        RECURRING) — Sections 6-9.
+    mode:
+        INDEPENDENT or INTEGRATED cooperation — Sections 4-5.
+    scc_step1:
+        Use the linear-time SCC implementation of the recurring Step 1
+        (only meaningful with ``Strategy.RECURRING``).
+    verify_conditions:
+        Debug mode: after Step 1, check the Theorem 1 / Theorem 2
+        correctness conditions against a ground-truth classification and
+        raise :class:`~repro.errors.MethodConditionError` on violation.
+        Costs an extra pass over the graph; off by default.
+    """
+    instance = query.instance(counter)
+    reduced = compute_reduced_sets(instance, strategy, scc_variant=scc_step1)
+    step1_retrievals = instance.counter.retrievals
+    if mode is Mode.INTEGRATED:
+        reduced.ensure_source_pair(instance.source)
+    if verify_conditions:
+        from .classification import classify_nodes
+        from .reduced_sets import check_theorem1, check_theorem2
+
+        classification = classify_nodes(query)
+        if mode is Mode.INTEGRATED:
+            check_theorem2(reduced, classification, instance.source)
+        else:
+            check_theorem1(reduced, classification, instance.source)
+    if mode is Mode.INTEGRATED:
+        answers, step2_details = integrated_step2(instance, reduced)
+    else:
+        answers, step2_details = independent_step2(instance, reduced)
+    details = {
+        "strategy": strategy.value,
+        "mode": mode.value,
+        "rc_size": len(reduced.rc),
+        "rm_size": len(reduced.rm),
+        "ms_size": len(reduced.ms),
+        "reduced_sets": reduced,
+        "step1_retrievals": step1_retrievals,
+        "step2_retrievals": instance.counter.retrievals - step1_retrievals,
+    }
+    details.update(step2_details)
+    return AnswerResult(
+        answers=frozenset(answers),
+        method=method_name(strategy, mode, scc_step1),
+        cost=instance.counter,
+        details=details,
+    )
+
+
+def all_method_coordinates():
+    """The eight (strategy, mode) pairs, in the paper's order."""
+    return [
+        (strategy, mode)
+        for strategy in (
+            Strategy.BASIC,
+            Strategy.SINGLE,
+            Strategy.MULTIPLE,
+            Strategy.RECURRING,
+        )
+        for mode in (Mode.INDEPENDENT, Mode.INTEGRATED)
+    ]

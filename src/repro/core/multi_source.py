@@ -1,0 +1,95 @@
+"""Answering one CSL query for many source constants.
+
+The paper's methods answer ``?- P(a, Y)`` for a single ``a``.  A server
+answering the same query shape for many bindings (every user, every
+session) faces an amortisation trade-off the single-shot analysis
+hides:
+
+* the **magic set method amortises**: the union magic set is computed
+  once and the ``P_M`` fixpoint is shared — a value reachable from
+  several sources is expanded once, and each source reads its answers
+  from ``P_M(source, ·)``;
+* the **counting method cannot share**: indices are distances *from a
+  particular source*, so each source runs its own counting pass
+  (distance sets differ per source);
+* the magic counting hybrids inherit counting's per-source Step 1/2.
+
+:func:`multi_source_magic` and :func:`multi_source_counting` implement
+the two extremes over one shared cost counter, and the benchmark
+``benchmarks/test_multi_source.py`` locates the crossover: few sources
+favour counting (per-source wins), many overlapping sources favour the
+shared magic fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List
+
+from ..datalog.relation import CostCounter
+from ..errors import UnsafeQueryError
+from .counting_method import counting_method
+from .csl import CSLQuery
+from .magic_method import magic_fixpoint
+
+
+def multi_source_magic(
+    query: CSLQuery, sources: Iterable, counter: CostCounter = None
+) -> Dict[object, FrozenSet]:
+    """One shared magic/``P_M`` fixpoint for every source.
+
+    Returns ``{source: answers}``.  Total cost is charged to ``counter``
+    (or a fresh one; read it back via ``result_counter`` attribute — the
+    function attaches it to the returned dict as ``dict.counter`` would
+    be un-Pythonic, so instead pass your own counter in).
+    """
+    sources = list(sources)
+    counter = counter if counter is not None else CostCounter()
+    instance = query.instance(counter)
+
+    # Union magic set: seed the reachability sweep from every source.
+    magic = set(sources)
+    frontier = list(sources)
+    while frontier:
+        value = frontier.pop()
+        for _b, successor in instance.left.lookup((value, None)):
+            if successor not in magic:
+                magic.add(successor)
+                frontier.append(successor)
+
+    pm = magic_fixpoint(instance, magic)
+    return {
+        source: frozenset(pm.get(source, set())) for source in sources
+    }
+
+
+def multi_source_counting(
+    query: CSLQuery,
+    sources: Iterable,
+    counter: CostCounter = None,
+    detect_divergence: bool = True,
+) -> Dict[object, FrozenSet]:
+    """Independent counting runs, one per source, on a shared counter.
+
+    Raises :class:`UnsafeQueryError` as soon as any source's magic graph
+    is cyclic (same safety profile as the single-source method).
+    """
+    counter = counter if counter is not None else CostCounter()
+    answers: Dict[object, FrozenSet] = {}
+    for source in sources:
+        per_source = CSLQuery(query.left, query.exit, query.right, source)
+        result = counting_method(
+            per_source, counter=counter, detect_divergence=detect_divergence
+        )
+        answers[source] = result.answers
+    return answers
+
+
+def shared_ancestor_sources(query: CSLQuery, count: int) -> List:
+    """A helper for experiments: ``count`` L-side values whose
+    reachable regions overlap heavily (all values sorted by out-degree,
+    highest first — hubs share the most downstream work)."""
+    degree: Dict[object, int] = {}
+    for b, _c in query.left:
+        degree[b] = degree.get(b, 0) + 1
+    ranked = sorted(degree, key=lambda v: (-degree[v], repr(v)))
+    return ranked[:count]

@@ -1,0 +1,148 @@
+"""Query graphs (Section 3 of the paper).
+
+Given a CSL query instance, the query graph ``G_Q`` is the subgraph — of
+the graph ``G`` built from the ``L``, ``E`` and ``R`` relations — induced
+by the nodes reachable from the source constant ``a``:
+
+* **L-nodes** and **R-nodes** are distinct even when they carry the same
+  value (the paper labels them; we keep two separate node sets);
+* ``G_L`` (the *magic graph*): one arc ``(b, c)`` per pair ``(b, c) ∈ L``
+  between reachable L-nodes — its node set is exactly the magic set;
+* ``G_E``: one arc from L-node ``b`` to R-node ``c`` per usable pair
+  ``(b, c) ∈ E``;
+* ``G_R``: one **reversed** arc ``(c, b)`` per pair ``(b, c) ∈ R``.
+
+This module builds the graph *unchar­ged* (it is an analysis artefact,
+not a database computation) directly from the raw pair sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from .csl import CSLQuery, Pair
+
+
+@dataclass
+class QueryGraph:
+    """The query graph ``G_Q = G_L ∪ G_E ∪ G_R`` of a CSL instance."""
+
+    source: object
+    l_nodes: Set[object] = field(default_factory=set)
+    r_nodes: Set[object] = field(default_factory=set)
+    l_arcs: Set[Pair] = field(default_factory=set)
+    e_arcs: Set[Pair] = field(default_factory=set)
+    r_arcs: Set[Pair] = field(default_factory=set)
+
+    # --- derived counts (the paper's n / m quantities) -------------------
+
+    @property
+    def n_l(self) -> int:
+        return len(self.l_nodes)
+
+    @property
+    def n_r(self) -> int:
+        return len(self.r_nodes)
+
+    @property
+    def n(self) -> int:
+        return self.n_l + self.n_r
+
+    @property
+    def m_l(self) -> int:
+        return len(self.l_arcs)
+
+    @property
+    def m_e(self) -> int:
+        return len(self.e_arcs)
+
+    @property
+    def m_r(self) -> int:
+        return len(self.r_arcs)
+
+    @property
+    def m(self) -> int:
+        return self.m_l + self.m_e + self.m_r
+
+    @property
+    def magic_set(self) -> Set[object]:
+        """``MS = N_L`` (Proposition 1)."""
+        return self.l_nodes
+
+    def l_successors(self) -> Dict[object, Set[object]]:
+        adjacency: Dict[object, Set[object]] = {b: set() for b in self.l_nodes}
+        for b, c in self.l_arcs:
+            adjacency[b].add(c)
+        return adjacency
+
+    def l_predecessors(self) -> Dict[object, Set[object]]:
+        adjacency: Dict[object, Set[object]] = {b: set() for b in self.l_nodes}
+        for b, c in self.l_arcs:
+            adjacency[c].add(b)
+        return adjacency
+
+    def r_successors(self) -> Dict[object, Set[object]]:
+        """Adjacency of G_R in graph orientation (arc (c, b) per (b, c) ∈ R)."""
+        adjacency: Dict[object, Set[object]] = {c: set() for c in self.r_nodes}
+        for from_node, to_node in self.r_arcs:
+            adjacency[from_node].add(to_node)
+        return adjacency
+
+    def __repr__(self):
+        return (
+            f"QueryGraph(source={self.source!r}, n_L={self.n_l}, m_L={self.m_l}, "
+            f"n_R={self.n_r}, m_R={self.m_r}, m_E={self.m_e})"
+        )
+
+
+def build_query_graph(query: CSLQuery) -> QueryGraph:
+    """Construct ``G_Q`` by reachability from the source.
+
+    Following the note in DESIGN.md, an ``E`` pair ``(b, c)`` whose target
+    ``c`` never occurs in ``R`` still contributes an R-node (with no
+    outgoing ``G_R`` arcs) so the graph semantics exactly matches the
+    Datalog semantics.
+    """
+    graph = QueryGraph(source=query.source)
+
+    # --- L side: BFS/DFS over L from the source --------------------------
+    l_adjacency: Dict[object, Set[object]] = {}
+    for b, c in query.left:
+        l_adjacency.setdefault(b, set()).add(c)
+    graph.l_nodes.add(query.source)
+    stack = [query.source]
+    while stack:
+        node = stack.pop()
+        for successor in l_adjacency.get(node, ()):
+            graph.l_arcs.add((node, successor))
+            if successor not in graph.l_nodes:
+                graph.l_nodes.add(successor)
+                stack.append(successor)
+
+    # --- E arcs from reachable L-nodes -----------------------------------
+    e_by_source: Dict[object, Set[object]] = {}
+    for b, c in query.exit:
+        e_by_source.setdefault(b, set()).add(c)
+    e_targets: Set[object] = set()
+    for b in graph.l_nodes:
+        for c in e_by_source.get(b, ()):
+            graph.e_arcs.add((b, c))
+            e_targets.add(c)
+
+    # --- R side: graph arcs are reversed R pairs; BFS from E targets ------
+    r_adjacency: Dict[object, Set[object]] = {}
+    for b, c in query.right:
+        # pair (b, c) in R gives arc (c, b)
+        r_adjacency.setdefault(c, set()).add(b)
+    graph.r_nodes.update(e_targets)
+    stack = list(e_targets)
+    while stack:
+        node = stack.pop()
+        for successor in r_adjacency.get(node, ()):
+            graph.r_arcs.add((node, successor))
+            if successor not in graph.r_nodes:
+                graph.r_nodes.add(successor)
+                stack.append(successor)
+
+    return graph

@@ -1,0 +1,126 @@
+"""Reduced magic and counting sets, and the correctness conditions.
+
+A magic counting method splits the magic set ``MS`` into a *reduced
+counting set* ``RC`` (pairs ``(index, value)``) and a *reduced magic
+set* ``RM`` (values).  Theorem 1 (independent methods) requires:
+
+  (a) ``RM ∪ RC₋ᵢ = MS``, and
+  (b) for each ``b ∈ RC₋ᵢ − RM``: ``RI_b = I_b`` (the reduced set
+      carries *all* of ``b``'s indices).
+
+Theorem 2 (integrated methods) additionally requires
+
+  (c) ``(0, a) ∈ RC``.
+
+:func:`check_theorem1` / :func:`check_theorem2` verify these against the
+ground-truth classification; the property-based test suite runs them on
+every strategy over random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Set, Tuple
+
+from ..errors import MethodConditionError
+from .classification import Classification
+
+
+class Strategy(Enum):
+    """The first coordinate of a magic counting method (Sections 6-9)."""
+
+    BASIC = "basic"
+    SINGLE = "single"
+    MULTIPLE = "multiple"
+    RECURRING = "recurring"
+
+
+class Mode(Enum):
+    """The second coordinate: how the two parts cooperate (Sections 4-5)."""
+
+    INDEPENDENT = "independent"
+    INTEGRATED = "integrated"
+
+
+@dataclass
+class ReducedSets:
+    """The output of a Step-1 computation.
+
+    ``rc`` holds ``(index, value)`` pairs, ``rm`` and ``ms`` plain
+    values.  ``ms`` is the full magic set — the independent methods'
+    recursive magic rule (rule 4 of Section 4) still ranges over all of
+    ``MS``, so Step 2 needs it alongside ``RM``.
+    """
+
+    rc: Set[Tuple[int, object]] = field(default_factory=set)
+    rm: Set[object] = field(default_factory=set)
+    ms: Set[object] = field(default_factory=set)
+    strategy: Optional[Strategy] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def rc_values(self) -> Set[object]:
+        """``RC₋ᵢ``: the values of RC with indices projected out."""
+        return {value for _index, value in self.rc}
+
+    def rc_indices(self, value) -> Set[int]:
+        """``RI_b``: the indices associated with ``value`` in RC."""
+        return {index for index, v in self.rc if v == value}
+
+    def ensure_source_pair(self, source) -> "ReducedSets":
+        """Guarantee condition (c) of Theorem 2: ``(0, a) ∈ RC``.
+
+        The paper adds ``(0, a)`` whenever RC comes out empty; by the
+        structure of the strategies this is the only case where the pair
+        can be missing (the source is single unless the whole graph is
+        recurring), but adding it unconditionally is harmless and keeps
+        the integrated methods correct by construction.
+        """
+        self.rc.add((0, source))
+        return self
+
+    def __repr__(self):
+        name = self.strategy.value if self.strategy else "?"
+        return (
+            f"ReducedSets({name}, |RC|={len(self.rc)}, |RM|={len(self.rm)}, "
+            f"|MS|={len(self.ms)})"
+        )
+
+
+def check_theorem1(
+    reduced: ReducedSets, classification: Classification, source
+) -> None:
+    """Raise :class:`MethodConditionError` unless Theorem 1 holds."""
+    ms = reduced.ms
+    rc_values = reduced.rc_values()
+    if reduced.rm | rc_values != ms:
+        missing = ms - (reduced.rm | rc_values)
+        extra = (reduced.rm | rc_values) - ms
+        raise MethodConditionError(
+            f"condition (a) violated: RM ∪ RC₋ᵢ ≠ MS "
+            f"(missing={sorted(map(repr, missing))}, extra={sorted(map(repr, extra))})"
+        )
+    for value in rc_values - reduced.rm:
+        true_indices = classification.indices(value)
+        if true_indices is None:
+            raise MethodConditionError(
+                f"condition (b) violated: recurring node {value!r} is in "
+                "RC₋ᵢ − RM but has infinitely many indices"
+            )
+        if reduced.rc_indices(value) != set(true_indices):
+            raise MethodConditionError(
+                f"condition (b) violated for {value!r}: "
+                f"RI={sorted(reduced.rc_indices(value))} "
+                f"but I={sorted(true_indices)}"
+            )
+
+
+def check_theorem2(
+    reduced: ReducedSets, classification: Classification, source
+) -> None:
+    """Raise :class:`MethodConditionError` unless Theorem 2 holds."""
+    check_theorem1(reduced, classification, source)
+    if (0, source) not in reduced.rc:
+        raise MethodConditionError(
+            "condition (c) violated: (0, a) is not in RC"
+        )

@@ -1,0 +1,269 @@
+"""Step 1 of the magic counting methods: computing RC and RM.
+
+Four strategies (Sections 6-9), each trading detection effort for a
+finer split of the magic set:
+
+* **basic** — detect whether the magic graph is regular; all-or-nothing.
+* **single** — find the frontier index ``i_x`` below which every node is
+  single; count below it, magic above it.
+* **multiple** — classify every node; count the single ones, magic the
+  rest.  (First and second occurrences both generate, so multiplicity
+  propagates; a node never acquires a third tuple, which bounds the
+  fixpoint even on cyclic graphs.)
+* **recurring** — count single *and* multiple nodes (with all their
+  indices), magic only the truly recurring ones.  The paper's naive
+  Step 1 runs the unbounded counting fixpoint up to level ``2K - 1``
+  (any longer walk must contain a cycle); the "smarter" variant it
+  sketches detects recurring nodes in linear time with Tarjan's SCC
+  algorithm and propagates index sets only through the non-recurring
+  DAG — :func:`recurring_step1_scc`.
+
+Every function reads the ``L`` relation through the charged lookup
+interface, so Step-1 costs land in the same counter as Step 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..datalog.stratify import strongly_connected_components
+from .csl import CSLInstance
+from .reduced_sets import ReducedSets, Strategy
+
+
+def _basic_fixpoint(instance: CSLInstance):
+    """The Section-6 fixpoint: only first occurrences generate.
+
+    Returns ``(first, duplicated)`` where ``first`` maps each magic value
+    to its first (shortest) index and ``duplicated`` is the set of values
+    re-derived at a later level (proof of non-regularity).
+    """
+    first: Dict[object, int] = {instance.source: 0}
+    duplicated: Set[object] = set()
+    frontier = [instance.source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: List[object] = []
+        for value in frontier:
+            for _b, successor in instance.left.lookup((value, None)):
+                if successor in first:
+                    if first[successor] != level:
+                        duplicated.add(successor)
+                else:
+                    first[successor] = level
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return first, duplicated
+
+
+def basic_step1(instance: CSLInstance) -> ReducedSets:
+    """Basic method: counting everywhere, or magic everywhere."""
+    first, duplicated = _basic_fixpoint(instance)
+    ms = set(first)
+    if not duplicated:
+        rc = {(index, value) for value, index in first.items()}
+        return ReducedSets(
+            rc=rc, rm=set(), ms=ms, strategy=Strategy.BASIC,
+            details={"regular": True},
+        )
+    return ReducedSets(
+        rc=set(), rm=set(ms), ms=ms, strategy=Strategy.BASIC,
+        details={"regular": False},
+    )
+
+
+def single_step1(instance: CSLInstance) -> ReducedSets:
+    """Single method: split at the frontier index ``i_x``.
+
+    ``i_x`` is the smallest first-index of a node the fixpoint re-derived
+    at a later level.  Every node strictly below ``i_x`` is single (the
+    minimal non-single node is always detected — see the proof sketch in
+    tests/test_step1.py), so its unique index is its first index.
+    """
+    first, duplicated = _basic_fixpoint(instance)
+    ms = set(first)
+    if not duplicated:
+        rc = {(index, value) for value, index in first.items()}
+        return ReducedSets(
+            rc=rc, rm=set(), ms=ms, strategy=Strategy.SINGLE,
+            details={"regular": True, "i_x": max(first.values(), default=0) + 1},
+        )
+    boundary = min(first[value] for value in duplicated)
+    rc = {(index, value) for value, index in first.items() if index < boundary}
+    rm = {value for value, index in first.items() if index >= boundary}
+    return ReducedSets(
+        rc=rc, rm=rm, ms=ms, strategy=Strategy.SINGLE,
+        details={"regular": False, "i_x": boundary},
+    )
+
+
+def multiple_step1(instance: CSLInstance) -> ReducedSets:
+    """Multiple method: per-node single/non-single classification.
+
+    The Section-8 fixpoint lets first *and* second occurrences generate
+    but never creates a third tuple for a node (the ``not(MS(_, 2, X1))``
+    guard), so it terminates on every graph in O(m_L) retrievals while
+    propagating multiplicity downstream.
+    """
+    first: Dict[object, int] = {instance.source: 0}
+    second: Dict[object, int] = {}
+    frontier: Set[object] = {instance.source}
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: Set[object] = set()
+        for value in frontier:
+            for _b, successor in instance.left.lookup((value, None)):
+                if successor in second:
+                    continue  # the not(MS(_, 2, X1)) guard
+                if successor in first:
+                    if first[successor] == level:
+                        continue  # same-level re-derivation: one tuple
+                    second[successor] = level
+                    next_frontier.add(successor)
+                else:
+                    first[successor] = level
+                    next_frontier.add(successor)
+        frontier = next_frontier
+    ms = set(first)
+    rm = set(second)
+    rc = {(index, value) for value, index in first.items() if value not in rm}
+    return ReducedSets(
+        rc=rc, rm=rm, ms=ms, strategy=Strategy.MULTIPLE,
+        details={"regular": not rm, "single_nodes": len(ms) - len(rm)},
+    )
+
+
+def recurring_step1(instance: CSLInstance) -> ReducedSets:
+    """Recurring method, naive Step 1 (Section 9).
+
+    Runs the unbounded counting fixpoint while ``I < 2K - 1`` (``K`` =
+    values seen so far): a walk of length ``≥ K`` must traverse a cycle,
+    and every recurring node is guaranteed to collect such a witness
+    index before level ``2K - 1``.  Θ(n_L × m_L) retrievals.
+    """
+    indices: Dict[object, Set[int]] = {instance.source: {0}}
+    frontier: Set[object] = {instance.source}
+    level = 0
+    while frontier and level < 2 * len(indices) - 1:
+        next_frontier: Set[object] = set()
+        for value in frontier:
+            for _b, successor in instance.left.lookup((value, None)):
+                bucket = indices.setdefault(successor, set())
+                if level + 1 not in bucket:
+                    bucket.add(level + 1)
+                    next_frontier.add(successor)
+        level += 1
+        frontier = next_frontier
+    cardinality = len(indices)
+    rm = {value for value, bucket in indices.items() if max(bucket) >= cardinality}
+    rc = {
+        (index, value)
+        for value, bucket in indices.items()
+        if value not in rm
+        for index in bucket
+    }
+    return ReducedSets(
+        rc=rc, rm=rm, ms=set(indices), strategy=Strategy.RECURRING,
+        details={"regular": not rm and all(len(b) == 1 for b in indices.values()),
+                 "variant": "fixpoint", "levels": level},
+    )
+
+
+def recurring_step1_scc(instance: CSLInstance) -> ReducedSets:
+    """Recurring method, "smarter" Step 1 (the O(m_L + n_m × m_m)
+    implementation the paper sketches via [Tar]).
+
+    1. one charged traversal loads the reachable ``L`` adjacency (m_L);
+    2. Tarjan SCC finds the cyclic cores; their forward closure is the
+       recurring set (linear, in memory);
+    3. exact index sets for the non-recurring nodes are propagated
+       through the residual DAG, re-probing ``L`` once per (node, index)
+       pair — Θ(Σ|I_b| · outdeg) = O(n_m × m_m) retrievals.
+    """
+    adjacency: Dict[object, List[object]] = {}
+    order: List[object] = []
+    stack = [instance.source]
+    seen = {instance.source}
+    while stack:
+        value = stack.pop()
+        order.append(value)
+        successors = [s for _b, s in instance.left.lookup((value, None))]
+        adjacency[value] = successors
+        for successor in successors:
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+
+    successor_sets = {value: set(successors) for value, successors in adjacency.items()}
+    components = strongly_connected_components(
+        sorted(seen, key=repr), successor_sets
+    )
+    cores: Set[object] = set()
+    for component in components:
+        if len(component) > 1:
+            cores.update(component)
+        elif component[0] in successor_sets[component[0]]:
+            cores.add(component[0])
+    recurring = set(cores)
+    stack = list(cores)
+    while stack:
+        value = stack.pop()
+        for successor in successor_sets[value]:
+            if successor not in recurring:
+                recurring.add(successor)
+                stack.append(successor)
+
+    # Index-set propagation over the non-recurring DAG.  Tarjan's output
+    # order is reverse-topological w.r.t. the successor direction, so
+    # iterate it backwards to visit sources first.
+    finite_nodes = seen - recurring
+    indices: Dict[object, Set[int]] = {value: set() for value in finite_nodes}
+    if instance.source in indices:
+        indices[instance.source].add(0)
+    for component in reversed(components):
+        value = component[0]
+        if value not in finite_nodes:
+            continue
+        for index in sorted(indices[value]):
+            # One charged probe per (node, index) pair: the smarter
+            # implementation still pays n_m × m_m for multiple nodes.
+            for _b, successor in instance.left.lookup((value, None)):
+                if successor in indices:
+                    indices[successor].add(index + 1)
+
+    rm = set(recurring)
+    rc = {
+        (index, value)
+        for value, bucket in indices.items()
+        for index in bucket
+    }
+    return ReducedSets(
+        rc=rc, rm=rm, ms=set(seen), strategy=Strategy.RECURRING,
+        details={"regular": not rm and all(len(b) == 1 for b in indices.values()),
+                 "variant": "scc"},
+    )
+
+
+_STEP1_DISPATCH = {
+    Strategy.BASIC: basic_step1,
+    Strategy.SINGLE: single_step1,
+    Strategy.MULTIPLE: multiple_step1,
+    Strategy.RECURRING: recurring_step1,
+}
+
+
+def compute_reduced_sets(
+    instance: CSLInstance,
+    strategy: Strategy,
+    scc_variant: bool = False,
+) -> ReducedSets:
+    """Dispatch to the requested Step-1 strategy.
+
+    ``scc_variant`` selects the smarter recurring implementation (only
+    meaningful for :attr:`Strategy.RECURRING`).
+    """
+    if strategy is Strategy.RECURRING and scc_variant:
+        return recurring_step1_scc(instance)
+    return _STEP1_DISPATCH[strategy](instance)

@@ -1,0 +1,93 @@
+"""A bottom-up Datalog engine: the deductive-database substrate.
+
+This subpackage provides everything the paper assumes from an LDL/NAIL!
+style system: a textual Datalog language, safety checking, stratified
+negation, arithmetic builtins, naive and semi-naive fixpoint evaluation
+over cost-instrumented relations, and the two classical rewritings the
+magic counting methods combine — generalized magic sets and counting.
+"""
+
+from .aggregates import aggregate, top_k
+from .atom import Atom, BuiltinAtom, Literal, atom, fact, var
+from .adornment import adorn_program, adornment_from_goal
+from .builtins import arithmetic, comparison
+from .counting_rewrite import counting_rewrite
+from .database import Database
+from .evaluation import (
+    DEFAULT_MAX_ITERATIONS,
+    answer_tuples,
+    naive_evaluate,
+    seminaive_evaluate,
+)
+from .incremental import insert_and_maintain
+from .linear import LinearRecursion, analyze_linear
+from .lint import Diagnostic, lint_program
+from .magic_rewrite import magic_rewrite
+from .parser import parse_atom, parse_program, parse_rule
+from .planner import optimize_program, optimize_rule
+from .program import Program
+from .provenance import ProofNode, Provenance, evaluate_with_provenance
+from .qsq import QSQEvaluator, qsq_answer_tuples
+from .relation import CostCounter, Relation
+from .rule import Rule, rule
+from .stratify import stratify, strongly_connected_components
+from .supplementary import supplementary_magic_rewrite
+from .transform import (
+    eliminate_dead_rules,
+    rename_predicate,
+    unfold_all_views,
+    unfold_predicate,
+)
+from .term import Constant, Variable, make_term
+
+__all__ = [
+    "Atom",
+    "BuiltinAtom",
+    "Constant",
+    "CostCounter",
+    "Database",
+    "DEFAULT_MAX_ITERATIONS",
+    "Diagnostic",
+    "LinearRecursion",
+    "Literal",
+    "ProofNode",
+    "Program",
+    "Provenance",
+    "QSQEvaluator",
+    "Relation",
+    "Rule",
+    "Variable",
+    "adorn_program",
+    "adornment_from_goal",
+    "aggregate",
+    "analyze_linear",
+    "answer_tuples",
+    "arithmetic",
+    "atom",
+    "comparison",
+    "counting_rewrite",
+    "eliminate_dead_rules",
+    "evaluate_with_provenance",
+    "fact",
+    "insert_and_maintain",
+    "lint_program",
+    "magic_rewrite",
+    "make_term",
+    "naive_evaluate",
+    "optimize_program",
+    "optimize_rule",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "qsq_answer_tuples",
+    "rename_predicate",
+    "rule",
+    "seminaive_evaluate",
+    "stratify",
+    "strongly_connected_components",
+    "supplementary_magic_rewrite",
+    "top_k",
+    "unfold_all_views",
+    "unfold_predicate",
+    "var",
+]

@@ -1,0 +1,106 @@
+"""Stratified grouping/aggregation over relations.
+
+The paper's host language LDL ([TZ]) offered grouping constructs on top
+of pure Horn logic; this module provides the same capability as a
+library operation rather than new syntax: aggregate a fully-evaluated
+relation into a new one, then keep evaluating rules that read it.
+Because the input relation must be *complete* before aggregating, this
+is exactly stratified aggregation — the caller sequences strata, the
+same discipline stratified negation imposes.
+
+Example — out-degree of every node, then the hubs::
+
+    seminaive_evaluate(program, db)
+    aggregate(db, "edge", group_by=(0,), op="count", into="outdeg")
+    hubs = parse_program("hub(X) :- outdeg(X, N), N >= 3. ?- hub(X).")
+    answer_tuples(hubs, db)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+from .database import Database
+
+_OPS = ("count", "sum", "min", "max", "avg")
+
+
+def aggregate(
+    database: Database,
+    relation: str,
+    group_by: Sequence[int],
+    op: str,
+    into: str,
+    value_column: Optional[int] = None,
+) -> int:
+    """Group ``relation`` and write one row per group into ``into``.
+
+    ``group_by`` lists the key column indexes (may be empty: one global
+    group).  ``op`` is one of count/sum/min/max/avg; all but ``count``
+    need ``value_column``.  The output row layout is ``(*keys, value)``.
+    Returns the number of groups written.
+    """
+    if op not in _OPS:
+        raise EvaluationError(f"unknown aggregate {op!r}; choose from {_OPS}")
+    if op != "count" and value_column is None:
+        raise EvaluationError(f"aggregate {op!r} needs a value_column")
+    if not database.has_relation(relation):
+        raise EvaluationError(f"unknown relation {relation!r}")
+    source = database.relation(relation)
+    arity = source.arity
+    for column in list(group_by) + ([value_column] if value_column is not None else []):
+        if not 0 <= column < arity:
+            raise EvaluationError(
+                f"column {column} out of range for {relation}/{arity}"
+            )
+
+    groups: Dict[Tuple, list] = {}
+    for tup in source.lookup(tuple(None for _ in range(arity))):
+        key = tuple(tup[i] for i in group_by)
+        groups.setdefault(key, []).append(tup)
+
+    target = database.create(into, len(group_by) + 1)
+    written = 0
+    for key, rows in groups.items():
+        if op == "count":
+            value = len(rows)
+        else:
+            values = [row[value_column] for row in rows]
+            if op == "sum":
+                value = sum(values)
+            elif op == "min":
+                value = min(values)
+            elif op == "max":
+                value = max(values)
+            else:  # avg — integer division keeps the value Datalog-typed
+                value = sum(values) // len(values)
+        if target.add((*key, value)):
+            written += 1
+    return written
+
+
+def top_k(
+    database: Database,
+    relation: str,
+    order_column: int,
+    k: int,
+    into: str,
+    descending: bool = True,
+) -> int:
+    """Write the ``k`` extreme rows of ``relation`` (by one column) into
+    ``into``; a grouping-free companion to :func:`aggregate`."""
+    if not database.has_relation(relation):
+        raise EvaluationError(f"unknown relation {relation!r}")
+    source = database.relation(relation)
+    if not 0 <= order_column < source.arity:
+        raise EvaluationError(
+            f"column {order_column} out of range for {relation}/{source.arity}"
+        )
+    rows = sorted(
+        source.lookup(tuple(None for _ in range(source.arity))),
+        key=lambda tup: (tup[order_column], repr(tup)),
+        reverse=descending,
+    )[: max(0, k)]
+    target = database.create(into, source.arity)
+    return sum(1 for tup in rows if target.add(tup))

@@ -1,0 +1,178 @@
+"""Atoms and body literals.
+
+An :class:`Atom` is a predicate applied to terms, e.g. ``p(X, a)``.
+Rule bodies contain :class:`Literal` objects — an atom with a polarity
+(positive or negated) — and :class:`BuiltinAtom` objects for arithmetic
+and comparisons (``J1 is J + 1``, ``X < Y``, ``X != Y``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .term import Constant, Term, Variable, make_term
+
+
+class Atom:
+    """A relational atom ``predicate(t1, ..., tn)``."""
+
+    __slots__ = ("predicate", "terms")
+
+    def __init__(self, predicate: str, terms: Iterable = ()):
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        self.predicate = predicate
+        self.terms: Tuple[Term, ...] = tuple(make_term(t) for t in terms)
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def is_ground(self) -> bool:
+        return all(term.is_constant for term in self.terms)
+
+    def variables(self):
+        """Yield distinct variables of the atom, left to right."""
+        seen = set()
+        for term in self.terms:
+            if term.is_variable and term not in seen:
+                seen.add(term)
+                yield term
+
+    def substitute(self, theta) -> "Atom":
+        """Apply substitution ``theta`` (Variable -> Term) to the atom."""
+        return Atom(
+            self.predicate,
+            tuple(theta.get(t, t) if t.is_variable else t for t in self.terms),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.terms == other.terms
+        )
+
+    def __hash__(self):
+        return hash((self.predicate, self.terms))
+
+    def __repr__(self):
+        return f"Atom({self.predicate!r}, {self.terms!r})"
+
+    def __str__(self):
+        if not self.terms:
+            return self.predicate
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+
+class Literal:
+    """A body literal: an atom with a polarity.
+
+    ``Literal(atom)`` is the positive occurrence; ``Literal(atom, True)``
+    is the negated occurrence ``not atom`` (evaluated under stratified
+    negation as set difference, exactly as the paper implements the
+    ``not(MS(_, X1))`` guard of the seminaive magic set computation).
+    """
+
+    __slots__ = ("atom", "negated")
+
+    def __init__(self, atom: Atom, negated: bool = False):
+        self.atom = atom
+        self.negated = negated
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    @property
+    def terms(self):
+        return self.atom.terms
+
+    def variables(self):
+        return self.atom.variables()
+
+    def substitute(self, theta) -> "Literal":
+        return Literal(self.atom.substitute(theta), self.negated)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Literal)
+            and self.atom == other.atom
+            and self.negated == other.negated
+        )
+
+    def __hash__(self):
+        return hash((self.atom, self.negated))
+
+    def __repr__(self):
+        return f"Literal({self.atom!r}, negated={self.negated})"
+
+    def __str__(self):
+        return f"not {self.atom}" if self.negated else str(self.atom)
+
+
+class BuiltinAtom:
+    """A builtin (evaluable) atom, e.g. ``X < Y`` or ``J1 is J + 1``.
+
+    ``name`` selects an entry in :mod:`repro.datalog.builtins`; ``args``
+    are the terms handed to it.  Builtins never derive facts; they filter
+    or extend bindings during body evaluation.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable = ()):
+        self.name = name
+        self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
+
+    def variables(self):
+        seen = set()
+        for term in self.args:
+            if term.is_variable and term not in seen:
+                seen.add(term)
+                yield term
+
+    def substitute(self, theta) -> "BuiltinAtom":
+        return BuiltinAtom(
+            self.name,
+            tuple(theta.get(t, t) if t.is_variable else t for t in self.args),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BuiltinAtom)
+            and self.name == other.name
+            and self.args == other.args
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.args))
+
+    def __repr__(self):
+        return f"BuiltinAtom({self.name!r}, {self.args!r})"
+
+    def __str__(self):
+        from .builtins import format_builtin
+
+        return format_builtin(self)
+
+
+def fact(predicate: str, *values) -> Atom:
+    """Build a ground atom from Python values.
+
+    >>> str(fact("edge", "a", "b"))
+    'edge(a, b)'
+    """
+    atom = Atom(predicate, tuple(Constant(v) for v in values))
+    return atom
+
+
+def atom(predicate: str, *terms) -> Atom:
+    """Shorthand atom constructor using :func:`make_term` coercion."""
+    return Atom(predicate, terms)
+
+
+def var(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name)

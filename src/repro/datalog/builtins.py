@@ -1,0 +1,132 @@
+"""Builtin (evaluable) predicates: comparisons and arithmetic.
+
+The counting rewriting needs arithmetic on indices — the paper writes
+``CS(J+1, X1) :- CS(J, X), L(X, X1)`` and notes that "in actual Prolog we
+should write J1 instead and have a goal 'J1 is J+1'".  We follow the
+Prolog reading: the rewritten rule carries the builtin ``is(J1, J, '+', 1)``.
+
+A builtin is evaluated against a substitution that already binds some of
+its arguments.  Evaluation either fails, succeeds without new bindings
+(pure tests such as ``<``), or succeeds extending the substitution
+(``is`` binds its target).  Safety of builtins (which arguments must be
+bound) is declared here and checked by rule validation.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Iterator
+
+from ..errors import EvaluationError
+from .atom import BuiltinAtom
+from .term import Constant, Variable
+
+_COMPARISONS: Dict[str, Callable] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+_ARITH_OPS: Dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+
+def comparison(op: str, left, right) -> BuiltinAtom:
+    """Build a comparison builtin, e.g. ``comparison("<", var("I"), 3)``."""
+    if op not in _COMPARISONS:
+        raise ValueError(f"unknown comparison operator {op!r}")
+    return BuiltinAtom(op, (left, right))
+
+
+def arithmetic(target, left, op: str, right) -> BuiltinAtom:
+    """Build an arithmetic builtin ``target is left op right``."""
+    if op not in _ARITH_OPS:
+        raise ValueError(f"unknown arithmetic operator {op!r}")
+    return BuiltinAtom("is", (target, left, Constant(op), right))
+
+
+def format_builtin(builtin: BuiltinAtom) -> str:
+    """Render a builtin back to surface syntax."""
+    if builtin.name in _COMPARISONS:
+        left, right = builtin.args
+        return f"{left} {builtin.name} {right}"
+    if builtin.name == "is":
+        target, left, op, right = builtin.args
+        return f"{target} is {left} {op.value} {right}"
+    args = ", ".join(str(a) for a in builtin.args)
+    return f"{builtin.name}({args})"
+
+
+def _resolve(term, theta):
+    """Resolve ``term`` under ``theta`` to a constant, or None if unbound."""
+    if term.is_constant:
+        return term
+    bound = theta.get(term)
+    if bound is not None and bound.is_constant:
+        return bound
+    return None
+
+
+def evaluate_builtin(builtin: BuiltinAtom, theta: dict) -> Iterator[dict]:
+    """Evaluate a builtin under substitution ``theta``.
+
+    Yields zero or one extended substitutions.  Raises
+    :class:`EvaluationError` when required arguments are unbound (an
+    unsafe rule slipped past validation) or the builtin is unknown.
+    """
+    if builtin.name in _COMPARISONS:
+        left = _resolve(builtin.args[0], theta)
+        right = _resolve(builtin.args[1], theta)
+        if left is None or right is None:
+            raise EvaluationError(
+                f"comparison {format_builtin(builtin)} has unbound arguments"
+            )
+        if _COMPARISONS[builtin.name](left.value, right.value):
+            yield theta
+        return
+
+    if builtin.name == "is":
+        target, left_t, op_t, right_t = builtin.args
+        left = _resolve(left_t, theta)
+        right = _resolve(right_t, theta)
+        if left is None or right is None:
+            raise EvaluationError(
+                f"arithmetic {format_builtin(builtin)} has unbound operands"
+            )
+        result = Constant(_ARITH_OPS[op_t.value](left.value, right.value))
+        if target.is_constant or target in theta:
+            existing = target if target.is_constant else theta[target]
+            if existing == result:
+                yield theta
+            return
+        extended = dict(theta)
+        extended[target] = result
+        yield extended
+        return
+
+    raise EvaluationError(f"unknown builtin predicate {builtin.name!r}")
+
+
+def required_bound_variables(builtin: BuiltinAtom):
+    """Variables that must be bound before the builtin can run.
+
+    For comparisons: all variables.  For ``is``: the operand variables
+    (the target may be free — it gets bound by evaluation).
+    """
+    if builtin.name == "is":
+        _, left, _, right = builtin.args
+        return {t for t in (left, right) if isinstance(t, Variable)}
+    return set(builtin.variables())
+
+
+def output_variables(builtin: BuiltinAtom):
+    """Variables a successful evaluation may bind (only ``is`` targets)."""
+    if builtin.name == "is" and isinstance(builtin.args[0], Variable):
+        return {builtin.args[0]}
+    return set()

@@ -1,0 +1,131 @@
+"""The counting rewriting [BMSU, SZ1, SZ2] for CSL queries.
+
+For the paper's canonical query it produces exactly the program ``Q_C``
+of Section 2::
+
+    CS(0, a).
+    CS(J1, X1)  :- CS(J, X), L(X, X1), J1 is J + 1.
+    P_C(J, Y)   :- CS(J, X), E(X, Y).
+    P_C(J1, Y)  :- P_C(J, Y1), R(Y, Y1), J >= 1, J1 is J - 1.
+    Answer(Y)   :- P_C(0, Y).
+    ?- Answer(Y).
+
+(The paper writes ``CS(J+1, ...)`` and ``P_C(J-1, ...)`` in the heads
+and notes "in actual Prolog we should write J1 instead and have a goal
+'J1 is J+1'" — we follow the Prolog reading.  The guard ``J >= 1`` stops
+the downward count at zero; the paper's procedural implementation stops
+there implicitly, and indices below zero can never reach the answer.)
+
+The rewriting generalizes to the full CSL class via
+:func:`repro.datalog.linear.analyze_linear`: multiple bound/free columns
+and conjunctive or derived ``L``/``E``/``R`` parts are all supported.
+Rules defining derived body predicates are carried over unchanged.
+
+**Safety caveat (the point of the paper):** the rewritten program is
+*unsafe* when the magic graph is cyclic — the ``CS`` fixpoint derives an
+unbounded set of indexed facts.  Evaluate it with an iteration budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .atom import Atom, Literal
+from .builtins import arithmetic, comparison
+from .linear import LinearRecursion, analyze_linear
+from .program import Program
+from .rule import Rule
+from .term import Constant, Variable
+
+
+def counting_set_name(predicate: str) -> str:
+    return f"cs_{predicate}"
+
+
+def counted_name(predicate: str) -> str:
+    return f"cnt_{predicate}"
+
+
+def _fresh_index_variables(analysis: LinearRecursion):
+    """Two index variables guaranteed not to clash with rule variables."""
+    used = {v.name for v in analysis.recursive_rule.variables()}
+    for rule in analysis.exit_rules:
+        used |= {v.name for v in rule.variables()}
+    base = "J"
+    while base in used or base + "1" in used:
+        base = "_" + base
+    return Variable(base), Variable(base + "1")
+
+
+def counting_rewrite(
+    program: Program,
+    goal: Atom = None,
+    analysis: Optional[LinearRecursion] = None,
+) -> Program:
+    """Apply the counting rewriting; returns the rewritten program.
+
+    ``analysis`` may be supplied when the caller has already run
+    :func:`analyze_linear` (avoids re-analysis).
+    """
+    if analysis is None:
+        analysis = analyze_linear(program, goal)
+    goal = analysis.goal
+    predicate = analysis.predicate
+    cs = counting_set_name(predicate)
+    cnt = counted_name(predicate)
+    index_var, next_index_var = _fresh_index_variables(analysis)
+
+    rewritten = Program()
+
+    # Carry over the rules of derived (non-recursive) predicates.
+    for rule in program.rules:
+        if rule.head.predicate != predicate:
+            rewritten.add_rule(rule)
+
+    # (1) CS(0, a...).
+    goal_constants = tuple(goal.terms[i] for i in analysis.bound)
+    rewritten.add_rule(Rule(Atom(cs, (Constant(0), *goal_constants)), ()))
+
+    # (2) CS(J1, X1...) :- CS(J, X...), L..., J1 is J + 1.
+    rewritten.add_rule(
+        Rule(
+            Atom(cs, (next_index_var, *analysis.rec_bound_terms)),
+            (
+                Literal(Atom(cs, (index_var, *analysis.head_bound_terms))),
+                *analysis.left_elements,
+                arithmetic(next_index_var, index_var, "+", 1),
+            ),
+        )
+    )
+
+    # (3) P_C(J, Y...) :- CS(J, Xexit...), exit body.   (one per exit rule)
+    for exit_rule in analysis.exit_rules:
+        exit_bound = tuple(exit_rule.head.terms[i] for i in analysis.bound)
+        exit_free = tuple(exit_rule.head.terms[i] for i in analysis.free)
+        rewritten.add_rule(
+            Rule(
+                Atom(cnt, (index_var, *exit_free)),
+                (
+                    Literal(Atom(cs, (index_var, *exit_bound))),
+                    *exit_rule.body,
+                ),
+            )
+        )
+
+    # (4) P_C(J1, Y...) :- P_C(J, Y1...), R..., J >= 1, J1 is J - 1.
+    rewritten.add_rule(
+        Rule(
+            Atom(cnt, (next_index_var, *analysis.head_free_terms)),
+            (
+                Literal(Atom(cnt, (index_var, *analysis.rec_free_terms))),
+                *analysis.right_elements,
+                comparison(">=", index_var, 1),
+                arithmetic(next_index_var, index_var, "-", 1),
+            ),
+        )
+    )
+
+    # (5) the query reads P_C at index 0.
+    goal_free_terms = tuple(goal.terms[i] for i in analysis.free)
+    rewritten.query = Atom(cnt, (Constant(0), *goal_free_terms))
+    return rewritten

@@ -1,0 +1,102 @@
+"""The database: a named collection of relations sharing one cost counter.
+
+A :class:`Database` stores the extensional relations (EDB) and, during
+evaluation, the derived relations (IDB).  All relations created through a
+database share its :class:`CostCounter`, so a single counter captures the
+total tuple-retrieval cost of answering a query, exactly the unit the
+paper's complexity tables are expressed in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import EvaluationError
+from .atom import Atom
+from .relation import CostCounter, Relation
+
+
+class Database:
+    """A mutable map from predicate names to :class:`Relation` objects."""
+
+    def __init__(self, counter: Optional[CostCounter] = None):
+        self.counter = counter if counter is not None else CostCounter()
+        self._relations: Dict[str, Relation] = {}
+
+    def create(self, name: str, arity: int) -> Relation:
+        """Create (or return the existing) relation ``name`` of ``arity``."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise EvaluationError(
+                    f"relation {name} exists with arity {existing.arity}, "
+                    f"requested {arity}"
+                )
+            return existing
+        relation = Relation(name, arity, counter=self.counter)
+        self._relations[name] = relation
+        return relation
+
+    def add_fact(self, name: str, *values) -> bool:
+        """Insert a fact, creating the relation on first use."""
+        relation = self.create(name, len(values))
+        return relation.add(values)
+
+    def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        """Bulk insert; creates the relation from the first tuple's arity."""
+        tuples = list(tuples)
+        if not tuples:
+            return 0
+        relation = self.create(name, len(tuples[0]))
+        return relation.add_all(tuples)
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom as a fact."""
+        if not atom.is_ground():
+            raise EvaluationError(f"cannot store non-ground atom {atom}")
+        return self.add_fact(atom.predicate, *(t.value for t in atom.terms))
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r}") from None
+
+    def relation_or_empty(self, name: str, arity: int) -> Relation:
+        """The named relation, or a fresh empty one (registered) if absent."""
+        if name in self._relations:
+            return self._relations[name]
+        return self.create(name, arity)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self):
+        return sorted(self._relations)
+
+    def facts(self, name: str) -> set:
+        """The tuple set of a relation (empty set when absent); uncharged."""
+        relation = self._relations.get(name)
+        return relation.as_set() if relation is not None else set()
+
+    def copy(self, counter: Optional[CostCounter] = None) -> "Database":
+        """A deep copy; useful to evaluate the same EDB with many methods."""
+        cloned = Database(counter if counter is not None else CostCounter())
+        for name, relation in self._relations.items():
+            cloned._relations[name] = relation.copy(cloned.counter)
+        return cloned
+
+    def total_cost(self) -> int:
+        return self.counter.retrievals
+
+    def reset_cost(self) -> None:
+        self.counter.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{name}/{rel.arity}:{len(rel)}" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

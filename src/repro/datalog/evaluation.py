@@ -1,0 +1,342 @@
+"""Bottom-up evaluation: naive and semi-naive fixpoints.
+
+The evaluator computes the minimal model of a (stratified) Datalog
+program over a :class:`Database`, writing derived facts back into the
+database.  Two strategies are provided:
+
+* :func:`naive_evaluate` — recompute every rule against the full
+  database until nothing changes.  Slow, but its utter simplicity makes
+  it the trusted reference oracle for all the optimized methods.
+* :func:`seminaive_evaluate` — the differential fixpoint of [Ban, BaR]:
+  within each recursive stratum, only rule instantiations that use at
+  least one *new* fact (the delta) are re-derived.
+
+Both accept ``max_iterations``: recursive programs over cyclic data can
+genuinely diverge when values grow without bound (this is exactly how
+the counting method loses safety — Section 2 of the paper), and the
+budget turns divergence into an :class:`UnsafeQueryError` rather than a
+hang.
+
+Body evaluation handles positive literals, stratified negation, and the
+arithmetic/comparison builtins.  Body elements are dynamically reordered
+so that tests run as soon as their variables are bound (never before).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..errors import EvaluationError, UnsafeQueryError
+from .atom import BuiltinAtom, Literal
+from .builtins import evaluate_builtin, required_bound_variables
+from .database import Database
+from .program import Program
+from .relation import Relation
+from .rule import Rule
+from .stratify import stratify
+from .unify import ground_atom_tuple, lookup_pattern, match_tuple
+
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+class _FactSource:
+    """Resolves body literals to relations during one rule evaluation.
+
+    ``overrides`` maps predicate names to replacement relations (used by
+    semi-naive evaluation to point one recursive literal at the delta).
+    """
+
+    __slots__ = ("database", "overrides", "arities")
+
+    def __init__(self, database: Database, arities: Dict[str, int], overrides=None):
+        self.database = database
+        self.arities = arities
+        self.overrides = overrides or {}
+
+    def relation_for(self, predicate: str, arity: int):
+        override = self.overrides.get(predicate)
+        if override is not None:
+            return override
+        return self.database.relation_or_empty(predicate, arity)
+
+
+def _ready_element_index(elements: List, bound: Set) -> int:
+    """Pick the next body element to evaluate.
+
+    Preference order: any builtin or negated literal whose variables are
+    already bound (cheap filters first), otherwise the first positive
+    literal.  Returns -1 when nothing is evaluable (unsafe rule).
+    """
+    first_positive = -1
+    for i, element in enumerate(elements):
+        if isinstance(element, BuiltinAtom):
+            if required_bound_variables(element) <= bound:
+                return i
+        elif element.negated:
+            if set(element.variables()) <= bound:
+                return i
+        elif first_positive < 0:
+            first_positive = i
+    return first_positive
+
+
+def _evaluate_body(
+    elements: List, theta: Dict, source: _FactSource
+) -> Iterator[Dict]:
+    """Yield all substitutions satisfying the remaining body elements."""
+    if not elements:
+        yield theta
+        return
+    bound = set(theta)
+    index = _ready_element_index(elements, bound)
+    if index < 0:
+        raise EvaluationError(
+            "no evaluable body element; rule is unsafe: "
+            + ", ".join(str(e) for e in elements)
+        )
+    element = elements[index]
+    rest = elements[:index] + elements[index + 1 :]
+
+    if isinstance(element, BuiltinAtom):
+        for extended in evaluate_builtin(element, theta):
+            yield from _evaluate_body(rest, extended, source)
+        return
+
+    relation = source.relation_for(element.predicate, len(element.terms))
+    if element.negated:
+        pattern = lookup_pattern(element.terms, theta)
+        if any(value is None for value in pattern):
+            raise EvaluationError(f"negated literal {element} not ground")
+        if not relation.contains(pattern):
+            yield from _evaluate_body(rest, theta, source)
+        return
+
+    pattern = lookup_pattern(element.terms, theta)
+    for tup in relation.lookup(pattern):
+        extended = match_tuple(element.terms, tup, theta)
+        if extended is not None:
+            yield from _evaluate_body(rest, extended, source)
+
+
+def evaluate_rule(rule: Rule, source: _FactSource) -> Iterator[Tuple]:
+    """Yield the head tuples derivable by one rule from ``source``."""
+    for theta in _evaluate_body(list(rule.body), {}, source):
+        yield ground_atom_tuple(rule.head, theta)
+
+
+def _arity_map(program: Program) -> Dict[str, int]:
+    arities: Dict[str, int] = {}
+    for rule in program.rules:
+        arities.setdefault(rule.head.predicate, rule.head.arity)
+        for element in rule.body:
+            if isinstance(element, Literal):
+                arities.setdefault(element.predicate, len(element.terms))
+    if program.query is not None:
+        arities.setdefault(program.query.predicate, program.query.arity)
+    return arities
+
+
+def naive_evaluate(
+    program: Program,
+    database: Database,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Database:
+    """Naive bottom-up fixpoint (the reference oracle).
+
+    Strata are evaluated in order; within each stratum every rule is
+    re-run against the whole database until no new fact appears.
+    Derived facts are added to ``database`` in place; the database is
+    also returned for chaining.
+    """
+    program.check_safety()
+    arities = _arity_map(program)
+    strata = stratify(program)
+    source = _FactSource(database, arities)
+    for stratum in strata:
+        stratum_rules = [r for r in program.rules if r.head.predicate in stratum]
+        for rule in stratum_rules:
+            database.relation_or_empty(rule.head.predicate, rule.head.arity)
+        iterations = 0
+        changed = True
+        while changed:
+            iterations += 1
+            if iterations > max_iterations:
+                raise UnsafeQueryError(
+                    f"naive fixpoint exceeded {max_iterations} iterations "
+                    f"on stratum {sorted(stratum)}"
+                )
+            changed = False
+            for rule in stratum_rules:
+                head_relation = database.relation_or_empty(
+                    rule.head.predicate, rule.head.arity
+                )
+                for tup in list(evaluate_rule(rule, source)):
+                    if head_relation.add(tup):
+                        changed = True
+    return database
+
+
+def seminaive_evaluate(
+    program: Program,
+    database: Database,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Database:
+    """Semi-naive (differential) bottom-up fixpoint.
+
+    Within each stratum: rules whose bodies mention no predicate of the
+    stratum run once; recursive rules are differentiated — for each
+    occurrence of a stratum predicate, a delta version of the rule joins
+    that occurrence against the facts new in the previous round.
+    """
+    program.check_safety()
+    arities = _arity_map(program)
+    strata = stratify(program)
+
+    for stratum in strata:
+        stratum_rules = [r for r in program.rules if r.head.predicate in stratum]
+        for rule in stratum_rules:
+            database.relation_or_empty(rule.head.predicate, rule.head.arity)
+
+        base_source = _FactSource(database, arities)
+        deltas: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+
+        # Round 0: run every rule once against the current database (the
+        # recursive predicates may already hold facts seeded by callers).
+        for rule in stratum_rules:
+            head_relation = database.relation_or_empty(
+                rule.head.predicate, rule.head.arity
+            )
+            for tup in list(evaluate_rule(rule, base_source)):
+                if head_relation.add(tup):
+                    deltas[rule.head.predicate].add(tup)
+
+        recursive_rules = [
+            r
+            for r in stratum_rules
+            if any(
+                isinstance(e, Literal) and not e.negated and e.predicate in stratum
+                for e in r.body
+            )
+        ]
+
+        iterations = 0
+        while any(deltas.values()):
+            iterations += 1
+            if iterations > max_iterations:
+                raise UnsafeQueryError(
+                    f"seminaive fixpoint exceeded {max_iterations} iterations "
+                    f"on stratum {sorted(stratum)}"
+                )
+            delta_relations = {}
+            for predicate, tuples in deltas.items():
+                if not tuples:
+                    continue
+                delta_relations[predicate] = Relation(
+                    f"Δ{predicate}",
+                    arities.get(predicate, len(next(iter(tuples)))),
+                    tuples,
+                    counter=database.counter,
+                )
+            next_deltas: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+            for rule in recursive_rules:
+                head_relation = database.relation_or_empty(
+                    rule.head.predicate, rule.head.arity
+                )
+                recursive_positions = [
+                    i
+                    for i, e in enumerate(rule.body)
+                    if isinstance(e, Literal)
+                    and not e.negated
+                    and e.predicate in stratum
+                ]
+                for position in recursive_positions:
+                    element = rule.body[position]
+                    delta = delta_relations.get(element.predicate)
+                    if delta is None:
+                        continue
+                    # Evaluate with only this occurrence pinned to the
+                    # delta.  Other occurrences see the full relation;
+                    # set semantics absorbs duplicated derivations.
+                    body = list(rule.body)
+                    body[0], body[position] = body[position], body[0]
+                    pinned = _PinnedFirstSource(
+                        _FactSource(database, arities), element.predicate, delta
+                    )
+                    for theta in _evaluate_body(body, {}, pinned):
+                        tup = ground_atom_tuple(rule.head, theta)
+                        if tup not in head_relation and tup not in next_deltas[
+                            rule.head.predicate
+                        ]:
+                            next_deltas[rule.head.predicate].add(tup)
+            for predicate, tuples in next_deltas.items():
+                if not tuples:
+                    continue
+                relation = database.relation_or_empty(
+                    predicate, arities.get(predicate, len(next(iter(tuples))))
+                )
+                confirmed = set()
+                for tup in tuples:
+                    if relation.add(tup):
+                        confirmed.add(tup)
+                next_deltas[predicate] = confirmed
+            deltas = next_deltas
+    return database
+
+
+class _PinnedFirstSource:
+    """A fact source that serves the delta for the first occurrence of a
+    predicate and the full relation for later ones.
+
+    The delta-differentiated body is reordered so the pinned occurrence
+    is element 0; subsequent occurrences of the same predicate must see
+    the full relation, so a plain override (which replaces *every*
+    occurrence) would under-derive.  This wrapper hands out the delta
+    exactly once.
+    """
+
+    __slots__ = ("inner", "predicate", "delta", "served")
+
+    def __init__(self, inner: _FactSource, predicate: str, delta):
+        self.inner = inner
+        self.predicate = predicate
+        self.delta = delta
+        self.served = False
+
+    def relation_for(self, predicate: str, arity: int):
+        if predicate == self.predicate and not self.served:
+            self.served = True
+            return self.delta
+        return self.inner.database.relation_or_empty(predicate, arity)
+
+
+def answer_tuples(
+    program: Program,
+    database: Database,
+    engine: str = "seminaive",
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Set[Tuple]:
+    """Evaluate ``program`` and return the tuples matching its query goal.
+
+    ``engine`` is ``"naive"`` or ``"seminaive"``.  The goal may contain
+    constants (selections) and variables (projected out positions keep
+    their order).
+    """
+    if program.query is None:
+        raise EvaluationError("program has no query goal")
+    if engine == "naive":
+        naive_evaluate(program, database, max_iterations)
+    elif engine == "seminaive":
+        seminaive_evaluate(program, database, max_iterations)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    goal = program.query
+    relation = database.relation_or_empty(goal.predicate, goal.arity)
+    results: Set[Tuple] = set()
+    pattern = tuple(t.value if t.is_constant else None for t in goal.terms)
+    variable_positions = [i for i, t in enumerate(goal.terms) if t.is_variable]
+    for tup in relation.lookup(pattern):
+        theta = match_tuple(goal.terms, tup, {})
+        if theta is None:
+            continue
+        results.add(tuple(tup[i] for i in variable_positions))
+    return results

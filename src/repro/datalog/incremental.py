@@ -1,0 +1,148 @@
+"""Incremental (insertion-only) view maintenance.
+
+A deductive database rarely re-derives from scratch: when facts arrive,
+the existing model should be *extended*.  For positive additions under
+stratified negation-free dependencies this is exactly the semi-naive
+delta step: seed the deltas with the new EDB facts, propagate.
+
+:func:`insert_and_maintain` updates the IDB relations of an
+already-evaluated database in place.  Restrictions (checked):
+
+* the program must be negation-free in the strata the new facts can
+  reach — insertions can *retract* facts derived through negation, and
+  retraction needs DRed-style machinery we deliberately do not claim;
+* the database must already be a fixpoint of the program (the usual
+  invariant: call :func:`repro.datalog.evaluation.seminaive_evaluate`
+  once, then maintain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..errors import EvaluationError, UnsafeQueryError
+from .atom import BuiltinAtom, Literal
+from .database import Database
+from .evaluation import (
+    DEFAULT_MAX_ITERATIONS,
+    _arity_map,
+    _evaluate_body,
+    _FactSource,
+    _PinnedFirstSource,
+)
+from .program import Program
+from .relation import Relation
+from .unify import ground_atom_tuple
+
+
+def _affected_predicates(program: Program, changed: Set[str]) -> Set[str]:
+    """IDB predicates transitively depending on the changed ones."""
+    dependents: Dict[str, Set[str]] = {}
+    for head, body, _negated in program.dependency_edges():
+        dependents.setdefault(body, set()).add(head)
+    affected: Set[str] = set()
+    stack = list(changed)
+    while stack:
+        predicate = stack.pop()
+        for dependent in dependents.get(predicate, ()):
+            if dependent not in affected:
+                affected.add(dependent)
+                stack.append(dependent)
+    return affected
+
+
+def _check_no_negation_in(program: Program, predicates: Set[str]) -> None:
+    for rule in program.rules:
+        if rule.head.predicate not in predicates:
+            continue
+        for element in rule.body:
+            if isinstance(element, Literal) and element.negated:
+                raise EvaluationError(
+                    "insertion-only maintenance cannot handle negation in "
+                    f"an affected rule: {rule}"
+                )
+
+
+def insert_and_maintain(
+    program: Program,
+    database: Database,
+    new_facts: Dict[str, Iterable[Tuple]],
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> Dict[str, Set[Tuple]]:
+    """Insert ``new_facts`` and propagate their consequences.
+
+    ``new_facts`` maps predicate names to tuples.  Returns the per-
+    predicate sets of *newly derived* IDB facts (not counting the
+    insertions themselves).  The database is updated in place.
+    """
+    program.check_safety()
+    arities = _arity_map(program)
+
+    deltas: Dict[str, Set[Tuple]] = {}
+    for predicate, tuples in new_facts.items():
+        tuples = [tuple(t) for t in tuples]
+        if not tuples:
+            continue
+        relation = database.relation_or_empty(predicate, len(tuples[0]))
+        fresh = {t for t in tuples if relation.add(t)}
+        if fresh:
+            deltas[predicate] = fresh
+
+    affected = _affected_predicates(program, set(deltas))
+    _check_no_negation_in(program, affected)
+
+    derived: Dict[str, Set[Tuple]] = {p: set() for p in affected}
+    rules = [r for r in program.rules if r.head.predicate in affected]
+    iterations = 0
+    while deltas:
+        iterations += 1
+        if iterations > max_iterations:
+            raise UnsafeQueryError(
+                f"incremental maintenance exceeded {max_iterations} rounds"
+            )
+        delta_relations = {
+            predicate: Relation(
+                f"Δ{predicate}",
+                arities.get(predicate, len(next(iter(tuples)))),
+                tuples,
+                counter=database.counter,
+            )
+            for predicate, tuples in deltas.items()
+        }
+        next_deltas: Dict[str, Set[Tuple]] = {}
+        for rule in rules:
+            head_relation = database.relation_or_empty(
+                rule.head.predicate, rule.head.arity
+            )
+            positions = [
+                i
+                for i, element in enumerate(rule.body)
+                if isinstance(element, Literal)
+                and not element.negated
+                and element.predicate in delta_relations
+            ]
+            for position in positions:
+                element = rule.body[position]
+                body = list(rule.body)
+                body[0], body[position] = body[position], body[0]
+                pinned = _PinnedFirstSource(
+                    _FactSource(database, arities),
+                    element.predicate,
+                    delta_relations[element.predicate],
+                )
+                for theta in _evaluate_body(body, {}, pinned):
+                    tup = ground_atom_tuple(rule.head, theta)
+                    if tup not in head_relation:
+                        next_deltas.setdefault(
+                            rule.head.predicate, set()
+                        ).add(tup)
+        deltas = {}
+        for predicate, tuples in next_deltas.items():
+            relation = database.relation_or_empty(
+                predicate, arities.get(predicate, len(next(iter(tuples))))
+            )
+            confirmed = {t for t in tuples if relation.add(t)}
+            if confirmed:
+                deltas[predicate] = confirmed
+                derived.setdefault(predicate, set()).update(confirmed)
+    return {p: s for p, s in derived.items() if s}

@@ -1,0 +1,102 @@
+"""Loading and saving databases as Datalog fact files.
+
+The on-disk format is plain Datalog facts, one per line::
+
+    parent(ann, mona).
+    age(ann, 34).
+    label('with spaces', 7).
+
+so a dumped database is directly re-parseable (and usable as a ``--facts``
+file for the CLI).  Values round-trip for the types the parser knows:
+lowercase identifiers, arbitrary strings (quoted as needed), and
+integers.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional, TextIO, Union
+
+from ..errors import ReproError
+from .database import Database
+from .parser import parse_program
+
+PathOrFile = Union[str, TextIO]
+
+
+def _format_value(value) -> str:
+    """Render one value as a parseable Datalog term."""
+    if isinstance(value, bool):
+        raise ReproError("booleans have no Datalog term syntax")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        if (
+            value
+            and value[0].isalpha()
+            and value[0].islower()
+            and all(c.isalnum() or c == "_" for c in value)
+        ):
+            return value
+        if "'" in value or "\n" in value:
+            raise ReproError(
+                f"string {value!r} cannot be quoted in Datalog fact syntax"
+            )
+        return f"'{value}'"
+    raise ReproError(f"value {value!r} has no Datalog term syntax")
+
+
+def format_fact(predicate: str, values: Iterable) -> str:
+    """One fact line, e.g. ``parent(ann, mona).``"""
+    rendered = ", ".join(_format_value(v) for v in values)
+    return f"{predicate}({rendered})." if rendered else f"{predicate}."
+
+
+def dump_database(database: Database, destination: PathOrFile) -> int:
+    """Write every relation of ``database`` as fact lines.
+
+    Returns the number of facts written.  Relations and tuples are
+    emitted in sorted order so dumps are deterministic.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            return dump_database(database, handle)
+    count = 0
+    for name in database.names():
+        for tup in sorted(database.facts(name), key=repr):
+            destination.write(format_fact(name, tup) + "\n")
+            count += 1
+    return count
+
+
+def dumps_database(database: Database) -> str:
+    """Like :func:`dump_database` but returns the text."""
+    buffer = io.StringIO()
+    dump_database(database, buffer)
+    return buffer.getvalue()
+
+
+def load_database(source: PathOrFile, database: Optional[Database] = None) -> Database:
+    """Parse a fact file into a (new or given) database.
+
+    Raises :class:`ReproError` if the file contains anything but ground
+    facts.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_database(handle, database)
+    program = parse_program(source.read())
+    if program.query is not None:
+        raise ReproError("fact files must not contain a query goal")
+    if database is None:
+        database = Database()
+    for rule in program.rules:
+        if not rule.is_fact:
+            raise ReproError(f"not a ground fact: {rule}")
+        database.add_atom(rule.head)
+    return database
+
+
+def loads_database(text: str, database: Optional[Database] = None) -> Database:
+    """Like :func:`load_database` but from a string."""
+    return load_database(io.StringIO(text), database)

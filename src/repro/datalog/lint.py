@@ -1,0 +1,159 @@
+"""Static diagnostics for Datalog programs.
+
+:func:`lint_program` returns a list of :class:`Diagnostic` findings:
+
+===========  =======  ====================================================
+code         level    meaning
+===========  =======  ====================================================
+``unsafe``   error    a rule violates range restriction
+``unstrat``  error    recursion through negation
+``undefined`` warning a body predicate with no rules and (if a database
+                      is supplied) no facts — usually a typo
+``unused``   warning  an IDB predicate never referenced by any body nor
+                      by the query goal
+``unreachable`` warning a rule that can never contribute to the query
+                      goal (its head predicate is not in the goal's
+                      dependency cone)
+``singleton`` info    a variable occurring exactly once in a rule —
+                      legal, but the classic typo smell
+===========  =======  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import SafetyError, StratificationError
+from .atom import BuiltinAtom
+from .database import Database
+from .program import Program
+from .rule import Rule
+from .stratify import stratify
+from .term import Variable
+
+LEVELS = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    level: str
+    code: str
+    message: str
+    rule: Optional[Rule] = None
+
+    def __str__(self):
+        prefix = f"{self.level}[{self.code}]"
+        if self.rule is not None:
+            return f"{prefix}: {self.message}  (in: {self.rule})"
+        return f"{prefix}: {self.message}"
+
+
+def _singleton_variables(rule: Rule) -> List[Variable]:
+    counts: Dict[Variable, int] = {}
+    sources = [rule.head, *rule.body]
+    for source in sources:
+        terms = source.terms if not isinstance(source, BuiltinAtom) else source.args
+        for term in terms:
+            if isinstance(term, Variable):
+                counts[term] = counts.get(term, 0) + 1
+    return sorted(
+        (v for v, n in counts.items() if n == 1 and not v.name.startswith("_")),
+        key=lambda v: v.name,
+    )
+
+
+def _goal_cone(program: Program) -> Optional[Set[str]]:
+    """Predicates the query goal transitively depends on."""
+    if program.query is None:
+        return None
+    graph = program.dependency_graph()
+    cone = {program.query.predicate}
+    stack = [program.query.predicate]
+    while stack:
+        predicate = stack.pop()
+        for dependency in graph.get(predicate, ()):
+            if dependency not in cone:
+                cone.add(dependency)
+                stack.append(dependency)
+    return cone
+
+
+def lint_program(
+    program: Program, database: Optional[Database] = None
+) -> List[Diagnostic]:
+    """Run every check; returns diagnostics sorted errors-first."""
+    diagnostics: List[Diagnostic] = []
+    idb = program.idb_predicates()
+
+    # Safety, per rule.
+    for rule in program.rules:
+        try:
+            rule.check_safety()
+        except SafetyError as error:
+            diagnostics.append(Diagnostic("error", "unsafe", str(error), rule))
+
+    # Stratifiability, whole program.
+    try:
+        stratify(program)
+    except StratificationError as error:
+        diagnostics.append(Diagnostic("error", "unstrat", str(error)))
+
+    # Undefined body predicates.
+    for predicate in sorted(program.edb_predicates()):
+        if database is not None and database.has_relation(predicate):
+            continue
+        if program.query is not None and program.query.predicate == predicate:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                "undefined",
+                f"predicate {predicate!r} has no rules"
+                + ("" if database is None else " and no facts"),
+            )
+        )
+
+    # Unused IDB predicates.
+    referenced: Set[str] = set()
+    for rule in program.rules:
+        referenced.update(rule.body_predicates())
+    if program.query is not None:
+        referenced.add(program.query.predicate)
+    for predicate in sorted(idb - referenced):
+        diagnostics.append(
+            Diagnostic(
+                "warning", "unused",
+                f"predicate {predicate!r} is defined but never used",
+            )
+        )
+
+    # Rules outside the goal's dependency cone.
+    cone = _goal_cone(program)
+    if cone is not None:
+        for rule in program.rules:
+            if rule.head.predicate not in cone:
+                diagnostics.append(
+                    Diagnostic(
+                        "warning", "unreachable",
+                        f"rule for {rule.head.predicate!r} cannot contribute "
+                        "to the query goal",
+                        rule,
+                    )
+                )
+
+    # Singleton variables.
+    for rule in program.rules:
+        for variable in _singleton_variables(rule):
+            diagnostics.append(
+                Diagnostic(
+                    "info", "singleton",
+                    f"variable {variable.name} occurs only once "
+                    "(use a leading underscore to silence)",
+                    rule,
+                )
+            )
+
+    order = {level: i for i, level in enumerate(LEVELS)}
+    diagnostics.sort(key=lambda d: (order[d.level], d.code, str(d.rule)))
+    return diagnostics

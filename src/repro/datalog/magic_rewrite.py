@@ -1,0 +1,110 @@
+"""Generalized magic-set rewriting [BMSU, SZ1].
+
+Transforms an adorned program plus a partially-bound query goal into a
+program whose bottom-up evaluation only derives facts *relevant* to the
+goal.  For each adorned IDB predicate ``p^α`` a magic predicate
+``m_p__α`` over the bound argument positions is introduced:
+
+* **seed**: ``m_p__α(c1, ..., ck).`` from the goal's constants;
+* **modified rules**: each adorned rule gets the guard ``m_p__α(bound
+  head args)`` prepended, and body IDB literals are renamed to their
+  adorned copies;
+* **magic rules**: for each IDB body literal ``q^β`` at position ``i``,
+  ``m_q__β(bound args of q) :- m_p__α(...), body[0:i]`` (left-to-right
+  information passing).
+
+On the paper's canonical query this produces exactly the program
+``Q_M`` of Section 2 (modulo predicate naming).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .adornment import (
+    AdornedProgram,
+    adorn_program,
+    adorned_name,
+    bound_positions,
+)
+from .atom import Atom, Literal
+from .program import Program
+from .rule import Rule
+
+
+def magic_name(predicate: str, adornment: str) -> str:
+    return f"m_{predicate}__{adornment}"
+
+
+def _magic_head(atom: Atom, adornment: str) -> Atom:
+    terms = [atom.terms[i] for i in bound_positions(adornment)]
+    return Atom(magic_name(atom.predicate, adornment), terms)
+
+
+def _rename_idb_literals(adorned_rule, idb) -> List:
+    """Body with IDB literals renamed to their adorned copies."""
+    renamed = []
+    for index, element in enumerate(adorned_rule.rule.body):
+        if (
+            isinstance(element, Literal)
+            and not element.negated
+            and index in adorned_rule.literal_adornments
+        ):
+            adornment = adorned_rule.literal_adornments[index]
+            renamed.append(
+                Literal(Atom(adorned_name(element.predicate, adornment), element.terms))
+            )
+        else:
+            renamed.append(element)
+    return renamed
+
+
+def magic_rewrite(program: Program, goal: Atom = None) -> Program:
+    """Apply generalized magic-set rewriting; returns the new program.
+
+    The returned program's query goal is the adorned copy of the input
+    goal and its rules mention only adorned IDB predicates, magic
+    predicates, and the original EDB predicates.
+    """
+    adorned: AdornedProgram = adorn_program(program, goal)
+    goal = adorned.goal
+    rewritten = Program()
+
+    if goal.predicate not in adorned.idb:
+        # Query over a purely extensional predicate: nothing to do.
+        rewritten.query = goal
+        return rewritten
+
+    # Seed: the magic fact from the goal constants.
+    seed = _magic_head(goal, adorned.goal_adornment)
+    rewritten.add_rule(Rule(seed, ()))
+
+    for adorned_rule in adorned.adorned_rules:
+        rule = adorned_rule.rule
+        head_adornment = adorned_rule.head_adornment
+        renamed_body = _rename_idb_literals(adorned_rule, adorned.idb)
+
+        # Modified rule: adorned head guarded by its magic predicate.
+        new_head = Atom(adorned_name(rule.head.predicate, head_adornment), rule.head.terms)
+        guard = Literal(_magic_head(rule.head, head_adornment))
+        if bound_positions(head_adornment):
+            rewritten.add_rule(Rule(new_head, (guard, *renamed_body)))
+        else:
+            rewritten.add_rule(Rule(new_head, tuple(renamed_body)))
+
+        # Magic rules: one per adorned IDB body literal.
+        for index, literal_adornment in sorted(adorned_rule.literal_adornments.items()):
+            if not bound_positions(literal_adornment):
+                continue
+            element = rule.body[index]
+            magic_head = _magic_head(element.atom, literal_adornment)
+            prefix: List = []
+            if bound_positions(head_adornment):
+                prefix.append(guard)
+            prefix.extend(renamed_body[:index])
+            rewritten.add_rule(Rule(magic_head, tuple(prefix)))
+
+    rewritten.query = Atom(
+        adorned_name(goal.predicate, adorned.goal_adornment), goal.terms
+    )
+    return rewritten

@@ -1,0 +1,290 @@
+"""A tokenizer and recursive-descent parser for textual Datalog.
+
+Surface syntax (Prolog-flavoured, as used by the paper's pseudo-code)::
+
+    % same-generation
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+    ?- sg(ann, Y).
+
+    parent(tom, bob).           % facts
+    p(X) :- q(X), not r(X).     % stratified negation
+    s(J1) :- s(J), J1 is J + 1, J1 < 10.   % builtins
+
+Identifiers starting with a lowercase letter are constants / predicate
+names; identifiers starting with an uppercase letter or underscore are
+variables; integers and quoted strings are constants.  ``%`` starts a
+line comment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DatalogSyntaxError
+from .atom import Atom, BuiltinAtom, Literal
+from .builtins import arithmetic, comparison
+from .program import Program
+from .rule import Rule
+from .term import Constant, Variable
+
+_PUNCT = {
+    ":-": "IMPLIES",
+    "?-": "QUERY",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    "<=": "OP",
+    ">=": "OP",
+    "==": "OP",
+    "!=": "OP",
+    "<": "OP",
+    ">": "OP",
+    "+": "ARITH",
+    "-": "ARITH",
+    "*": "ARITH",
+}
+_PUNCT_ORDERED = sorted(_PUNCT, key=len, reverse=True)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split Datalog source into tokens; raises on illegal characters."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    column = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise DatalogSyntaxError("unterminated string", line, column)
+                j += 1
+            if j >= n:
+                raise DatalogSyntaxError("unterminated string", line, column)
+            tokens.append(Token("STRING", source[i + 1 : j], line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("NUMBER", source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            if text == "not":
+                kind = "NOT"
+            elif text == "is":
+                kind = "IS"
+            elif text[0].isupper() or text[0] == "_":
+                kind = "VARIABLE"
+            else:
+                kind = "IDENT"
+            tokens.append(Token(kind, text, line, column))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCT_ORDERED:
+            if source.startswith(punct, i):
+                tokens.append(Token(_PUNCT[punct], punct, line, column))
+                i += len(punct)
+                column += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise DatalogSyntaxError(f"illegal character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {kind}, found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    # --- grammar -------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind != "EOF":
+            if self.peek().kind == "QUERY":
+                self.advance()
+                goal = self.parse_atom()
+                self.expect("DOT")
+                if program.query is not None:
+                    token = self.peek()
+                    raise DatalogSyntaxError(
+                        "multiple query goals", token.line, token.column
+                    )
+                program.query = goal
+            else:
+                program.add_rule(self.parse_clause())
+        return program
+
+    def parse_clause(self) -> Rule:
+        head = self.parse_atom()
+        body: List = []
+        if self.peek().kind == "IMPLIES":
+            self.advance()
+            body.append(self.parse_body_element())
+            while self.peek().kind == "COMMA":
+                self.advance()
+                body.append(self.parse_body_element())
+        self.expect("DOT")
+        return Rule(head, body)
+
+    def parse_body_element(self):
+        token = self.peek()
+        if token.kind == "NOT":
+            self.advance()
+            return Literal(self.parse_atom(), negated=True)
+        if token.kind in ("VARIABLE", "NUMBER", "STRING"):
+            return self.parse_builtin()
+        if token.kind == "ARITH" and token.text == "-":
+            return self.parse_builtin()
+        if token.kind == "IDENT":
+            # Could be an atom or a constant on the left of a comparison.
+            after = self.peek(1)
+            if after.kind in ("OP", "IS"):
+                return self.parse_builtin()
+            return Literal(self.parse_atom())
+        raise DatalogSyntaxError(
+            f"unexpected token {token.text!r} in rule body", token.line, token.column
+        )
+
+    def parse_builtin(self) -> BuiltinAtom:
+        left = self.parse_term()
+        token = self.peek()
+        if token.kind == "OP":
+            self.advance()
+            right = self.parse_term()
+            return comparison(token.text, left, right)
+        if token.kind == "IS":
+            self.advance()
+            operand_left = self.parse_term()
+            op_token = self.peek()
+            if op_token.kind != "ARITH":
+                raise DatalogSyntaxError(
+                    f"expected arithmetic operator after 'is', found {op_token.text!r}",
+                    op_token.line,
+                    op_token.column,
+                )
+            self.advance()
+            operand_right = self.parse_term()
+            return arithmetic(left, operand_left, op_token.text, operand_right)
+        raise DatalogSyntaxError(
+            f"expected comparison or 'is', found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def parse_atom(self) -> Atom:
+        name = self.expect("IDENT")
+        terms: List = []
+        if self.peek().kind == "LPAREN":
+            self.advance()
+            terms.append(self.parse_term())
+            while self.peek().kind == "COMMA":
+                self.advance()
+                terms.append(self.parse_term())
+            self.expect("RPAREN")
+        return Atom(name.text, terms)
+
+    def parse_term(self):
+        token = self.peek()
+        if token.kind == "VARIABLE":
+            self.advance()
+            return Variable(token.text)
+        if token.kind == "IDENT":
+            self.advance()
+            return Constant(token.text)
+        if token.kind == "NUMBER":
+            self.advance()
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return Constant(token.text)
+        if token.kind == "ARITH" and token.text == "-":
+            self.advance()
+            number = self.expect("NUMBER")
+            return Constant(-int(number.text))
+        raise DatalogSyntaxError(
+            f"expected a term, found {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse Datalog source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (or fact)."""
+    parser = _Parser(tokenize(source))
+    clause = parser.parse_clause()
+    parser.expect("EOF")
+    return clause
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single atom, e.g. ``"sg(ann, Y)"``."""
+    parser = _Parser(tokenize(source))
+    parsed = parser.parse_atom()
+    parser.expect("EOF")
+    return parsed

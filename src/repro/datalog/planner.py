@@ -1,0 +1,118 @@
+"""A small join planner: body reordering by estimated cost.
+
+The evaluators process rule bodies (mostly) left to right, so body
+order is a plan.  :func:`optimize_program` reorders each rule body with
+a greedy cheapest-next heuristic:
+
+1. start from the variables bound by the head's constants — none for a
+   plain bottom-up rule, but the magic/supplementary rewrites put the
+   guard literal first and it stays first;
+2. repeatedly pick the remaining element with the lowest estimated
+   cost: builtins and negations as soon as they are evaluable (they
+   only filter), then the positive literal with the smallest estimated
+   *output* (relation size divided by the number of bound columns'
+   distinct-value factor — a classic textbook selectivity estimate);
+3. never move an element before the literals that bind the variables
+   it needs (safety is preserved by construction).
+
+Semantics are untouched — only the join order changes — which the fuzz
+suite verifies; the cost win on skewed databases is demonstrated in the
+planner tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .atom import BuiltinAtom, Literal
+from .builtins import output_variables, required_bound_variables
+from .database import Database
+from .program import Program
+from .rule import Rule
+from .term import Variable
+
+
+def _estimated_output(literal: Literal, bound: Set[Variable], sizes: Dict[str, int]) -> float:
+    """Crude cardinality estimate for joining ``literal`` next."""
+    size = sizes.get(literal.predicate, 100)
+    bound_columns = sum(
+        1
+        for term in literal.terms
+        if term.is_constant or term in bound
+    )
+    arity = max(1, len(literal.terms))
+    # Each bound column divides the estimate; fully bound ~ membership.
+    selectivity = (bound_columns / arity) * 0.9
+    return max(1.0, size * (1.0 - selectivity))
+
+
+def _order_body(rule: Rule, sizes: Dict[str, int]) -> List:
+    remaining = list(rule.body)
+    ordered: List = []
+    bound: Set[Variable] = set()
+    while remaining:
+        # Filters first, as soon as they are evaluable.
+        filter_index = None
+        for i, element in enumerate(remaining):
+            if isinstance(element, BuiltinAtom):
+                if required_bound_variables(element) <= bound:
+                    filter_index = i
+                    break
+            elif element.negated:
+                if set(element.variables()) <= bound:
+                    filter_index = i
+                    break
+        if filter_index is not None:
+            element = remaining.pop(filter_index)
+            ordered.append(element)
+            if isinstance(element, BuiltinAtom):
+                bound |= output_variables(element)
+            continue
+        # Cheapest positive literal next.
+        candidates = [
+            (i, element)
+            for i, element in enumerate(remaining)
+            if isinstance(element, Literal) and not element.negated
+        ]
+        if not candidates:
+            # Only unevaluable filters left: emit in original order and
+            # let the evaluator's own scheduling handle (or report) it.
+            ordered.extend(remaining)
+            break
+        best_index, best = min(
+            candidates,
+            key=lambda pair: _estimated_output(pair[1], bound, sizes),
+        )
+        remaining.pop(best_index)
+        ordered.append(best)
+        bound |= set(best.variables())
+    return ordered
+
+
+def optimize_rule(rule: Rule, sizes: Dict[str, int]) -> Rule:
+    """Reorder one rule's body; facts and single-literal bodies pass
+    through untouched."""
+    if len(rule.body) <= 1:
+        return rule
+    return Rule(rule.head, _order_body(rule, sizes))
+
+
+def relation_sizes(database: Database) -> Dict[str, int]:
+    """Current relation cardinalities (uncharged; planning metadata)."""
+    return {name: len(database.relation(name)) for name in database.names()}
+
+
+def optimize_program(
+    program: Program, database: Optional[Database] = None
+) -> Program:
+    """Reorder every rule body using the database's relation sizes.
+
+    Without a database, every relation is assumed equal-sized, which
+    still moves selective (more-bound) literals forward.
+    """
+    sizes = relation_sizes(database) if database is not None else {}
+    optimized = Program(
+        [optimize_rule(rule, sizes) for rule in program.rules],
+        program.query,
+    )
+    return optimized

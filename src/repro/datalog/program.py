@@ -1,0 +1,127 @@
+"""Datalog programs: a set of rules plus an optional query goal.
+
+A :class:`Program` distinguishes *extensional* predicates (EDB — defined
+only by stored facts) from *intensional* predicates (IDB — defined by at
+least one rule head).  It exposes the predicate dependency graph used by
+stratification, recursion analysis, and the rewriting passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .atom import Atom, Literal
+from .rule import Rule
+
+
+class Program:
+    """An ordered collection of rules with an optional query goal."""
+
+    def __init__(self, rules: Iterable[Rule] = (), query: Optional[Atom] = None):
+        self.rules: List[Rule] = list(rules)
+        self.query = query
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by at least one rule head."""
+        return {r.head.predicate for r in self.rules}
+
+    def edb_predicates(self) -> Set[str]:
+        """Predicates referenced in bodies but never defined by a rule."""
+        idb = self.idb_predicates()
+        referenced: Set[str] = set()
+        for r in self.rules:
+            referenced.update(r.body_predicates())
+        if self.query is not None:
+            referenced.add(self.query.predicate)
+        return referenced - idb
+
+    def predicates(self) -> Set[str]:
+        return self.idb_predicates() | self.edb_predicates()
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def dependency_edges(self) -> List[Tuple[str, str, bool]]:
+        """Edges ``(head_pred, body_pred, negated)`` of the dependency graph."""
+        edges = []
+        for r in self.rules:
+            for element in r.body:
+                if isinstance(element, Literal):
+                    edges.append((r.head.predicate, element.predicate, element.negated))
+        return edges
+
+    def dependency_graph(self) -> Dict[str, Set[str]]:
+        """Adjacency map: head predicate -> set of body predicates."""
+        graph: Dict[str, Set[str]] = {p: set() for p in self.predicates()}
+        for head, body, _negated in self.dependency_edges():
+            graph.setdefault(head, set()).add(body)
+        return graph
+
+    def recursive_predicates(self) -> Set[str]:
+        """IDB predicates that (transitively) depend on themselves."""
+        graph = self.dependency_graph()
+        recursive = set()
+        for pred in self.idb_predicates():
+            if self._reaches(graph, pred, pred):
+                recursive.add(pred)
+        return recursive
+
+    @staticmethod
+    def _reaches(graph: Dict[str, Set[str]], start: str, target: str) -> bool:
+        """True when ``target`` is reachable from ``start`` in >= 1 step."""
+        stack = list(graph.get(start, ()))
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    def is_linear(self, predicate: str) -> bool:
+        """True when each rule for ``predicate`` has at most one literal
+        that is mutually recursive with it."""
+        graph = self.dependency_graph()
+        mutually_recursive = {predicate} | {
+            p
+            for p in self.idb_predicates()
+            if self._reaches(graph, predicate, p) and self._reaches(graph, p, predicate)
+        }
+        for r in self.rules_for(predicate):
+            count = sum(
+                1
+                for element in r.body
+                if isinstance(element, Literal)
+                and element.predicate in mutually_recursive
+            )
+            if count > 1:
+                return False
+        return True
+
+    def check_safety(self) -> None:
+        """Validate every rule; raises :class:`SafetyError` on the first
+        violation."""
+        for r in self.rules:
+            r.check_safety()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Program)
+            and self.rules == other.rules
+            and self.query == other.query
+        )
+
+    def __repr__(self):
+        return f"Program({len(self.rules)} rules, query={self.query})"
+
+    def __str__(self):
+        lines = [str(r) for r in self.rules]
+        if self.query is not None:
+            lines.append(f"?- {self.query}.")
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Relations: set-backed tuple stores with hash indexes and cost accounting.
+
+The paper measures every method in a single unit: "the cost of retrieving
+a tuple in a database relation" (Section 3).  To reproduce its tables we
+therefore instrument the storage layer itself.  Every probe of a relation
+charges one unit to the attached :class:`CostCounter`, plus one unit per
+tuple the probe yields.  All engines in this package — naive, seminaive,
+counting, magic, and all eight magic counting variants — read the database
+exclusively through this layer, so their measured costs are directly
+comparable and have the paper's asymptotic shape.
+
+Relations store plain Python tuples of hashable values.  Hash indexes on
+arbitrary column subsets are built lazily on first use and maintained
+incrementally by :meth:`Relation.add`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class CostCounter:
+    """Accumulates tuple-retrieval costs, globally and per relation.
+
+    ``retrievals`` is the paper's cost measure.  ``probes`` counts index
+    lookups (charged one unit each so that unproductive probes are not
+    free); ``retrievals`` includes both components.
+    """
+
+    __slots__ = ("retrievals", "probes", "tuples", "per_relation")
+
+    def __init__(self):
+        self.retrievals = 0
+        self.probes = 0
+        self.tuples = 0
+        self.per_relation: Dict[str, int] = {}
+
+    def charge_probe(self, relation_name: str) -> None:
+        self.probes += 1
+        self.retrievals += 1
+        self.per_relation[relation_name] = self.per_relation.get(relation_name, 0) + 1
+
+    def charge_tuples(self, relation_name: str, count: int) -> None:
+        if count <= 0:
+            return
+        self.tuples += count
+        self.retrievals += count
+        self.per_relation[relation_name] = (
+            self.per_relation.get(relation_name, 0) + count
+        )
+
+    def reset(self) -> None:
+        self.retrievals = 0
+        self.probes = 0
+        self.tuples = 0
+        self.per_relation.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict summary, convenient for reports and assertions."""
+        summary = {
+            "retrievals": self.retrievals,
+            "probes": self.probes,
+            "tuples": self.tuples,
+        }
+        for name, value in sorted(self.per_relation.items()):
+            summary[f"relation:{name}"] = value
+        return summary
+
+    def __repr__(self):
+        return (
+            f"CostCounter(retrievals={self.retrievals}, "
+            f"probes={self.probes}, tuples={self.tuples})"
+        )
+
+
+# A module-level counter used when a relation is created without one, so
+# standalone relations are always safe to probe.
+_NULL_COUNTER = CostCounter()
+
+
+class Relation:
+    """A named relation: a set of same-arity tuples with lazy hash indexes.
+
+    ``lookup(pattern)`` is the single read primitive: ``pattern`` is a
+    tuple whose bound positions carry values and whose free positions are
+    ``None``.  Examples for a binary relation ``L``::
+
+        L.lookup((b, None))   # all successors of b        (index on col 0)
+        L.lookup((None, c))   # all predecessors of c      (index on col 1)
+        L.lookup((b, c))      # membership test
+        L.lookup((None, None))# full scan
+
+    Every call charges the attached :class:`CostCounter` as described in
+    the module docstring.
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "counter")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Iterable[Tuple] = (),
+        counter: Optional[CostCounter] = None,
+    ):
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self.counter = counter if counter is not None else _NULL_COUNTER
+        self._tuples: set = set()
+        # positions (sorted tuple of bound column indexes) -> key -> list of tuples
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}
+        for tup in tuples:
+            self.add(tup)
+
+    def add(self, tup: Tuple) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        tup = tuple(tup)
+        if len(tup) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got tuple {tup!r}"
+            )
+        if tup in self._tuples:
+            return False
+        self._tuples.add(tup)
+        for positions, index in self._indexes.items():
+            key = tuple(tup[i] for i in positions)
+            index.setdefault(key, []).append(tup)
+        return True
+
+    def add_all(self, tuples: Iterable[Tuple]) -> int:
+        """Insert many tuples; returns how many were new."""
+        added = 0
+        for tup in tuples:
+            if self.add(tup):
+                added += 1
+        return added
+
+    def _index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[Tuple]]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for tup in self._tuples:
+                key = tuple(tup[i] for i in positions)
+                index.setdefault(key, []).append(tup)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, pattern: Tuple) -> Iterator[Tuple]:
+        """Yield tuples matching ``pattern`` (None = free position).
+
+        Charges one probe plus one unit per tuple yielded.
+        """
+        if len(pattern) != self.arity:
+            raise ValueError(
+                f"pattern {pattern!r} does not match arity {self.arity} "
+                f"of relation {self.name}"
+            )
+        self.counter.charge_probe(self.name)
+        positions = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not positions:
+            matches: Iterable[Tuple] = self._tuples
+        elif len(positions) == self.arity:
+            tup = tuple(pattern)
+            matches = (tup,) if tup in self._tuples else ()
+        else:
+            index = self._index_for(positions)
+            key = tuple(pattern[i] for i in positions)
+            matches = index.get(key, ())
+        count = 0
+        for tup in matches:
+            count += 1
+            yield tup
+        self.counter.charge_tuples(self.name, count)
+
+    def contains(self, tup: Tuple) -> bool:
+        """Membership test, charged as one probe (plus one hit if found)."""
+        self.counter.charge_probe(self.name)
+        found = tuple(tup) in self._tuples
+        if found:
+            self.counter.charge_tuples(self.name, 1)
+        return found
+
+    # --- uncharged structural accessors -------------------------------
+    # Used by tests, workload generators, and analysis code that inspects
+    # relations without modelling database work.
+
+    def __contains__(self, tup) -> bool:
+        return tuple(tup) in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def as_set(self) -> set:
+        return set(self._tuples)
+
+    def column_values(self, column: int) -> set:
+        """Distinct values of one column (uncharged; used for statistics)."""
+        return {tup[column] for tup in self._tuples}
+
+    def copy(self, counter: Optional[CostCounter] = None) -> "Relation":
+        return Relation(
+            self.name, self.arity, self._tuples, counter or self.counter
+        )
+
+    def __repr__(self):
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"

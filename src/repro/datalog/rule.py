@@ -1,0 +1,148 @@
+"""Rules (Horn clauses) and their safety validation.
+
+A :class:`Rule` is ``head :- body`` where the head is an :class:`Atom`
+and the body is a sequence of :class:`Literal` and :class:`BuiltinAtom`
+elements.  A rule with an empty body and a ground head is a fact.
+
+Safety (range restriction) follows the standard Datalog definition,
+extended for builtins:
+
+* every head variable must be *limited*;
+* every variable of a negated literal must be limited;
+* a variable is limited when it occurs in a positive body literal, or is
+  the output of an ``is`` builtin whose operands are limited;
+* comparison builtins limit nothing, and all their variables must be
+  limited elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union
+
+from ..errors import SafetyError
+from .atom import Atom, BuiltinAtom, Literal
+from .builtins import output_variables, required_bound_variables
+
+BodyElement = Union[Literal, BuiltinAtom]
+
+
+def _coerce_body_element(element) -> BodyElement:
+    if isinstance(element, (Literal, BuiltinAtom)):
+        return element
+    if isinstance(element, Atom):
+        return Literal(element)
+    raise TypeError(f"cannot use {element!r} as a rule body element")
+
+
+class Rule:
+    """A Horn rule ``head :- body``."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Iterable = ()):
+        if not isinstance(head, Atom):
+            raise TypeError("rule head must be an Atom")
+        self.head = head
+        self.body: Tuple[BodyElement, ...] = tuple(
+            _coerce_body_element(e) for e in body
+        )
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body and self.head.is_ground()
+
+    def positive_literals(self) -> List[Literal]:
+        return [e for e in self.body if isinstance(e, Literal) and not e.negated]
+
+    def negative_literals(self) -> List[Literal]:
+        return [e for e in self.body if isinstance(e, Literal) and e.negated]
+
+    def builtins(self) -> List[BuiltinAtom]:
+        return [e for e in self.body if isinstance(e, BuiltinAtom)]
+
+    def body_predicates(self):
+        """Predicate names occurring in relational body literals."""
+        return [e.predicate for e in self.body if isinstance(e, Literal)]
+
+    def variables(self):
+        """All distinct variables in the rule, head first."""
+        seen = set()
+        for source in (self.head, *self.body):
+            for v in source.variables():
+                if v not in seen:
+                    seen.add(v)
+                    yield v
+
+    def substitute(self, theta) -> "Rule":
+        return Rule(
+            self.head.substitute(theta),
+            tuple(e.substitute(theta) for e in self.body),
+        )
+
+    def rename_apart(self, suffix: str) -> "Rule":
+        """Rename every variable by appending ``suffix`` (for rewrites)."""
+        from .term import Variable
+
+        theta = {v: Variable(v.name + suffix) for v in self.variables()}
+        return self.substitute(theta)
+
+    def check_safety(self) -> None:
+        """Raise :class:`SafetyError` unless the rule is range-restricted."""
+        limited = set()
+        for literal in self.positive_literals():
+            limited.update(literal.variables())
+        # 'is' builtins can chain: iterate to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for builtin in self.builtins():
+                needs = required_bound_variables(builtin)
+                gives = output_variables(builtin)
+                if needs <= limited and not gives <= limited:
+                    limited.update(gives)
+                    changed = True
+        unsafe_head = [v for v in self.head.variables() if v not in limited]
+        if unsafe_head:
+            names = ", ".join(v.name for v in unsafe_head)
+            raise SafetyError(f"head variables not range-restricted: {names} in {self}")
+        for literal in self.negative_literals():
+            unsafe = [v for v in literal.variables() if v not in limited]
+            if unsafe:
+                names = ", ".join(v.name for v in unsafe)
+                raise SafetyError(
+                    f"variables of negated literal not range-restricted: "
+                    f"{names} in {self}"
+                )
+        for builtin in self.builtins():
+            unsafe = [
+                v for v in required_bound_variables(builtin) if v not in limited
+            ]
+            if unsafe:
+                names = ", ".join(v.name for v in unsafe)
+                raise SafetyError(
+                    f"builtin arguments not range-restricted: {names} in {self}"
+                )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Rule)
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash((self.head, self.body))
+
+    def __repr__(self):
+        return f"Rule({self.head!r}, {self.body!r})"
+
+    def __str__(self):
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(e) for e in self.body)
+        return f"{self.head} :- {body}."
+
+
+def rule(head: Atom, *body) -> Rule:
+    """Shorthand rule constructor: ``rule(head, lit1, lit2, ...)``."""
+    return Rule(head, body)

@@ -1,0 +1,120 @@
+"""Terms of the Datalog language: variables and constants.
+
+Datalog terms are flat (no function symbols), so a term is either a
+:class:`Variable` or a :class:`Constant`.  Both are immutable, hashable
+value objects; substitutions are plain ``dict[Variable, Constant]``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Variable:
+    """A logical variable, identified by its name.
+
+    By Datalog convention a variable name starts with an uppercase letter
+    or an underscore (the parser enforces this; the constructor does not,
+    so rewrites are free to invent names like ``$cnt0``).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+
+class Constant:
+    """A constant value.
+
+    The payload may be any hashable Python value (strings, ints, tuples);
+    the engine only ever compares constants for equality and hashes them.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return f"Constant({self.value!r})"
+
+    def __str__(self):
+        if isinstance(self.value, str):
+            return self.value
+        return repr(self.value)
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+
+Term = Union[Variable, Constant]
+
+
+def make_term(value) -> Term:
+    """Coerce a Python value into a term.
+
+    Existing terms pass through; strings that look like Datalog variables
+    (leading uppercase or underscore) become variables; everything else
+    becomes a constant.  This is a convenience for building rules in
+    Python code without spelling out ``Variable``/``Constant``.
+
+    >>> make_term("X")
+    Variable('X')
+    >>> make_term("alice")
+    Constant('alice')
+    >>> make_term(3)
+    Constant(3)
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+def is_ground(terms) -> bool:
+    """Return True when every term in the iterable is a constant."""
+    return all(term.is_constant for term in terms)
+
+
+def variables_of(terms):
+    """Yield the distinct variables occurring in ``terms``, in order."""
+    seen = set()
+    for term in terms:
+        if term.is_variable and term not in seen:
+            seen.add(term)
+            yield term

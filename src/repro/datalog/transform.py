@@ -1,0 +1,170 @@
+"""Program transformations: unfolding, renaming, dead-rule elimination.
+
+Classic source-to-source passes over Datalog programs, all
+equivalence-preserving (the fuzz suite checks):
+
+* :func:`unfold_predicate` — inline a *non-recursive* predicate's rules
+  into every positive occurrence (resolution/unfolding).  Useful before
+  CSL analysis when ``L``/``R`` are thin derived views, and as the
+  classic partial-evaluation step;
+* :func:`rename_predicate` — consistent renaming everywhere (heads,
+  bodies, negations, the query goal);
+* :func:`eliminate_dead_rules` — drop rules whose head predicate the
+  query goal cannot reach (the lint module's reachability, made into a
+  transformation).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .atom import Atom, BuiltinAtom, Literal
+from .program import Program
+from .rule import Rule
+from .term import Variable
+from .unify import unify_terms
+
+
+def rename_predicate(program: Program, old: str, new: str) -> Program:
+    """A copy of ``program`` with every occurrence of ``old`` renamed."""
+
+    def rename_atom(atom: Atom) -> Atom:
+        if atom.predicate == old:
+            return Atom(new, atom.terms)
+        return atom
+
+    rules = []
+    for rule in program.rules:
+        body = []
+        for element in rule.body:
+            if isinstance(element, Literal):
+                body.append(Literal(rename_atom(element.atom), element.negated))
+            else:
+                body.append(element)
+        rules.append(Rule(rename_atom(rule.head), body))
+    query = rename_atom(program.query) if program.query is not None else None
+    return Program(rules, query)
+
+
+def eliminate_dead_rules(program: Program) -> Program:
+    """Drop rules that cannot contribute to the query goal."""
+    if program.query is None:
+        return Program(list(program.rules), None)
+    graph = program.dependency_graph()
+    live = {program.query.predicate}
+    stack = [program.query.predicate]
+    while stack:
+        predicate = stack.pop()
+        for dependency in graph.get(predicate, ()):
+            if dependency not in live:
+                live.add(dependency)
+                stack.append(dependency)
+    return Program(
+        [rule for rule in program.rules if rule.head.predicate in live],
+        program.query,
+    )
+
+
+def unfold_predicate(program: Program, predicate: str) -> Program:
+    """Inline ``predicate``'s rules into every positive occurrence.
+
+    Requirements: ``predicate`` must be intensional, non-recursive (not
+    even transitively through itself), never negated, and not the query
+    goal.  Each occurrence is replaced by each defining rule's body
+    (renamed apart, head unified with the occurrence), multiplying
+    rules out; the definitions themselves are dropped.
+    """
+    definitions = program.rules_for(predicate)
+    if not definitions:
+        raise ReproError(f"predicate {predicate!r} has no rules to unfold")
+    if predicate in program.recursive_predicates():
+        raise ReproError(f"cannot unfold recursive predicate {predicate!r}")
+    if program.query is not None and program.query.predicate == predicate:
+        raise ReproError("cannot unfold the query goal's predicate")
+    for rule in program.rules:
+        for element in rule.body:
+            if (
+                isinstance(element, Literal)
+                and element.negated
+                and element.predicate == predicate
+            ):
+                raise ReproError(
+                    f"cannot unfold {predicate!r}: it occurs under negation"
+                )
+
+    fresh = count()
+
+    def flatten(theta: Dict) -> Dict:
+        """Resolve var -> var -> ... chains so one-step substitution is
+        enough (``{Y: X, X: 1}`` must send Y to 1, not to X)."""
+        resolved = {}
+        for variable in theta:
+            value = variable
+            seen = set()
+            while isinstance(value, Variable) and value in theta:
+                if value in seen:
+                    break
+                seen.add(value)
+                value = theta[value]
+            resolved[variable] = value
+        return resolved
+
+    def expand(rule: Rule) -> List[Rule]:
+        """All unfoldings of the first occurrence, or [rule] if none."""
+        for index, element in enumerate(rule.body):
+            if (
+                isinstance(element, Literal)
+                and not element.negated
+                and element.predicate == predicate
+            ):
+                results: List[Rule] = []
+                for definition in definitions:
+                    renamed = definition.rename_apart(f"_u{next(fresh)}")
+                    theta = unify_terms(renamed.head.terms, element.terms)
+                    if theta is None:
+                        continue
+                    new_body = (
+                        list(rule.body[:index])
+                        + list(renamed.body)
+                        + list(rule.body[index + 1 :])
+                    )
+                    candidate = Rule(rule.head, new_body).substitute(
+                        flatten(theta)
+                    )
+                    results.extend(expand(candidate))
+                return results
+        return [rule]
+
+    rules: List[Rule] = []
+    for rule in program.rules:
+        if rule.head.predicate == predicate:
+            continue
+        rules.extend(expand(rule))
+    return Program(rules, program.query)
+
+
+def unfold_all_views(program: Program, keep: Optional[set] = None) -> Program:
+    """Unfold every non-recursive IDB predicate except the query goal's
+    (and any in ``keep``), repeatedly, until none remain foldable."""
+    keep = set(keep or ())
+    if program.query is not None:
+        keep.add(program.query.predicate)
+    changed = True
+    while changed:
+        changed = False
+        recursive = program.recursive_predicates()
+        negated = {
+            element.predicate
+            for rule in program.rules
+            for element in rule.body
+            if isinstance(element, Literal) and element.negated
+        }
+        for predicate in sorted(program.idb_predicates()):
+            if predicate in keep or predicate in recursive or predicate in negated:
+                continue
+            program = unfold_predicate(program, predicate)
+            changed = True
+            break
+    return program

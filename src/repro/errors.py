@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything the package raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatalogSyntaxError(ReproError):
+    """Raised by the parser on malformed Datalog source text.
+
+    Carries the (1-based) line and column of the offending token when
+    available so callers can point users at the exact location.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SafetyError(ReproError):
+    """Raised when a rule or program violates range restriction / safety."""
+
+
+class StratificationError(ReproError):
+    """Raised when a program with negation admits no stratification."""
+
+
+class EvaluationError(ReproError):
+    """Raised for runtime evaluation failures (unknown predicates, etc.)."""
+
+
+class UnsafeQueryError(EvaluationError):
+    """Raised when a fixpoint computation is detected to diverge.
+
+    The counting method is unsafe on cyclic magic graphs (Section 2 of the
+    paper): its counting-set fixpoint never terminates.  Engines that can
+    diverge accept an iteration budget and raise this error when the budget
+    is exhausted, instead of looping forever.
+    """
+
+
+class NotCSLError(ReproError):
+    """Raised when a Datalog program is not a canonical strongly linear query."""
+
+
+class MethodConditionError(ReproError):
+    """Raised when reduced sets violate the Theorem 1 / Theorem 2 conditions."""

@@ -1,0 +1,69 @@
+"""Synthetic workloads: the paper's figures, layered cost workloads,
+same-generation databases, and random instances for property testing."""
+
+from .adversarial import (
+    chorded_cycle,
+    deep_single_branch_with_early_multiple,
+    diamond_ladder_into_cycle,
+    overlapping_descent_chain,
+)
+from .figures import (
+    FIGURE1_ANSWER,
+    FIGURE2_EXPECTED_RM,
+    FIGURE2_MULTIPLE,
+    FIGURE2_PRINTED_STATS,
+    FIGURE2_RECURRING,
+    FIGURE2_SINGLE,
+    figure1_acyclic_query,
+    figure1_cyclic_query,
+    figure1_query,
+    figure2_magic_only,
+    figure2_query,
+)
+from .generators import (
+    WorkloadParams,
+    acyclic_workload,
+    cyclic_workload,
+    generate,
+    grid_workload,
+    regular_workload,
+)
+from .random_graphs import random_csl, random_csl_batch
+from .tight import layered_complete
+from .samegen import (
+    accidentally_cyclic_family,
+    balanced_same_generation,
+    balanced_tree_parent,
+    random_forest_parent,
+)
+
+__all__ = [
+    "FIGURE1_ANSWER",
+    "FIGURE2_EXPECTED_RM",
+    "FIGURE2_MULTIPLE",
+    "FIGURE2_PRINTED_STATS",
+    "FIGURE2_RECURRING",
+    "FIGURE2_SINGLE",
+    "WorkloadParams",
+    "accidentally_cyclic_family",
+    "acyclic_workload",
+    "balanced_same_generation",
+    "balanced_tree_parent",
+    "chorded_cycle",
+    "cyclic_workload",
+    "deep_single_branch_with_early_multiple",
+    "diamond_ladder_into_cycle",
+    "overlapping_descent_chain",
+    "figure1_acyclic_query",
+    "figure1_cyclic_query",
+    "figure1_query",
+    "figure2_magic_only",
+    "figure2_query",
+    "generate",
+    "grid_workload",
+    "layered_complete",
+    "random_csl",
+    "random_csl_batch",
+    "random_forest_parent",
+    "regular_workload",
+]

@@ -1,0 +1,73 @@
+"""Adversarial instances: each method's structural worst/best cases.
+
+These are the hand-crafted families the benchmark suite uses to isolate
+one mechanism at a time:
+
+* :func:`chorded_cycle` — everything recurring: the naive recurring
+  Step 1 pays its full Θ(n_L × m_L) sweep, the SCC variant stays linear;
+* :func:`diamond_ladder_into_cycle` — every rung multiple, one small
+  cycle at the top: the recurring strategy's RC (all indices of all
+  multiple nodes) pays off against the multiple strategy's RM;
+* :func:`deep_single_branch_with_early_multiple` — the Figure-2 smear:
+  an early multiple node forces the single method's i_x to 1, dumping a
+  long perfectly-countable branch into the magic part; the multiple
+  method keeps counting it;
+* :func:`overlapping_descent_chain` — per-level descents that overlap
+  on a tiny cyclic R side: the counting method's shared downward
+  cascade collapses them, the [HN] iterative baseline re-walks them.
+"""
+
+from __future__ import annotations
+
+from ..core.csl import CSLQuery
+
+
+def chorded_cycle(size: int) -> CSLQuery:
+    """A directed ``size``-cycle with +2 chords, reached from ``a``."""
+    left = {(f"n{i}", f"n{(i + 1) % size}") for i in range(size)}
+    left |= {(f"n{i}", f"n{(i + 2) % size}") for i in range(size)}
+    left.add(("a", "n0"))
+    return CSLQuery(left, set(), set(), "a")
+
+
+def diamond_ladder_into_cycle(rungs: int, r_depth: int = 25) -> CSLQuery:
+    """A ladder of skip-arc diamonds (every rung multiple) ending in a
+    2-cycle, with exits from every rung into a deep R chain."""
+    left = set()
+    previous = "a"
+    for i in range(rungs):
+        left |= {
+            (previous, f"u{i}"),
+            (previous, f"v{i}"),
+            (f"u{i}", f"w{i}"),
+            (f"v{i}", f"w{i}"),
+            (previous, f"w{i}"),  # the skip: w_i becomes multiple
+        }
+        previous = f"w{i}"
+    left |= {(previous, "c1"), ("c1", "c2"), ("c2", "c1")}
+    exit_pairs = {(f"w{i}", "r0") for i in range(rungs)}
+    right = {(f"r{j+1}", f"r{j}") for j in range(r_depth)}
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+def deep_single_branch_with_early_multiple(
+    branch_length: int, r_depth: int = 25
+) -> CSLQuery:
+    """One early multiple node beside a long single branch."""
+    left = {("a", "bad"), ("a", "bad2"), ("bad2", "bad")}
+    previous = "a"
+    for i in range(branch_length):
+        left.add((previous, f"s{i}"))
+        previous = f"s{i}"
+    exit_pairs = {(f"s{i}", "r0") for i in range(branch_length)}
+    exit_pairs.add(("bad", "r0"))
+    right = {(f"r{j+1}", f"r{j}") for j in range(r_depth)}
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+def overlapping_descent_chain(depth: int) -> CSLQuery:
+    """A chain magic graph whose exits all enter a 2-cycle R side."""
+    left = {("a", "n0")} | {(f"n{i}", f"n{i+1}") for i in range(depth - 1)}
+    exit_pairs = {(f"n{i}", "r0") for i in range(depth)}
+    right = {("r1", "r0"), ("r0", "r1")}
+    return CSLQuery(left, exit_pairs, right, "a")

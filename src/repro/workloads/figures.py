@@ -1,0 +1,151 @@
+"""The paper's worked examples: the graphs of Figures 1 and 2.
+
+The figures themselves are images; the graphs below are reconstructed
+from every textual constraint the paper states about them, and the test
+suite asserts each of those constraints:
+
+**Figure 1** (query graph, Section 3):
+
+* ``G_L`` is induced by ``a, a1, ..., a5`` and is *regular*;
+* ``G_R`` is induced by ``b1, ..., b9``;
+* the answer is ``{b3, b5, b7, b8, b9}``; ``b5`` enters via the path
+  ``a, a1, b3, b5``; ``b3`` and ``b9`` enter via paths that traverse a
+  cycle on the R side (through ``b8``);
+* adding ``(a2, a5)`` to ``L`` makes the query acyclic with ``a5``
+  multiple; adding ``(a5, a2)`` instead makes it cyclic with exactly
+  ``a2, a3, a5`` recurring.
+
+**Figure 2** (magic graph, Sections 4-9), printed values:
+
+* singles ``{a, b, c, d, e, f}``, multiples ``{h, k}``, recurring
+  ``{g, i, j, l}``; ``i_x = 2`` with single-method
+  ``RC₋ᵢ = {a, b, c, d}``;
+* Section 7: ``n_x = 4, m_x = 3, n_ĵ = 1, m_ĵ = 1``;
+* Section 8: ``n_s = 6, m_s = 6, n_î = 2, m_î = 3``;
+* Section 9: ``n_m = 8, m_m = 9, m_m̂ = 8`` (and ``n_m̂ = 7`` as printed
+  — under the strict definition the reconstruction yields ``n_m̂ = 6``,
+  because the source ``a`` necessarily reaches the recurring cluster;
+  every other printed quantity matches exactly.  See EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..core.csl import CSLQuery
+
+# --- Figure 1 -------------------------------------------------------------
+
+FIGURE1_L = frozenset(
+    {
+        ("a", "a1"),
+        ("a", "a2"),
+        ("a1", "a3"),
+        ("a2", "a3"),
+        ("a3", "a5"),
+        ("a1", "a4"),
+    }
+)
+
+FIGURE1_E = frozenset({("a1", "b3"), ("a4", "b1"), ("a5", "b8")})
+
+# R relation pairs (Y, Y1); the query graph draws the arc (Y1, Y).
+FIGURE1_R = frozenset(
+    {
+        ("b5", "b3"),
+        ("b2", "b1"),
+        ("b7", "b2"),
+        ("b8", "b8"),
+        ("b9", "b8"),
+        ("b3", "b9"),
+        ("b4", "b5"),
+        ("b6", "b4"),
+    }
+)
+
+FIGURE1_ANSWER = frozenset({"b3", "b5", "b7", "b8", "b9"})
+
+
+def figure1_query() -> CSLQuery:
+    """The query instance of Figure 1 (regular magic graph)."""
+    return CSLQuery(FIGURE1_L, FIGURE1_E, FIGURE1_R, "a")
+
+
+def figure1_acyclic_query() -> CSLQuery:
+    """Figure 1 with ``(a2, a5)`` added: acyclic, ``a5`` multiple."""
+    return CSLQuery(FIGURE1_L | {("a2", "a5")}, FIGURE1_E, FIGURE1_R, "a")
+
+
+def figure1_cyclic_query() -> CSLQuery:
+    """Figure 1 with ``(a5, a2)`` added: cyclic, ``a2, a3, a5`` recurring."""
+    return CSLQuery(FIGURE1_L | {("a5", "a2")}, FIGURE1_E, FIGURE1_R, "a")
+
+
+# --- Figure 2 -------------------------------------------------------------
+
+FIGURE2_L = frozenset(
+    {
+        ("a", "b"),
+        ("a", "c"),
+        ("a", "d"),
+        ("b", "e"),
+        ("b", "f"),
+        ("b", "h"),
+        ("c", "f"),
+        ("c", "g"),
+        ("e", "h"),
+        ("h", "k"),
+        ("g", "i"),
+        ("i", "j"),
+        ("j", "g"),
+        ("j", "l"),
+    }
+)
+
+FIGURE2_SINGLE = frozenset({"a", "b", "c", "d", "e", "f"})
+FIGURE2_MULTIPLE = frozenset({"h", "k"})
+FIGURE2_RECURRING = frozenset({"g", "i", "j", "l"})
+
+# Reduced sets per strategy, exactly as the paper lists them.
+FIGURE2_EXPECTED_RM: Dict[str, Set[str]] = {
+    "basic": set("abcdefghijkl"),
+    "single": set("efghijkl"),
+    "multiple": set("ghijkl"),
+    "recurring": set("gijl"),
+}
+
+# Printed graph statistics (n_m̂ = 7 as printed; strictly 6 — see module
+# docstring).
+FIGURE2_PRINTED_STATS = {
+    "i_x": 2,
+    "n_x": 4,
+    "m_x": 3,
+    "n_ĵ": 1,
+    "m_ĵ": 1,
+    "n_s": 6,
+    "m_s": 6,
+    "n_î": 2,
+    "m_î": 3,
+    "n_m": 8,
+    "m_m": 9,
+    "n_m̂": 7,
+    "m_m̂": 8,
+}
+
+
+def figure2_query() -> CSLQuery:
+    """A full query instance whose magic graph is the Figure 2 graph.
+
+    The paper only draws ``G_L`` for Figure 2; we attach a small answer
+    side (one E arc per magic node into a 3-node R chain) so that every
+    method can actually run on the instance.
+    """
+    nodes = {value for pair in FIGURE2_L for value in pair}
+    exit_pairs = {(node, "r1") for node in sorted(nodes)}
+    right_pairs = {("r2", "r1"), ("r3", "r2"), ("r1", "r3")}
+    return CSLQuery(FIGURE2_L, exit_pairs, right_pairs, "a")
+
+
+def figure2_magic_only() -> CSLQuery:
+    """Figure 2 with an empty answer side (for pure Step-1 analysis)."""
+    return CSLQuery(FIGURE2_L, set(), set(), "a")

@@ -1,0 +1,246 @@
+"""Parametric synthetic workloads for the cost experiments.
+
+The paper's evaluation is driven by three magic-graph regimes —
+**regular**, **non-regular acyclic**, **cyclic** — with the answer side
+(``G_R``) of a size comparable to the magic side (the "on the average
+``m_R`` is of the same order as ``m_L``" assumption behind the dotted
+arcs of Figure 3).  :func:`generate` builds layered instances of all
+three regimes with controllable sizes:
+
+* the L side is a layered graph (level ``i`` → level ``i+1`` arcs only),
+  which makes every node single — *regular* by construction;
+* the *acyclic* regime adds level-skipping arcs from a chosen level
+  upwards, making every node above the skip multiple;
+* the *cyclic* regime additionally adds a back arc closing a cycle in
+  the upper region, making the nodes above it recurring;
+* keeping the lower ``nonregular_from`` levels untouched reproduces the
+  Figure 2 situation the single/multiple/recurring strategies exploit:
+  a regular region near the source, trouble only far away.
+
+The R side is an independent layered graph entered through ``E`` arcs;
+its depth exceeds the L depth so answers keep cascading all the way
+down to index 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.csl import CSLQuery
+
+KINDS = ("regular", "acyclic", "cyclic")
+
+
+@dataclass
+class WorkloadParams:
+    """Knobs for :func:`generate`.
+
+    ``l_levels``/``l_width``/``l_fanout`` shape the magic graph;
+    ``r_levels``/``r_width``/``r_fanout`` shape the answer graph;
+    ``kind`` selects the regime; ``nonregular_from`` is the first level
+    that receives skip/back arcs (default: half depth); ``skip_arcs``
+    controls how much multiplicity is injected; ``e_per_node`` is the
+    expected number of E arcs leaving each magic node.
+    """
+
+    l_levels: int = 6
+    l_width: int = 4
+    l_fanout: int = 2
+    r_levels: Optional[int] = None
+    r_width: int = 4
+    r_fanout: int = 2
+    kind: str = "regular"
+    nonregular_from: Optional[int] = None
+    skip_arcs: int = 2
+    e_per_node: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.r_levels is None:
+            # Deep enough that every counting index can cascade to 0.
+            self.r_levels = self.l_levels + 1
+        if self.nonregular_from is None:
+            self.nonregular_from = max(1, self.l_levels // 2)
+
+
+def _layered_l_side(params: WorkloadParams, rng: random.Random):
+    """Levels of L-node names and the L relation pairs."""
+    levels: List[List[str]] = [["a"]]
+    for level in range(1, params.l_levels + 1):
+        levels.append([f"L{level}_{j}" for j in range(params.l_width)])
+    left: Set[Tuple[str, str]] = set()
+    for level in range(params.l_levels):
+        current, following = levels[level], levels[level + 1]
+        for node in current:
+            targets = rng.sample(
+                following, k=min(params.l_fanout, len(following))
+            )
+            for target in targets:
+                left.add((node, target))
+        # Every next-level node needs an in-arc or it falls out of the
+        # query graph and the level widths drift.
+        covered = {target for (source, target) in left if target in following}
+        for orphan in following:
+            if orphan not in covered:
+                left.add((rng.choice(current), orphan))
+    return levels, left
+
+
+def _inject_multiplicity(
+    params: WorkloadParams, rng: random.Random, levels, left: Set[Tuple[str, str]]
+) -> None:
+    """Skip arcs (level i -> i+2) from ``nonregular_from`` up: the
+    targets acquire a second, shorter distance — multiple nodes."""
+    start = params.nonregular_from
+    added = 0
+    attempts = 0
+    while added < params.skip_arcs and attempts < 50 * params.skip_arcs:
+        attempts += 1
+        level = rng.randrange(start, max(start + 1, params.l_levels - 1))
+        if level + 2 > params.l_levels:
+            continue
+        source = rng.choice(levels[level])
+        target = rng.choice(levels[level + 2])
+        if (source, target) not in left:
+            left.add((source, target))
+            added += 1
+
+
+def _inject_cycle(
+    params: WorkloadParams, rng: random.Random, levels, left: Set[Tuple[str, str]]
+) -> None:
+    """A back arc inside the upper region closes a directed cycle.
+
+    The arc must run from a node *reachable from* the chosen low node
+    back to that node, otherwise no cycle forms; we BFS forward from the
+    target to find a genuine descendant.
+    """
+    start = params.nonregular_from
+    if start >= params.l_levels:
+        start = max(1, params.l_levels - 1)
+    low = min(start + 1, params.l_levels)
+    target = rng.choice(levels[low])
+
+    successors: Dict[str, List[str]] = {}
+    for b, c in left:
+        successors.setdefault(b, []).append(c)
+    reachable: List[str] = []
+    seen = {target}
+    frontier = [target]
+    while frontier:
+        node = frontier.pop()
+        for successor in successors.get(node, ()):
+            if successor not in seen:
+                seen.add(successor)
+                reachable.append(successor)
+                frontier.append(successor)
+    source = rng.choice(reachable) if reachable else target
+    left.add((source, target))
+
+
+def _answer_side(params: WorkloadParams, rng: random.Random, l_nodes: List[str]):
+    """E arcs into a fresh layered R graph; returns (exit, right)."""
+    r_levels: List[List[str]] = [
+        [f"R{level}_{j}" for j in range(params.r_width)]
+        for level in range(params.r_levels + 1)
+    ]
+    right: Set[Tuple[str, str]] = set()
+    for level in range(params.r_levels):
+        current, following = r_levels[level], r_levels[level + 1]
+        for node in current:
+            targets = rng.sample(
+                following, k=min(params.r_fanout, len(following))
+            )
+            for target in targets:
+                # Graph arc node -> target means R relation pair
+                # (target, node): P_C counts down through it.
+                right.add((target, node))
+    exit_pairs: Set[Tuple[str, str]] = set()
+    entry = r_levels[0]
+    for node in l_nodes:
+        count = int(params.e_per_node)
+        if rng.random() < params.e_per_node - count:
+            count += 1
+        for _ in range(count):
+            exit_pairs.add((node, rng.choice(entry)))
+    return exit_pairs, right
+
+
+def generate(params: WorkloadParams) -> CSLQuery:
+    """Build a CSL query instance according to ``params``."""
+    rng = random.Random(params.seed)
+    levels, left = _layered_l_side(params, rng)
+    if params.kind in ("acyclic", "cyclic"):
+        _inject_multiplicity(params, rng, levels, left)
+    if params.kind == "cyclic":
+        _inject_cycle(params, rng, levels, left)
+    l_nodes = [node for level in levels for node in level]
+    exit_pairs, right = _answer_side(params, rng, l_nodes)
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+def regular_workload(scale: int = 1, seed: int = 0, **overrides) -> CSLQuery:
+    """A regular instance whose size grows linearly with ``scale``."""
+    params = WorkloadParams(
+        l_levels=4 + 2 * scale,
+        l_width=2 + scale,
+        kind="regular",
+        seed=seed,
+        **overrides,
+    )
+    return generate(params)
+
+
+def acyclic_workload(scale: int = 1, seed: int = 0, **overrides) -> CSLQuery:
+    """A non-regular acyclic instance (multiplicity in the upper half)."""
+    params = WorkloadParams(
+        l_levels=4 + 2 * scale,
+        l_width=2 + scale,
+        kind="acyclic",
+        skip_arcs=1 + scale,
+        seed=seed,
+        **overrides,
+    )
+    return generate(params)
+
+
+def grid_workload(side: int, r_depth: Optional[int] = None) -> CSLQuery:
+    """A ``side × side`` grid magic graph (arcs right and down).
+
+    Every node (i, j) has exactly one distance ``i + j`` but up to
+    ``C(i+j, i)`` distinct shortest paths — a *regular* graph with
+    massive same-length path sharing, stressing the set-semantics
+    dedup of every Step-1 fixpoint (a per-path implementation would
+    blow up exponentially; the fixpoints must stay Θ(m_L)).
+    """
+    left = set()
+    for i in range(side):
+        for j in range(side):
+            if i + 1 < side:
+                left.add((f"g{i}_{j}", f"g{i+1}_{j}"))
+            if j + 1 < side:
+                left.add((f"g{i}_{j}", f"g{i}_{j+1}"))
+    if r_depth is None:
+        r_depth = 2 * side
+    corner = f"g{side-1}_{side-1}"
+    exit_pairs = {(corner, "r0"), (f"g0_{side-1}", "r0")}
+    right = {(f"r{j+1}", f"r{j}") for j in range(r_depth)}
+    left = {("a", "g0_0")} | left
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+def cyclic_workload(scale: int = 1, seed: int = 0, **overrides) -> CSLQuery:
+    """A cyclic instance (a cycle in the upper half)."""
+    params = WorkloadParams(
+        l_levels=4 + 2 * scale,
+        l_width=2 + scale,
+        kind="cyclic",
+        skip_arcs=1 + scale,
+        seed=seed,
+        **overrides,
+    )
+    return generate(params)

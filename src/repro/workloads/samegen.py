@@ -1,0 +1,96 @@
+"""Same-generation databases — the paper's motivating example.
+
+"To obtain the well-known same-generation example, we can assume that
+both L and R correspond to a relation Parent ... and every person is of
+the same generation as himself" (Section 1).  Here ``parent`` holds
+``(child, parent)`` pairs, so asking same-generation of a person walks
+*up* the ancestry (``L``) and back *down* (``R``).
+
+Section 3 motivates the magic counting methods with "accidentally
+cyclic" family trees: a database that is logically acyclic may contain
+physical cycles because acyclicity is too expensive to check on update.
+:func:`accidentally_cyclic_family` builds exactly that situation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set, Tuple
+
+from ..core.csl import CSLQuery
+
+
+def balanced_tree_parent(depth: int, fanout: int = 2) -> Set[Tuple[str, str]]:
+    """(child, parent) pairs of a balanced ancestry tree.
+
+    ``p0`` is the unique root (the oldest ancestor); generation ``g``
+    holds ``fanout**g`` people.  Every leaf is ``depth`` generations
+    below the root.
+    """
+    pairs: Set[Tuple[str, str]] = set()
+    generation = ["p0"]
+    counter = 1
+    for _ in range(depth):
+        next_generation = []
+        for parent in generation:
+            for _ in range(fanout):
+                child = f"p{counter}"
+                counter += 1
+                pairs.add((child, parent))
+                next_generation.append(child)
+        generation = next_generation
+    return pairs
+
+
+def balanced_same_generation(depth: int, fanout: int = 2) -> CSLQuery:
+    """Same-generation of the lexicographically first leaf of a
+    balanced tree (a regular magic graph: the ancestry is a chain)."""
+    pairs = balanced_tree_parent(depth, fanout)
+    children = {child for child, _ in pairs}
+    parents = {parent for _, parent in pairs}
+    leaves = sorted(children - parents)
+    return CSLQuery.same_generation(pairs, source=leaves[0])
+
+
+def random_forest_parent(
+    people: int, roots: int = 1, seed: int = 0, extra_parents: int = 0
+) -> Set[Tuple[str, str]]:
+    """A random (acyclic) ancestry: person ``i`` gets a parent among the
+    earlier people.  ``extra_parents`` adds second parents, creating
+    multiple same-length or different-length ancestor paths (non-regular
+    but still acyclic magic graphs)."""
+    rng = random.Random(seed)
+    pairs: Set[Tuple[str, str]] = set()
+    for i in range(roots, people):
+        parent = rng.randrange(0, i)
+        pairs.add((f"p{i}", f"p{parent}"))
+    for _ in range(extra_parents):
+        i = rng.randrange(roots + 1, people)
+        parent = rng.randrange(0, i)
+        pairs.add((f"p{i}", f"p{parent}"))
+    return pairs
+
+
+def accidentally_cyclic_family(
+    people: int, seed: int = 0, cycle_edges: int = 1
+) -> CSLQuery:
+    """A family tree with ``cycle_edges`` corrupt tuples that make an
+    ancestor a descendant of their own descendant — the "accidental
+    cycles that throw the counting method astray" of Section 3."""
+    rng = random.Random(seed)
+    pairs = random_forest_parent(people, seed=seed)
+    children = sorted({child for child, _ in pairs})
+    for _ in range(cycle_edges):
+        descendant = rng.choice(children)
+        # Walk up a few generations, then declare the ancestor a child
+        # of the descendant.
+        ancestor = descendant
+        for _ in range(rng.randrange(1, 4)):
+            parents = [p for c, p in pairs if c == ancestor]
+            if not parents:
+                break
+            ancestor = rng.choice(parents)
+        if ancestor != descendant:
+            pairs.add((ancestor, descendant))
+    source = children[-1]
+    return CSLQuery.same_generation(pairs, source=source)

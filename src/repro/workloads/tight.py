@@ -1,0 +1,58 @@
+"""Dense families that make the Θ-bounds *tight*.
+
+The layered workloads of :mod:`generators` validate the upper-bound
+shape; these complete-layered families exercise the lower bound: every
+join the Θ-expressions charge actually happens, so measured/predicted
+ratios should stay roughly constant as the family grows (the definition
+of Θ rather than O).
+
+``layered_complete``: the L side is ``levels`` layers of ``width``
+nodes with *all* arcs between consecutive layers (every node single —
+regular — but with maximal fan-in/fan-out), the R side likewise, and E
+connects every L node to every R entry node.  ``with_cycle=True`` adds
+a back arc to flip the class to cyclic (and the counting method to
+unsafe) without changing the density.
+"""
+
+from __future__ import annotations
+
+from ..core.csl import CSLQuery
+
+
+def layered_complete(
+    levels: int,
+    width: int,
+    r_levels: int = None,
+    r_width: int = None,
+    with_cycle: bool = False,
+) -> CSLQuery:
+    """A maximally dense regular (or cyclic) CSL instance."""
+    if r_levels is None:
+        r_levels = levels + 1
+    if r_width is None:
+        r_width = width
+
+    layers = [["a"]] + [
+        [f"L{i}_{j}" for j in range(width)] for i in range(1, levels + 1)
+    ]
+    left = {
+        (b, c)
+        for lower, upper in zip(layers, layers[1:])
+        for b in lower
+        for c in upper
+    }
+    if with_cycle:
+        left.add((layers[-1][0], layers[1][0]))
+
+    r_layers = [
+        [f"R{i}_{j}" for j in range(r_width)] for i in range(r_levels + 1)
+    ]
+    right = {
+        (c, b)  # pair (Y, Y1): graph arc b -> c walks down one level
+        for lower, upper in zip(r_layers, r_layers[1:])
+        for b in lower
+        for c in upper
+    }
+    l_nodes = [node for layer in layers for node in layer]
+    exit_pairs = {(node, r_layers[0][0]) for node in l_nodes}
+    return CSLQuery(left, exit_pairs, right, "a")

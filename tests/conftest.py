@@ -1,0 +1,75 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.csl import CSLQuery
+
+# --- hypothesis strategies -------------------------------------------------
+
+_L_VALUES = [f"x{i}" for i in range(7)]
+_R_VALUES = [f"y{i}" for i in range(7)]
+
+
+def _pairs(domain_a, domain_b, max_size):
+    return st.sets(
+        st.tuples(st.sampled_from(domain_a), st.sampled_from(domain_b)),
+        max_size=max_size,
+    )
+
+
+@st.composite
+def csl_queries(draw, max_l=14, max_e=6, max_r=14):
+    """Arbitrary small CSL instances: cycles, self-loops, multi-paths,
+    unreachable junk and empty relations all occur."""
+    left = draw(_pairs(_L_VALUES, _L_VALUES, max_l))
+    exit_pairs = draw(_pairs(_L_VALUES, _R_VALUES, max_e))
+    right = draw(_pairs(_R_VALUES, _R_VALUES, max_r))
+    return CSLQuery(left, exit_pairs, right, "x0")
+
+
+@st.composite
+def acyclic_csl_queries(draw, max_l=14, max_e=6, max_r=14):
+    """CSL instances whose magic graph is guaranteed acyclic: L arcs only
+    go from lower-numbered to higher-numbered values."""
+    arcs = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=max_l,
+        )
+    )
+    left = {(f"x{a}", f"x{b}") for a, b in arcs if a < b}
+    exit_pairs = draw(_pairs(_L_VALUES, _R_VALUES, max_e))
+    right = draw(_pairs(_R_VALUES, _R_VALUES, max_r))
+    return CSLQuery(left, exit_pairs, right, "x0")
+
+
+# --- fixtures ---------------------------------------------------------------
+
+
+@pytest.fixture
+def samegen_query():
+    """A small regular same-generation instance (chain ancestry)."""
+    parent = {("d", "b"), ("e", "b"), ("b", "a"), ("c", "a")}
+    return CSLQuery.same_generation(parent, source="d")
+
+
+@pytest.fixture
+def cyclic_query():
+    """A small instance with a cyclic magic graph."""
+    left = {("a", "b"), ("b", "c"), ("c", "a"), ("b", "d")}
+    exit_pairs = {("d", "u"), ("a", "v")}
+    right = {("w", "u"), ("z", "v"), ("u", "w")}
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)

@@ -1,0 +1,111 @@
+"""Tests for adaptive method selection and the verify_conditions flag."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, ReducedSets, Strategy
+from repro.core.solver import adaptive_solve, fact2_answer, solve
+from repro.core.step2 import integrated_step2
+from repro.errors import MethodConditionError
+from repro.workloads.generators import (
+    acyclic_workload,
+    cyclic_workload,
+    regular_workload,
+)
+
+from .conftest import csl_queries
+
+
+class TestAdaptiveSelection:
+    def test_regular_picks_counting(self):
+        result = adaptive_solve(regular_workload(scale=1, seed=0))
+        assert result.method == "counting"
+
+    def test_acyclic_picks_multiple_integrated(self):
+        result = adaptive_solve(acyclic_workload(scale=1, seed=0))
+        assert result.method == "mc_multiple_integrated"
+
+    def test_cyclic_picks_recurring_scc(self):
+        result = adaptive_solve(cyclic_workload(scale=1, seed=0))
+        assert result.method == "mc_recurring_integrated_scc"
+
+    def test_reachable_through_solve(self, samegen_query):
+        result = solve(samegen_query, method="adaptive")
+        assert result.answers == fact2_answer(samegen_query)
+
+    @settings(max_examples=60, deadline=None)
+    @given(csl_queries())
+    def test_always_correct(self, query):
+        assert adaptive_solve(query).answers == fact2_answer(query)
+
+    def test_adaptive_never_worse_than_magic_set(self):
+        from repro.core.magic_method import magic_set_method
+
+        for generator in (regular_workload, acyclic_workload, cyclic_workload):
+            query = generator(scale=2, seed=1)
+            adaptive = adaptive_solve(query)
+            magic = magic_set_method(query)
+            assert adaptive.cost.retrievals <= 2.0 * magic.cost.retrievals
+
+
+class TestVerifyConditions:
+    def test_passes_on_correct_reduced_sets(self, cyclic_query):
+        for strategy in Strategy:
+            for mode in Mode:
+                result = magic_counting(
+                    cyclic_query, strategy, mode, verify_conditions=True
+                )
+                assert result.answers == fact2_answer(cyclic_query)
+
+    def test_catches_violated_condition_a(self, samegen_query):
+        """A reduced set dropping a magic node must be rejected."""
+        instance = samegen_query.instance()
+        from repro.core.step1 import multiple_step1
+
+        reduced = multiple_step1(instance)
+        victim = next(iter(reduced.rc_values() - {samegen_query.source}))
+        broken = ReducedSets(
+            rc={(i, v) for (i, v) in reduced.rc if v != victim},
+            rm=set(reduced.rm),
+            ms=set(reduced.ms),
+        )
+        from repro.core.classification import classify_nodes
+        from repro.core.reduced_sets import check_theorem1
+
+        with pytest.raises(MethodConditionError):
+            check_theorem1(
+                broken, classify_nodes(samegen_query), samegen_query.source
+            )
+
+    def test_catches_missing_index(self):
+        """Condition (b): a multiple node in RC must carry ALL indices."""
+        from repro.core.classification import classify_nodes
+        from repro.core.csl import CSLQuery
+        from repro.core.reduced_sets import check_theorem1
+
+        query = CSLQuery(
+            {("a", "b"), ("b", "c"), ("a", "c")}, set(), set(), "a"
+        )
+        broken = ReducedSets(
+            rc={(0, "a"), (1, "b"), (1, "c")},  # c is missing index 2
+            rm=set(),
+            ms={"a", "b", "c"},
+        )
+        with pytest.raises(MethodConditionError):
+            check_theorem1(broken, classify_nodes(query), "a")
+
+    def test_catches_missing_source_pair(self, samegen_query):
+        from repro.core.classification import classify_nodes
+        from repro.core.reduced_sets import check_theorem2
+        from repro.core.step1 import multiple_step1
+
+        reduced = multiple_step1(samegen_query.instance())
+        reduced.rc = {
+            (i, v) for (i, v) in reduced.rc if (i, v) != (0, samegen_query.source)
+        }
+        reduced.rm.add(samegen_query.source)
+        with pytest.raises(MethodConditionError):
+            check_theorem2(
+                reduced, classify_nodes(samegen_query), samegen_query.source
+            )

@@ -1,0 +1,105 @@
+"""Tests for adornment computation and SIPS."""
+
+import pytest
+
+from repro.datalog.adornment import (
+    adorn_program,
+    adorn_rule,
+    adorned_name,
+    adornment_from_goal,
+    bound_positions,
+    free_positions,
+)
+from repro.datalog.parser import parse_atom, parse_program, parse_rule
+from repro.errors import ReproError
+
+
+class TestAdornmentBasics:
+    def test_from_goal(self):
+        assert adornment_from_goal(parse_atom("p(a, Y)")) == "bf"
+        assert adornment_from_goal(parse_atom("p(X, Y)")) == "ff"
+        assert adornment_from_goal(parse_atom("p(a, b)")) == "bb"
+
+    def test_positions(self):
+        assert bound_positions("bfb") == [0, 2]
+        assert free_positions("bfb") == [1]
+
+    def test_adorned_name(self):
+        assert adorned_name("p", "bf") == "p__bf"
+        assert adorned_name("p", "") == "p"
+
+
+class TestAdornRule:
+    def test_left_to_right_sips(self):
+        rule = parse_rule("p(X, Y) :- up(X, X1), p(X1, Y1), down(Y, Y1).")
+        adorned = adorn_rule(rule, "bf", {"p"})
+        assert adorned.literal_adornments == {1: "bf"}
+
+    def test_edb_literals_not_adorned(self):
+        rule = parse_rule("p(X, Y) :- up(X, X1), p(X1, Y1), down(Y, Y1).")
+        adorned = adorn_rule(rule, "bf", {"p"})
+        assert 0 not in adorned.literal_adornments
+        assert 2 not in adorned.literal_adornments
+
+    def test_free_head_gives_free_call(self):
+        rule = parse_rule("p(X, Y) :- p(Y, X).")
+        adorned = adorn_rule(rule, "bf", {"p"})
+        # Y is free in the head, X bound: call pattern swaps to fb.
+        assert adorned.literal_adornments == {0: "fb"}
+
+    def test_constant_in_body_is_bound(self):
+        rule = parse_rule("p(X) :- q(a, X).")
+        adorned = adorn_rule(rule, "f", {"q"})
+        assert adorned.literal_adornments == {0: "bf"}
+
+    def test_builtin_output_becomes_bound(self):
+        rule = parse_rule("p(J, Y) :- J1 is J + 1, q(J1, Y).")
+        adorned = adorn_rule(rule, "bf", {"q"})
+        assert adorned.literal_adornments == {1: "bf"}
+
+    def test_arity_mismatch_rejected(self):
+        rule = parse_rule("p(X, Y) :- q(X, Y).")
+        with pytest.raises(ReproError):
+            adorn_rule(rule, "b", {"q"})
+
+
+class TestAdornProgram:
+    def test_closure_over_call_patterns(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- e(X, Z), p(Z, Y).
+            ?- p(a, Y).
+            """
+        )
+        adorned = adorn_program(program)
+        patterns = {
+            (a.rule.head.predicate, a.head_adornment) for a in adorned.adorned_rules
+        }
+        assert patterns == {("p", "bf")}
+        assert len(adorned.adorned_rules) == 2
+
+    def test_multiple_patterns_discovered(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- p(Y, X).
+            ?- p(a, Y).
+            """
+        )
+        adorned = adorn_program(program)
+        patterns = {
+            (a.rule.head.predicate, a.head_adornment) for a in adorned.adorned_rules
+        }
+        assert ("p", "bf") in patterns
+        assert ("p", "fb") in patterns
+
+    def test_no_goal_raises(self):
+        program = parse_program("p(X) :- e(X).")
+        with pytest.raises(ReproError):
+            adorn_program(program)
+
+    def test_edb_goal_produces_no_rules(self):
+        program = parse_program("p(X) :- e(X). ?- e(a).")
+        adorned = adorn_program(program)
+        assert adorned.adorned_rules == []

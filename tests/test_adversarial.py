@@ -1,0 +1,67 @@
+"""Tests for the adversarial workload families: each must have exactly
+the structure that makes it adversarial, and every method must still be
+correct on it."""
+
+import pytest
+
+from repro.core.classification import classify_nodes
+from repro.core.methods import all_method_coordinates, magic_counting
+from repro.core.solver import fact2_answer
+from repro.workloads.adversarial import (
+    chorded_cycle,
+    deep_single_branch_with_early_multiple,
+    diamond_ladder_into_cycle,
+    overlapping_descent_chain,
+)
+
+
+class TestChordedCycle:
+    def test_everything_recurring(self):
+        c = classify_nodes(chorded_cycle(12))
+        assert c.recurring == {f"n{i}" for i in range(12)}
+        assert c.single == {"a"}
+
+    def test_sizes_scale(self):
+        small, large = chorded_cycle(10), chorded_cycle(30)
+        assert len(large.left) > len(small.left)
+
+
+class TestDiamondLadder:
+    def test_every_rung_multiple(self):
+        c = classify_nodes(diamond_ladder_into_cycle(rungs=5))
+        for i in range(1, 5):
+            assert f"w{i}" in c.multiple, i
+        assert {"c1", "c2"} <= c.recurring
+
+    def test_methods_agree(self):
+        query = diamond_ladder_into_cycle(rungs=4, r_depth=10)
+        oracle = fact2_answer(query)
+        assert oracle  # non-trivial
+        for strategy, mode in all_method_coordinates():
+            assert magic_counting(query, strategy, mode).answers == oracle
+
+
+class TestDeepSingleBranch:
+    def test_structure(self):
+        c = classify_nodes(deep_single_branch_with_early_multiple(8))
+        assert c.multiple == {"bad"}
+        assert {f"s{i}" for i in range(8)} <= c.single
+
+    def test_methods_agree(self):
+        query = deep_single_branch_with_early_multiple(8, r_depth=12)
+        oracle = fact2_answer(query)
+        for strategy, mode in all_method_coordinates():
+            assert magic_counting(query, strategy, mode).answers == oracle
+
+
+class TestOverlappingDescent:
+    def test_regular_magic_graph(self):
+        c = classify_nodes(overlapping_descent_chain(10))
+        assert c.is_regular
+
+    def test_answers_alternate_on_the_r_cycle(self):
+        query = overlapping_descent_chain(6)
+        answers = fact2_answer(query)
+        # Exits at every depth 1..6 land on r0 and walk the 2-cycle:
+        # both cycle nodes are reachable at some matching depth.
+        assert answers == {"r0", "r1"}

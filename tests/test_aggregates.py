@@ -1,0 +1,95 @@
+"""Tests for stratified aggregation over relations."""
+
+import pytest
+
+from repro.datalog.aggregates import aggregate, top_k
+from repro.datalog.database import Database
+from repro.datalog.evaluation import answer_tuples, seminaive_evaluate
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def edges_db():
+    db = Database()
+    db.add_facts("edge", [
+        ("a", "b"), ("a", "c"), ("a", "d"),
+        ("b", "c"), ("c", "d"),
+    ])
+    return db
+
+
+class TestAggregate:
+    def test_count_by_group(self, edges_db):
+        written = aggregate(edges_db, "edge", group_by=(0,), op="count",
+                            into="outdeg")
+        assert written == 3
+        assert edges_db.facts("outdeg") == {("a", 3), ("b", 1), ("c", 1)}
+
+    def test_global_count(self, edges_db):
+        aggregate(edges_db, "edge", group_by=(), op="count", into="total")
+        assert edges_db.facts("total") == {(5,)}
+
+    def test_sum_min_max_avg(self):
+        db = Database()
+        db.add_facts("score", [("x", 4), ("x", 8), ("y", 10)])
+        aggregate(db, "score", (0,), "sum", "s", value_column=1)
+        aggregate(db, "score", (0,), "min", "lo", value_column=1)
+        aggregate(db, "score", (0,), "max", "hi", value_column=1)
+        aggregate(db, "score", (0,), "avg", "mean", value_column=1)
+        assert db.facts("s") == {("x", 12), ("y", 10)}
+        assert db.facts("lo") == {("x", 4), ("y", 10)}
+        assert db.facts("hi") == {("x", 8), ("y", 10)}
+        assert db.facts("mean") == {("x", 6), ("y", 10)}
+
+    def test_stratified_pipeline(self, edges_db):
+        """Aggregate a derived relation, then keep reasoning over it."""
+        tc = parse_program(
+            "t(X, Y) :- edge(X, Y). t(X, Y) :- edge(X, Z), t(Z, Y)."
+        )
+        seminaive_evaluate(tc, edges_db)
+        aggregate(edges_db, "t", group_by=(0,), op="count", into="reach_count")
+        hubs = parse_program(
+            "hub(X) :- reach_count(X, N), N >= 3. ?- hub(X)."
+        )
+        assert answer_tuples(hubs, edges_db) == {("a",)}
+
+    def test_errors(self, edges_db):
+        with pytest.raises(EvaluationError):
+            aggregate(edges_db, "edge", (0,), "median", "m")
+        with pytest.raises(EvaluationError):
+            aggregate(edges_db, "edge", (0,), "sum", "m")  # no value_column
+        with pytest.raises(EvaluationError):
+            aggregate(edges_db, "ghost", (0,), "count", "m")
+        with pytest.raises(EvaluationError):
+            aggregate(edges_db, "edge", (9,), "count", "m")
+
+    def test_cost_charged(self, edges_db):
+        edges_db.reset_cost()
+        aggregate(edges_db, "edge", (0,), "count", "outdeg")
+        assert edges_db.total_cost() > 0  # the grouping scan is real work
+
+
+class TestTopK:
+    def test_descending(self):
+        db = Database()
+        db.add_facts("score", [("x", 4), ("y", 8), ("z", 6)])
+        top_k(db, "score", order_column=1, k=2, into="best")
+        assert db.facts("best") == {("y", 8), ("z", 6)}
+
+    def test_ascending(self):
+        db = Database()
+        db.add_facts("score", [("x", 4), ("y", 8), ("z", 6)])
+        top_k(db, "score", order_column=1, k=1, into="worst",
+              descending=False)
+        assert db.facts("worst") == {("x", 4)}
+
+    def test_k_larger_than_relation(self):
+        db = Database()
+        db.add_facts("score", [("x", 4)])
+        assert top_k(db, "score", 1, 10, "all") == 1
+
+    def test_errors(self):
+        db = Database()
+        with pytest.raises(EvaluationError):
+            top_k(db, "ghost", 0, 1, "out")

@@ -1,0 +1,95 @@
+"""Unit tests for repro.datalog.atom."""
+
+import pytest
+
+from repro.datalog.atom import Atom, BuiltinAtom, Literal, atom, fact, var
+from repro.datalog.term import Constant, Variable
+
+
+class TestAtom:
+    def test_coercion(self):
+        a = Atom("p", ("X", "alice", 3))
+        assert a.terms == (Variable("X"), Constant("alice"), Constant(3))
+
+    def test_arity(self):
+        assert Atom("p", ("X", "Y")).arity == 2
+        assert Atom("p").arity == 0
+
+    def test_is_ground(self):
+        assert Atom("p", ("a", 1)).is_ground()
+        assert not Atom("p", ("a", "X")).is_ground()
+
+    def test_variables_dedup(self):
+        a = Atom("p", ("X", "Y", "X"))
+        assert list(a.variables()) == [Variable("X"), Variable("Y")]
+
+    def test_substitute(self):
+        a = Atom("p", ("X", "Y"))
+        theta = {Variable("X"): Constant(1)}
+        assert a.substitute(theta) == Atom("p", (1, "Y"))
+
+    def test_substitute_leaves_original(self):
+        a = Atom("p", ("X",))
+        a.substitute({Variable("X"): Constant(1)})
+        assert a.terms == (Variable("X"),)
+
+    def test_equality_and_hash(self):
+        assert Atom("p", ("X",)) == Atom("p", ("X",))
+        assert len({Atom("p", ("X",)), Atom("p", ("X",))}) == 1
+        assert Atom("p", ("X",)) != Atom("q", ("X",))
+
+    def test_str(self):
+        assert str(Atom("p", ("X", "a"))) == "p(X, a)"
+        assert str(Atom("true")) == "true"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ("X",))
+
+
+class TestLiteral:
+    def test_positive_default(self):
+        lit = Literal(Atom("p", ("X",)))
+        assert not lit.negated
+        assert lit.predicate == "p"
+
+    def test_negated_str(self):
+        lit = Literal(Atom("p", ("X",)), negated=True)
+        assert str(lit) == "not p(X)"
+
+    def test_equality_includes_polarity(self):
+        a = Atom("p", ("X",))
+        assert Literal(a) != Literal(a, negated=True)
+
+    def test_substitute_preserves_polarity(self):
+        lit = Literal(Atom("p", ("X",)), negated=True)
+        out = lit.substitute({Variable("X"): Constant(1)})
+        assert out.negated and out.atom == Atom("p", (1,))
+
+
+class TestBuiltinAtom:
+    def test_variables(self):
+        b = BuiltinAtom("<", ("X", "Y"))
+        assert set(b.variables()) == {Variable("X"), Variable("Y")}
+
+    def test_substitute(self):
+        b = BuiltinAtom("<", ("X", 3))
+        out = b.substitute({Variable("X"): Constant(1)})
+        assert out.args == (Constant(1), Constant(3))
+
+    def test_equality(self):
+        assert BuiltinAtom("<", ("X", 3)) == BuiltinAtom("<", ("X", 3))
+        assert BuiltinAtom("<", ("X", 3)) != BuiltinAtom("<=", ("X", 3))
+
+
+class TestShorthands:
+    def test_fact(self):
+        f = fact("edge", "a", "b")
+        assert f.is_ground() and f.predicate == "edge"
+
+    def test_atom_shorthand(self):
+        a = atom("p", "X", "b")
+        assert a.terms == (Variable("X"), Constant("b"))
+
+    def test_var_shorthand(self):
+        assert var("Z") == Variable("Z")

@@ -1,0 +1,112 @@
+"""Unit tests for repro.datalog.builtins."""
+
+import pytest
+
+from repro.datalog.atom import BuiltinAtom
+from repro.datalog.builtins import (
+    arithmetic,
+    comparison,
+    evaluate_builtin,
+    format_builtin,
+    output_variables,
+    required_bound_variables,
+)
+from repro.datalog.term import Constant, Variable
+from repro.errors import EvaluationError
+
+X, Y, J, J1 = (Variable(n) for n in ("X", "Y", "J", "J1"))
+
+
+def run(builtin, theta):
+    return list(evaluate_builtin(builtin, theta))
+
+
+class TestComparisons:
+    def test_lt_true(self):
+        assert run(comparison("<", 1, 2), {}) == [{}]
+
+    def test_lt_false(self):
+        assert run(comparison("<", 2, 1), {}) == []
+
+    def test_all_operators(self):
+        cases = [
+            ("<", 1, 2, True), ("<=", 2, 2, True), (">", 1, 2, False),
+            (">=", 2, 2, True), ("==", 3, 3, True), ("!=", 3, 3, False),
+        ]
+        for op, a, b, expected in cases:
+            assert bool(run(comparison(op, a, b), {})) is expected, op
+
+    def test_bound_variable(self):
+        theta = {X: Constant(5)}
+        assert run(comparison(">", X, 3), theta) == [theta]
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            run(comparison("<", X, 3), {})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            comparison("~=", 1, 2)
+
+    def test_string_comparison(self):
+        assert run(comparison("==", "aa", "aa"), {}) == [{}]
+
+
+class TestArithmetic:
+    def test_plus_binds_target(self):
+        [result] = run(arithmetic(J1, J, "+", 1), {J: Constant(4)})
+        assert result[J1] == Constant(5)
+
+    def test_minus(self):
+        [result] = run(arithmetic(J1, J, "-", 1), {J: Constant(4)})
+        assert result[J1] == Constant(3)
+
+    def test_times(self):
+        [result] = run(arithmetic(J1, J, "*", 3), {J: Constant(4)})
+        assert result[J1] == Constant(12)
+
+    def test_bound_target_checks_consistency(self):
+        theta = {J: Constant(4), J1: Constant(5)}
+        assert run(arithmetic(J1, J, "+", 1), theta) == [theta]
+        theta_bad = {J: Constant(4), J1: Constant(9)}
+        assert run(arithmetic(J1, J, "+", 1), theta_bad) == []
+
+    def test_constant_target(self):
+        assert run(arithmetic(Constant(5), Constant(4), "+", 1), {}) == [{}]
+        assert run(arithmetic(Constant(6), Constant(4), "+", 1), {}) == []
+
+    def test_unbound_operand_raises(self):
+        with pytest.raises(EvaluationError):
+            run(arithmetic(J1, J, "+", 1), {})
+
+    def test_does_not_mutate_input_theta(self):
+        theta = {J: Constant(4)}
+        run(arithmetic(J1, J, "+", 1), theta)
+        assert J1 not in theta
+
+
+class TestSafetyMetadata:
+    def test_comparison_requires_all(self):
+        assert required_bound_variables(comparison("<", X, Y)) == {X, Y}
+        assert output_variables(comparison("<", X, Y)) == set()
+
+    def test_is_requires_operands_binds_target(self):
+        b = arithmetic(J1, J, "+", 1)
+        assert required_bound_variables(b) == {J}
+        assert output_variables(b) == {J1}
+
+    def test_is_with_constant_target(self):
+        b = arithmetic(Constant(0), J, "+", 1)
+        assert output_variables(b) == set()
+
+
+class TestFormatting:
+    def test_comparison_format(self):
+        assert format_builtin(comparison("<", X, 3)) == "X < 3"
+
+    def test_is_format(self):
+        assert format_builtin(arithmetic(J1, J, "+", 1)) == "J1 is J + 1"
+
+    def test_unknown_builtin_raises_on_eval(self):
+        with pytest.raises(EvaluationError):
+            run(BuiltinAtom("frobnicate", ()), {})

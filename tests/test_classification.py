@@ -1,0 +1,141 @@
+"""Tests for magic-graph node classification (Proposition 1)."""
+
+from hypothesis import given, settings
+
+from repro.core.classification import (
+    MagicGraphClass,
+    NodeClass,
+    boundary_index,
+    classify_nodes,
+)
+from repro.core.csl import CSLQuery
+
+from .conftest import csl_queries
+
+
+def classify(left, source="a"):
+    return classify_nodes(CSLQuery(left, set(), set(), source))
+
+
+class TestBasicClasses:
+    def test_chain_is_regular(self):
+        c = classify({("a", "b"), ("b", "c")})
+        assert c.is_regular
+        assert c.graph_class is MagicGraphClass.REGULAR
+        assert c.distance_sets["c"] == frozenset({2})
+
+    def test_diamond_same_length_single(self):
+        c = classify({("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")})
+        assert c.node_class("d") is NodeClass.SINGLE
+        assert c.is_regular
+
+    def test_skip_arc_multiple(self):
+        c = classify({("a", "b"), ("b", "c"), ("a", "c")})
+        assert c.node_class("c") is NodeClass.MULTIPLE
+        assert c.distance_sets["c"] == frozenset({1, 2})
+        assert c.graph_class is MagicGraphClass.ACYCLIC
+
+    def test_multiplicity_propagates_downstream(self):
+        c = classify({("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")})
+        assert c.node_class("d") is NodeClass.MULTIPLE
+        assert c.distance_sets["d"] == frozenset({2, 3})
+
+    def test_cycle_recurring(self):
+        c = classify({("a", "b"), ("b", "c"), ("c", "b")})
+        assert c.node_class("b") is NodeClass.RECURRING
+        assert c.node_class("c") is NodeClass.RECURRING
+        assert c.node_class("a") is NodeClass.SINGLE
+        assert c.graph_class is MagicGraphClass.CYCLIC
+
+    def test_recurring_propagates_downstream(self):
+        c = classify({("a", "b"), ("b", "b"), ("b", "c")})
+        assert c.node_class("c") is NodeClass.RECURRING
+
+    def test_self_loop(self):
+        c = classify({("a", "a")})
+        assert c.node_class("a") is NodeClass.RECURRING
+
+    def test_source_on_cycle_makes_all_recurring(self):
+        c = classify({("a", "b"), ("b", "a"), ("b", "c")})
+        assert c.recurring == {"a", "b", "c"}
+
+    def test_indices_none_for_recurring(self):
+        c = classify({("a", "b"), ("b", "b")})
+        assert c.indices("b") is None
+        assert c.indices("a") == frozenset({0})
+
+    def test_empty_graph(self):
+        c = classify(set())
+        assert c.is_regular
+        assert c.shortest_distance == {"a": 0}
+
+
+class TestBoundaryIndex:
+    def test_regular_graph(self):
+        c = classify({("a", "b"), ("b", "c")})
+        assert boundary_index(c) == 3  # max distance + 1
+
+    def test_first_trouble_at_distance(self):
+        c = classify({("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")})
+        # c (distance 1 via skip... shortest distance of c is 1) — the
+        # multiple node c has shortest distance 1.
+        assert boundary_index(c) == 1
+
+    def test_source_only(self):
+        c = classify(set())
+        assert boundary_index(c) == 1
+
+
+def brute_force_distance_sets(left, source, cap=24):
+    """All walk lengths up to ``cap`` via explicit BFS level expansion."""
+    adjacency = {}
+    for b, c in left:
+        adjacency.setdefault(b, set()).add(c)
+    level = {source}
+    sets = {source: {0}}
+    for k in range(1, cap + 1):
+        level = {c for b in level for c in adjacency.get(b, ())}
+        for node in level:
+            sets.setdefault(node, set()).add(k)
+        if not level:
+            break
+    return sets
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=150, deadline=None)
+    @given(csl_queries())
+    def test_distance_sets_match_walk_enumeration(self, query):
+        # With at most 7 L-values and cap 24, a recurring node always
+        # shows a walk of length >= n within the cap (pump one cycle),
+        # while every walk to a non-recurring node is a path (< n).
+        classification = classify_nodes(query)
+        walks = brute_force_distance_sets(query.left, query.source)
+        n = len(walks)
+        for node, walk_lengths in walks.items():
+            if node in classification.recurring:
+                assert max(walk_lengths) >= n, node
+            else:
+                assert max(walk_lengths) < n, node
+                assert classification.distance_sets[node] == frozenset(
+                    walk_lengths
+                ), node
+
+    @settings(max_examples=150, deadline=None)
+    @given(csl_queries())
+    def test_partition_is_exact(self, query):
+        c = classify_nodes(query)
+        all_nodes = c.single | c.multiple | c.recurring
+        assert all_nodes == set(c.shortest_distance)
+        assert not (c.single & c.multiple)
+        assert not (c.single & c.recurring)
+        assert not (c.multiple & c.recurring)
+
+    @settings(max_examples=150, deadline=None)
+    @given(csl_queries())
+    def test_single_iff_one_distance(self, query):
+        c = classify_nodes(query)
+        for node in c.single:
+            assert len(c.distance_sets[node]) == 1
+        for node in c.multiple:
+            assert len(c.distance_sets[node]) > 1

@@ -1,0 +1,196 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+?- sg(a, Y).
+"""
+
+FACTS = """
+up(a, b). up(b, c).
+flat(c, c1). flat(a, a1).
+down(y, c1). down(y2, y).
+"""
+
+CYCLIC_FACTS = """
+up(a, b). up(b, a).
+flat(a, x).
+down(y, x).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.dl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(FACTS)
+    return str(path)
+
+
+class TestSolve:
+    def test_default_auto(self, program_file, facts_file, capsys):
+        assert main(["solve", program_file, "--facts", facts_file]) == 0
+        out = capsys.readouterr()
+        assert set(out.out.split()) == {"a1", "y2"}
+        assert "tuple retrievals" in out.err
+
+    @pytest.mark.parametrize(
+        "method", ["counting", "magic_set", "henschen_naqvi", "naive"]
+    )
+    def test_named_methods(self, program_file, facts_file, capsys, method):
+        assert main(
+            ["solve", program_file, "--facts", facts_file, "--method", method]
+        ) == 0
+        assert set(capsys.readouterr().out.split()) == {"a1", "y2"}
+
+    def test_magic_counting_coordinates(self, program_file, facts_file, capsys):
+        assert main(
+            ["solve", program_file, "--facts", facts_file,
+             "--method", "magic_counting", "--strategy", "recurring",
+             "--mode", "independent"]
+        ) == 0
+        out = capsys.readouterr()
+        assert "mc_recurring_independent" in out.err
+
+    def test_inline_facts(self, tmp_path, capsys):
+        path = tmp_path / "all.dl"
+        path.write_text(PROGRAM + FACTS)
+        assert main(["solve", str(path)]) == 0
+        assert set(capsys.readouterr().out.split()) == {"a1", "y2"}
+
+    def test_counting_unsafe_reported(self, program_file, tmp_path, capsys):
+        facts = tmp_path / "cyclic.dl"
+        facts.write_text(CYCLIC_FACTS)
+        code = main(
+            ["solve", program_file, "--facts", str(facts),
+             "--method", "counting"]
+        )
+        assert code == 1
+        assert "unsafe" in capsys.readouterr().err
+
+    def test_non_fact_in_facts_file(self, program_file, tmp_path, capsys):
+        facts = tmp_path / "bad.dl"
+        facts.write_text("up(X, Y) :- down(Y, X).")
+        assert main(["solve", program_file, "--facts", str(facts)]) == 1
+
+
+class TestAnalyze:
+    def test_regular_report(self, program_file, facts_file, capsys):
+        assert main(["analyze", program_file, "--facts", facts_file]) == 0
+        out = capsys.readouterr().out
+        assert "magic graph class: regular" in out
+        assert "i_x" in out
+        assert "mc_recurring_integrated" in out
+
+    def test_dot_output(self, program_file, facts_file, tmp_path, capsys):
+        dot_path = str(tmp_path / "graph.dot")
+        assert main(["analyze", program_file, "--facts", facts_file,
+                     "--dot", dot_path]) == 0
+        text = open(dot_path).read()
+        assert text.startswith("digraph query_graph")
+        assert "cluster_L" in text
+
+    def test_cyclic_report(self, program_file, tmp_path, capsys):
+        facts = tmp_path / "cyclic.dl"
+        facts.write_text(CYCLIC_FACTS)
+        assert main(["analyze", program_file, "--facts", str(facts)]) == 0
+        out = capsys.readouterr().out
+        assert "magic graph class: cyclic" in out
+        assert "unsafe" in out  # predicted counting cost
+
+
+class TestRewrite:
+    @pytest.mark.parametrize("kind,needle", [
+        ("magic", "m_sg__bf(a)."),
+        ("supplementary", "sup_"),
+        ("counting", "cs_sg(0, a)."),
+    ])
+    def test_kinds(self, program_file, capsys, kind, needle):
+        assert main(["rewrite", program_file, "--kind", kind]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_mc_rewrite_needs_facts(self, program_file, facts_file, capsys):
+        assert main(
+            ["rewrite", program_file, "--facts", facts_file, "--kind", "mc"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rc_sg(" in out
+        assert "pc_sg(" in out
+
+
+class TestExplain:
+    def test_proof_printed(self, program_file, facts_file, capsys):
+        assert main(
+            ["explain", program_file, "sg(a, y2)", "--facts", facts_file]
+        ) == 0
+        out = capsys.readouterr()
+        assert out.out.startswith("sg(a, y2)")
+        assert "[fact]" in out.out
+        assert "proof depth" in out.err
+
+    def test_underivable_fact(self, program_file, facts_file, capsys):
+        assert main(
+            ["explain", program_file, "sg(a, nope)", "--facts", facts_file]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_non_ground_fact_rejected(self, program_file, facts_file, capsys):
+        assert main(
+            ["explain", program_file, "sg(a, Y)", "--facts", facts_file]
+        ) == 1
+
+
+class TestReport:
+    def test_report_runs(self, capsys):
+        assert main(["report", "--scale", "1"]) == 0
+        out = capsys.readouterr()
+        assert "counting" in out.out and "magic_set" in out.out
+        assert "hierarchy holds" in out.err
+
+    def test_report_scale_flag(self, capsys):
+        assert main(["report", "--scale", "1", "--seed", "3"]) == 0
+        assert "seed 3" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_round_trip_through_solve(self, tmp_path, capsys):
+        facts = str(tmp_path / "wl.dl")
+        assert main(["generate", "--kind", "cyclic", "--scale", "1",
+                     "-o", facts]) == 0
+        program = str(tmp_path / "wl.program.dl")
+        # The generated pair must be directly solvable.
+        assert main(["solve", program, "--facts", facts,
+                     "--method", "magic_set"]) == 0
+        out = capsys.readouterr()
+        assert "magic_set" in out.err
+
+    def test_counting_unsafe_on_generated_cyclic(self, tmp_path, capsys):
+        facts = str(tmp_path / "wl.dl")
+        main(["generate", "--kind", "cyclic", "--scale", "1", "-o", facts])
+        program = str(tmp_path / "wl.program.dl")
+        assert main(["solve", program, "--facts", facts,
+                     "--method", "counting"]) == 1
+
+    def test_grid_kind(self, tmp_path, capsys):
+        facts = str(tmp_path / "grid.dl")
+        assert main(["generate", "--kind", "grid", "--scale", "1",
+                     "-o", facts]) == 0
+        assert "wrote" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_goal(self, tmp_path, capsys):
+        path = tmp_path / "nogoal.dl"
+        path.write_text("p(a).")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,190 @@
+"""Tests for CSLQuery construction, bridges, and materialization."""
+
+import pytest
+
+from repro.core.csl import CSLQuery
+from repro.datalog.database import Database
+from repro.datalog.evaluation import answer_tuples
+from repro.datalog.parser import parse_program
+from repro.errors import NotCSLError
+
+
+class TestConstruction:
+    def test_frozen_and_hashable(self):
+        q = CSLQuery({("a", "b")}, set(), set(), "a")
+        assert hash(q) == hash(CSLQuery({("a", "b")}, set(), set(), "a"))
+
+    def test_same_generation_defaults(self):
+        q = CSLQuery.same_generation({("c", "p")}, source="c")
+        assert q.left == q.right == frozenset({("c", "p")})
+        assert ("c", "c") in q.exit and ("p", "p") in q.exit
+
+    def test_same_generation_explicit_persons(self):
+        q = CSLQuery.same_generation({("c", "p")}, source="c", persons=["z"])
+        assert ("z", "z") in q.exit
+        assert ("c", "c") in q.exit  # the source is always a person
+
+    def test_magic_set(self):
+        q = CSLQuery({("a", "b"), ("b", "c"), ("z", "w")}, set(), set(), "a")
+        assert q.magic_set() == {"a", "b", "c"}
+
+    def test_left_successors(self):
+        q = CSLQuery({("a", "b"), ("a", "c")}, set(), set(), "a")
+        assert q.left_successors() == {"a": {"b", "c"}}
+
+
+class TestProgramBridges:
+    def test_to_program_answers_match_fact2(self, samegen_query):
+        from repro.core.solver import fact2_answer
+
+        program = samegen_query.to_program()
+        db = samegen_query.database()
+        tuples = answer_tuples(program, db)
+        assert {v for (v,) in tuples} == set(fact2_answer(samegen_query))
+
+    def test_database_relations(self, samegen_query):
+        db = samegen_query.database()
+        assert db.facts("l") == set(samegen_query.left)
+        assert db.facts("e") == set(samegen_query.exit)
+        assert db.facts("r") == set(samegen_query.right)
+
+    def test_instance_shares_counter(self, samegen_query):
+        instance = samegen_query.instance()
+        list(instance.left.lookup((None, None)))
+        list(instance.right.lookup((None, None)))
+        assert instance.counter.retrievals > 0
+
+
+class TestFromProgram:
+    def test_round_trip_canonical(self, samegen_query):
+        program = samegen_query.to_program()
+        database = samegen_query.database()
+        recovered = CSLQuery.from_program(program, database=database)
+        assert recovered == samegen_query
+
+    def test_requires_database(self):
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        with pytest.raises(NotCSLError):
+            CSLQuery.from_program(program)
+
+    def test_materializes_derived_left(self):
+        program = parse_program(
+            """
+            up(X, Y) :- father(X, Y).
+            up(X, Y) :- mother(X, Y).
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("father", [("a", "f"), ("b", "f")])
+        db.add_facts("mother", [("a", "m"), ("c", "m")])
+        db.add_facts("flat", [("f", "f"), ("m", "m")])
+        query = CSLQuery.from_program(program, database=db)
+        assert query.left == frozenset(
+            {("a", "f"), ("b", "f"), ("a", "m"), ("c", "m")}
+        )
+        from repro.core.solver import fact2_answer
+
+        assert fact2_answer(query) == {"a", "b", "c"}
+
+    def test_materializes_conjunctive_left(self):
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- f(X, Z), g(Z, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(s, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("f", [("s", "m")])
+        db.add_facts("g", [("m", "t")])
+        db.add_facts("flat", [("t", "out")])
+        db.add_facts("down", [("home", "out")])
+        query = CSLQuery.from_program(program, database=db)
+        assert query.left == frozenset({("s", "t")})
+        from repro.core.solver import fact2_answer
+
+        assert fact2_answer(query) == {"home"}
+
+    def test_multi_column_bound_part_becomes_tuples(self):
+        program = parse_program(
+            """
+            p(A, B, Y) :- flat(A, B, Y).
+            p(A, B, Y) :- step(A, B, A1, B1), p(A1, B1, Y1), down(Y, Y1).
+            ?- p(u, v, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("step", [("u", "v", "u2", "v2")])
+        db.add_facts("flat", [("u2", "v2", "top")])
+        db.add_facts("down", [("bot", "top")])
+        query = CSLQuery.from_program(program, database=db)
+        assert query.source == ("u", "v")
+        assert (("u", "v"), ("u2", "v2")) in query.left
+        from repro.core.solver import fact2_answer
+
+        assert fact2_answer(query) == {"bot"}
+
+    def test_fully_bound_goal_degenerates_to_product(self):
+        """With both arguments bound the adornment is 'bb': the whole
+        recursive rule becomes the 'left' part (a product construction)
+        and the answer is the boolean {()} / {}."""
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, y2).
+            """
+        )
+        db = Database()
+        db.add_facts("up", [("a", "b"), ("b", "c")])
+        db.add_facts("flat", [("c", "c1")])
+        db.add_facts("down", [("y", "c1"), ("y2", "y")])
+        query = CSLQuery.from_program(program, database=db)
+        assert query.source == ("a", "y2")
+        from repro.core.solver import fact2_answer, solve
+
+        assert fact2_answer(query) == {()}   # true
+        assert solve(query).answers == {()}
+
+        false_program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, y).
+            """
+        )
+        false_query = CSLQuery.from_program(false_program, database=db)
+        # sg(a, y) needs equal depths: a is 2 up-steps from c, y is only
+        # 1 down-step from c1 — false.
+        assert fact2_answer(false_query) == frozenset()
+
+    def test_agrees_with_datalog_oracle_on_derived(self):
+        source = """
+        up(X, Y) :- father(X, Y).
+        up(X, Y) :- mother(X, Y).
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+        ?- sg(g1, Y).
+        """
+        program = parse_program(source)
+        db = Database()
+        db.add_facts(
+            "father",
+            [("c1", "p1"), ("c2", "p1"), ("g1", "c1"), ("g2", "c2")],
+        )
+        db.add_facts("mother", [("g3", "c2")])
+        db.add_facts("flat", [(p, p) for p in ("p1", "c1", "c2", "g1", "g2", "g3")])
+        query = CSLQuery.from_program(program, database=db)
+        from repro.core.solver import fact2_answer
+
+        datalog = {v for (v,) in answer_tuples(program, db.copy())}
+        assert set(fact2_answer(query)) == datalog

@@ -1,0 +1,93 @@
+"""Unit tests for repro.datalog.database."""
+
+import pytest
+
+from repro.datalog.atom import Atom
+from repro.datalog.database import Database
+from repro.datalog.relation import CostCounter
+from repro.errors import EvaluationError
+
+
+class TestDatabase:
+    def test_add_fact_creates_relation(self):
+        db = Database()
+        assert db.add_fact("edge", "a", "b")
+        assert db.has_relation("edge")
+        assert db.relation("edge").arity == 2
+
+    def test_add_fact_dedup(self):
+        db = Database()
+        db.add_fact("p", 1)
+        assert not db.add_fact("p", 1)
+
+    def test_add_facts_bulk(self):
+        db = Database()
+        assert db.add_facts("e", [(1, 2), (2, 3), (1, 2)]) == 2
+
+    def test_add_facts_empty(self):
+        db = Database()
+        assert db.add_facts("e", []) == 0
+        assert not db.has_relation("e")
+
+    def test_arity_conflict(self):
+        db = Database()
+        db.create("p", 2)
+        with pytest.raises(EvaluationError):
+            db.create("p", 3)
+
+    def test_unknown_relation(self):
+        db = Database()
+        with pytest.raises(EvaluationError):
+            db.relation("missing")
+
+    def test_relation_or_empty_registers(self):
+        db = Database()
+        rel = db.relation_or_empty("q", 1)
+        assert len(rel) == 0
+        assert db.relation("q") is rel
+
+    def test_add_atom(self):
+        db = Database()
+        db.add_atom(Atom("p", ("a", 2)))
+        assert ("a", 2) in db.relation("p")
+
+    def test_add_non_ground_atom_rejected(self):
+        db = Database()
+        with pytest.raises(EvaluationError):
+            db.add_atom(Atom("p", ("X",)))
+
+    def test_shared_counter(self):
+        db = Database()
+        db.add_facts("e", [(1, 2)])
+        db.add_facts("f", [(3, 4)])
+        list(db.relation("e").lookup((None, None)))
+        list(db.relation("f").lookup((None, None)))
+        assert db.total_cost() == 4
+
+    def test_copy_deep_and_counter_fresh(self):
+        db = Database()
+        db.add_facts("e", [(1, 2)])
+        clone = db.copy()
+        clone.add_fact("e", 9, 9)
+        assert (9, 9) not in db.relation("e")
+        list(clone.relation("e").lookup((None, None)))
+        assert db.total_cost() == 0 and clone.total_cost() == 3
+
+    def test_facts_helper(self):
+        db = Database()
+        db.add_facts("e", [(1, 2)])
+        assert db.facts("e") == {(1, 2)}
+        assert db.facts("nope") == set()
+
+    def test_names_sorted(self):
+        db = Database()
+        db.create("zz", 1)
+        db.create("aa", 1)
+        assert db.names() == ["aa", "zz"]
+
+    def test_reset_cost(self):
+        db = Database()
+        db.add_facts("e", [(1, 2)])
+        list(db.relation("e").lookup((None, None)))
+        db.reset_cost()
+        assert db.total_cost() == 0

@@ -1,0 +1,30 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+import pkgutil
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.core
+import repro.datalog
+import repro.workloads
+
+
+def _modules():
+    packages = [repro, repro.datalog, repro.core, repro.workloads, repro.analysis]
+    modules = []
+    for package in packages:
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.ispkg or info.name.startswith("__"):
+                continue  # __main__ runs the CLI at import time
+            name = f"{package.__name__}.{info.name}"
+            modules.append(__import__(name, fromlist=["_"]))
+    return modules
+
+
+@pytest.mark.parametrize("module", _modules(), ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,63 @@
+"""Tests for the DOT export and Figure 3 rendering."""
+
+from repro.analysis.dot import magic_graph_to_dot, query_graph_to_dot
+from repro.core.hierarchy import render_figure3
+from repro.workloads.figures import figure1_query, figure2_query
+
+
+class TestQueryGraphDot:
+    def test_figure1_structure(self):
+        dot = query_graph_to_dot(figure1_query(), title="Figure 1")
+        assert dot.startswith("digraph query_graph {")
+        assert dot.rstrip().endswith("}")
+        assert "cluster_L" in dot and "cluster_R" in dot
+        # L, E (dashed), R (bold) arcs all present.
+        assert 'L"a" -> L"a1";' in dot
+        assert 'L"a1" -> R"b3" [style=dashed];' in dot
+        assert 'R"b3" -> R"b5" [penwidth=2];' in dot
+
+    def test_source_is_doublecircle(self):
+        dot = query_graph_to_dot(figure1_query())
+        assert 'L"a" [label="a", fillcolor="#8bc34a", shape=doublecircle];' in dot
+
+    def test_every_node_rendered(self):
+        dot = query_graph_to_dot(figure1_query())
+        for node in ("a1", "a5", "b1", "b9"):
+            assert f'"{node}"' in dot
+
+    def test_title_quoted(self):
+        dot = query_graph_to_dot(figure1_query(), title='my "graph"')
+        assert 'label="my \\"graph\\""' in dot
+
+
+class TestMagicGraphDot:
+    def test_figure2_class_colours(self):
+        dot = magic_graph_to_dot(figure2_query(), title="Figure 2")
+        # single = green, multiple = amber, recurring = red.
+        assert '"b" [fillcolor="#8bc34a"' in dot
+        assert '"h" [fillcolor="#ffb300"' in dot
+        assert '"g" [fillcolor="#e53935"' in dot
+
+    def test_arcs(self):
+        dot = magic_graph_to_dot(figure2_query())
+        assert '"j" -> "g";' in dot
+
+    def test_balanced_braces(self):
+        dot = magic_graph_to_dot(figure2_query())
+        assert dot.count("{") == dot.count("}")
+
+
+class TestFigure3Rendering:
+    def test_contains_all_methods(self):
+        text = render_figure3()
+        for name in ("Ms", "B", "S_IND", "S_INT", "M_IND",
+                     "M_INT", "R_IND", "R_INT"):
+            assert name in text
+
+    def test_lists_every_relation(self):
+        from repro.core.hierarchy import HIERARCHY_RELATIONS
+
+        text = render_figure3()
+        assert text.count("Prop") >= len(
+            [r for r in HIERARCHY_RELATIONS if "Prop" in r.source]
+        )

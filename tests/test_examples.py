@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are documentation; a stale example is worse than none.  Each
+is executed in a scratch working directory (some write .dot files).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_example_set():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "cyclic_safety",
+        "datalog_pipeline",
+        "paper_figures",
+        "method_selection",
+        "explain_and_visualize",
+    } <= names

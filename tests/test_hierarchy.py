@@ -1,0 +1,99 @@
+"""Tests for the Figure 3 efficiency hierarchy (measured, not just
+predicted)."""
+
+import pytest
+
+from repro.analysis.runner import ALL_METHODS, measure
+from repro.core.classification import MagicGraphClass
+from repro.core.hierarchy import (
+    HIERARCHY_RELATIONS,
+    check_dominance,
+    check_regular_equivalence,
+)
+from repro.workloads.generators import (
+    acyclic_workload,
+    cyclic_workload,
+    regular_workload,
+)
+
+
+class TestRelationTable:
+    def test_every_relation_names_known_methods(self):
+        known = set(ALL_METHODS) | {"mc_basic_independent", "mc_basic_integrated"}
+        for relation in HIERARCHY_RELATIONS:
+            assert relation.better in known, relation
+            assert relation.worse in known, relation
+
+    def test_classes_are_valid(self):
+        for relation in HIERARCHY_RELATIONS:
+            assert relation.classes <= set(MagicGraphClass)
+
+
+class TestMeasuredDominance:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_regular_instances(self, seed):
+        m = measure(regular_workload(scale=2, seed=seed))
+        assert m.graph_class is MagicGraphClass.REGULAR
+        assert check_dominance(m.costs, m.graph_class, slack=1.6) == []
+        assert check_regular_equivalence(m.costs, slack=3.0) == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acyclic_instances(self, seed):
+        m = measure(acyclic_workload(scale=2, seed=seed))
+        assert m.graph_class is MagicGraphClass.ACYCLIC
+        violations = check_dominance(m.costs, m.graph_class, slack=1.6)
+        assert violations == [], [str(v) for v in violations]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cyclic_instances(self, seed):
+        m = measure(cyclic_workload(scale=2, seed=seed))
+        assert m.graph_class is MagicGraphClass.CYCLIC
+        violations = check_dominance(m.costs, m.graph_class, slack=1.6)
+        assert violations == [], [str(v) for v in violations]
+
+    def test_counting_beats_magic_on_regular(self):
+        m = measure(regular_workload(scale=3, seed=0))
+        assert m.costs["counting"] < m.costs["magic_set"]
+
+    def test_counting_unsafe_on_cyclic_is_recorded(self):
+        m = measure(cyclic_workload(scale=2, seed=0))
+        assert m.costs["counting"] is None
+        assert m.predictions["counting"] is None
+
+    def test_integrated_beats_independent_at_scale(self):
+        m = measure(cyclic_workload(scale=3, seed=0))
+        for strategy in ("single", "multiple", "recurring"):
+            integ = m.costs[f"mc_{strategy}_integrated"]
+            ind = m.costs[f"mc_{strategy}_independent"]
+            assert integ <= ind, strategy
+
+    def test_magic_counting_beats_magic_set_on_cyclic(self):
+        m = measure(cyclic_workload(scale=3, seed=0))
+        assert m.costs["mc_multiple_integrated"] < m.costs["magic_set"]
+        assert m.costs["mc_recurring_integrated"] < m.costs["magic_set"]
+
+
+class TestRatioBoundedness:
+    """measured/predicted ratios must stay bounded over a size sweep —
+    the Θ-shape check."""
+
+    @pytest.mark.parametrize(
+        "generator,methods",
+        [
+            (regular_workload, ["counting", "magic_set", "mc_multiple_integrated"]),
+            (acyclic_workload, ["counting", "magic_set", "mc_multiple_integrated"]),
+            (cyclic_workload, ["magic_set", "mc_recurring_integrated"]),
+        ],
+    )
+    def test_ratio_does_not_explode(self, generator, methods):
+        ratios = {method: [] for method in methods}
+        for scale in (1, 2, 3):
+            m = measure(generator(scale=scale, seed=0), methods=methods)
+            for method in methods:
+                ratio = m.ratio(method)
+                assert ratio is not None, method
+                ratios[method].append(ratio)
+        for method, values in ratios.items():
+            assert max(values) <= 4.0, (method, values)
+            # Growth across the sweep bounded: last/first within 3x.
+            assert values[-1] <= 3.0 * values[0] + 0.5, (method, values)

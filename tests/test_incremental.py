@@ -1,0 +1,125 @@
+"""Tests for insertion-only incremental view maintenance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import seminaive_evaluate
+from repro.datalog.incremental import insert_and_maintain
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError
+
+TC = parse_program("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
+
+
+def evaluated_db(facts):
+    db = Database()
+    db.add_facts("e", facts)
+    seminaive_evaluate(TC, db)
+    return db
+
+
+class TestBasics:
+    def test_single_insertion_extends_closure(self):
+        db = evaluated_db([("a", "b"), ("c", "d")])
+        derived = insert_and_maintain(TC, db, {"e": [("b", "c")]})
+        assert ("a", "d") in db.facts("t")
+        assert derived["t"] >= {("b", "c"), ("a", "c"), ("b", "d"), ("a", "d")}
+
+    def test_matches_from_scratch(self):
+        base = [("a", "b"), ("b", "c")]
+        extra = [("c", "d"), ("d", "a")]
+        incremental = evaluated_db(base)
+        insert_and_maintain(TC, incremental, {"e": extra})
+        scratch = evaluated_db(base + extra)
+        assert incremental.facts("t") == scratch.facts("t")
+
+    def test_duplicate_insertion_is_noop(self):
+        db = evaluated_db([("a", "b")])
+        derived = insert_and_maintain(TC, db, {"e": [("a", "b")]})
+        assert derived == {}
+
+    def test_empty_insertion(self):
+        db = evaluated_db([("a", "b")])
+        assert insert_and_maintain(TC, db, {"e": []}) == {}
+        assert insert_and_maintain(TC, db, {}) == {}
+
+    def test_new_relation_created(self):
+        program = parse_program("p(X) :- brand_new(X).")
+        db = Database()
+        seminaive_evaluate(program, db)
+        derived = insert_and_maintain(program, db, {"brand_new": [(1,)]})
+        assert derived["p"] == {(1,)}
+
+    def test_cycle_insertion_terminates(self):
+        db = evaluated_db([("a", "b"), ("b", "c")])
+        insert_and_maintain(TC, db, {"e": [("c", "a")]})
+        assert ("a", "a") in db.facts("t")
+        assert ("c", "b") in db.facts("t")
+
+    def test_returns_only_new_idb_facts(self):
+        db = evaluated_db([("a", "b"), ("b", "c")])
+        before = set(db.facts("t"))
+        derived = insert_and_maintain(TC, db, {"e": [("c", "d")]})
+        assert not (derived["t"] & before)
+
+
+class TestRestrictions:
+    def test_negation_in_affected_stratum_rejected(self):
+        program = parse_program(
+            "p(X) :- node(X), not bad(X)."
+        )
+        db = Database()
+        db.add_facts("node", [("a",)])
+        db.add_facts("bad", [("z",)])
+        seminaive_evaluate(program, db)
+        with pytest.raises(EvaluationError):
+            insert_and_maintain(program, db, {"node": [("b",)]})
+
+    def test_negation_in_unaffected_stratum_allowed(self):
+        program = parse_program(
+            """
+            good(X) :- node(X), not bad(X).
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, Z), t(Z, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("node", [("a",)])
+        db.add_facts("bad", [("z",)])
+        db.add_facts("e", [("a", "b")])
+        seminaive_evaluate(program, db)
+        derived = insert_and_maintain(program, db, {"e": [("b", "c")]})
+        assert ("a", "c") in db.facts("t")
+        assert "good" not in derived
+
+
+class TestIncrementalCheaperThanRescratch:
+    def test_cost_advantage_on_long_chain(self):
+        base = [(i, i + 1) for i in range(120)]
+        db = evaluated_db(base)
+        db.reset_cost()
+        insert_and_maintain(TC, db, {"e": [(120, 121)]})
+        incremental_cost = db.total_cost()
+
+        scratch = Database()
+        scratch.add_facts("e", base + [(120, 121)])
+        seminaive_evaluate(TC, scratch)
+        assert incremental_cost < scratch.total_cost()
+
+
+class TestAgainstScratchProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(st.tuples(st.sampled_from("abcde"), st.sampled_from("abcde")),
+                max_size=8),
+        st.sets(st.tuples(st.sampled_from("abcde"), st.sampled_from("abcde")),
+                max_size=4),
+    )
+    def test_equivalent_to_recomputation(self, base, extra):
+        incremental = evaluated_db(sorted(base))
+        insert_and_maintain(TC, incremental, {"e": sorted(extra)})
+        scratch = evaluated_db(sorted(base | extra))
+        assert incremental.facts("t") == scratch.facts("t")
+        assert incremental.facts("e") == scratch.facts("e")

@@ -1,0 +1,98 @@
+"""Tests for database load/dump round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.io import (
+    dump_database,
+    dumps_database,
+    format_fact,
+    load_database,
+    loads_database,
+)
+from repro.errors import ReproError
+
+
+class TestFormatFact:
+    def test_identifier(self):
+        assert format_fact("parent", ("ann", "mona")) == "parent(ann, mona)."
+
+    def test_integer(self):
+        assert format_fact("age", ("ann", 34)) == "age(ann, 34)."
+
+    def test_negative_integer(self):
+        assert format_fact("delta", (-3,)) == "delta(-3)."
+
+    def test_quoted_string(self):
+        assert format_fact("label", ("With Space",)) == "label('With Space')."
+
+    def test_zero_arity(self):
+        assert format_fact("flag", ()) == "flag."
+
+    def test_unrepresentable(self):
+        with pytest.raises(ReproError):
+            format_fact("p", (3.14,))
+        with pytest.raises(ReproError):
+            format_fact("p", ("don't",))
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, tmp_path):
+        db = Database()
+        db.add_facts("parent", [("ann", "mona"), ("bob", "mona")])
+        db.add_facts("age", [("ann", 34)])
+        path = str(tmp_path / "facts.dl")
+        assert dump_database(db, path) == 3
+        loaded = load_database(path)
+        assert loaded.facts("parent") == db.facts("parent")
+        assert loaded.facts("age") == {("ann", 34)}
+
+    def test_string_round_trip(self):
+        db = Database()
+        db.add_facts("label", [("Mixed Case", 1), ("plain", 2)])
+        again = loads_database(dumps_database(db))
+        assert again.facts("label") == db.facts("label")
+
+    def test_dump_deterministic(self):
+        db = Database()
+        db.add_facts("e", [(2, 3), (1, 2)])
+        assert dumps_database(db) == dumps_database(db)
+        assert dumps_database(db).splitlines() == ["e(1, 2).", "e(2, 3)."]
+
+    def test_load_into_existing(self):
+        db = Database()
+        db.add_fact("e", 1, 2)
+        loads_database("e(3, 4).", db)
+        assert db.facts("e") == {(1, 2), (3, 4)}
+
+    def test_load_rejects_rules(self):
+        with pytest.raises(ReproError):
+            loads_database("p(X) :- q(X).")
+
+    def test_load_rejects_query(self):
+        with pytest.raises(ReproError):
+            loads_database("p(a). ?- p(X).")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=-50, max_value=50),
+                st.sampled_from(["alpha", "Beta Gamma", "x_1", "Z"]),
+            ),
+            max_size=8,
+        )
+    )
+    def test_round_trip_property(self, tuples):
+        db = Database()
+        db.add_facts("mixed", list(tuples)) if tuples else None
+        again = loads_database(dumps_database(db))
+        assert again.facts("mixed") == db.facts("mixed")
+
+    def test_csl_query_database_round_trip(self, samegen_query):
+        db = samegen_query.database()
+        again = loads_database(dumps_database(db))
+        for name in ("l", "e", "r"):
+            assert again.facts(name) == db.facts(name)

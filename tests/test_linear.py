@@ -1,0 +1,166 @@
+"""Tests for CSL structural analysis (repro.datalog.linear)."""
+
+import pytest
+
+from repro.datalog.linear import analyze_linear
+from repro.datalog.parser import parse_program
+from repro.errors import NotCSLError
+
+
+def analyze(source):
+    return analyze_linear(parse_program(source))
+
+
+class TestCanonicalForm:
+    def test_same_generation(self):
+        analysis = analyze(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        assert analysis.predicate == "sg"
+        assert analysis.adornment == "bf"
+        assert [e.predicate for e in analysis.left_elements] == ["up"]
+        assert [e.predicate for e in analysis.right_elements] == ["down"]
+        assert len(analysis.exit_rules) == 1
+
+    def test_body_order_irrelevant(self):
+        analysis = analyze(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- down(Y, Y1), sg(X1, Y1), up(X, X1).
+            ?- sg(a, Y).
+            """
+        )
+        assert [e.predicate for e in analysis.left_elements] == ["up"]
+        assert [e.predicate for e in analysis.right_elements] == ["down"]
+
+    def test_conjunctive_sides(self):
+        analysis = analyze(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- f(X, Z), g(Z, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        assert {e.predicate for e in analysis.left_elements} == {"f", "g"}
+
+    def test_multi_column_binding(self):
+        analysis = analyze(
+            """
+            p(A, B, Y) :- flat(A, B, Y).
+            p(A, B, Y) :- step(A, B, A1, B1), p(A1, B1, Y1), down(Y, Y1).
+            ?- p(a, b, Y).
+            """
+        )
+        assert analysis.adornment == "bbf"
+        assert len(analysis.head_bound_terms) == 2
+
+    def test_multiple_exit_rules(self):
+        analysis = analyze(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- flat2(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        assert len(analysis.exit_rules) == 2
+
+    def test_disconnected_conjunct_goes_left(self):
+        analysis = analyze(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), enabled(W), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        assert {e.predicate for e in analysis.left_elements} == {"up", "enabled"}
+
+
+class TestRejections:
+    def test_no_goal(self):
+        with pytest.raises(NotCSLError):
+            analyze("p(X) :- e(X).")
+
+    def test_edb_goal(self):
+        with pytest.raises(NotCSLError):
+            analyze("p(X) :- e(X). ?- e(a).")
+
+    def test_no_bound_argument(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                sg(X, Y) :- flat(X, Y).
+                sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+                ?- sg(X, Y).
+                """
+            )
+
+    def test_nonlinear_rule(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), t(Z, Y). ?- t(a, Y)."
+            )
+
+    def test_two_recursive_rules(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                p(X, Y) :- e(X, Y).
+                p(X, Y) :- l1(X, X1), p(X1, Y1), r1(Y, Y1).
+                p(X, Y) :- l2(X, X1), p(X1, Y1), r2(Y, Y1).
+                ?- p(a, Y).
+                """
+            )
+
+    def test_no_exit_rule(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                "p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1). ?- p(a, Y)."
+            )
+
+    def test_mutual_recursion(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                p(X, Y) :- q(X, Y).
+                q(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+                q(X, Y) :- e(X, Y).
+                ?- p(a, Y).
+                """
+            )
+
+    def test_side_crossing_literal(self):
+        # bridge(X, Y) connects the bound side to the free side.
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                p(X, Y) :- e(X, Y).
+                p(X, Y) :- l(X, X1), p(X1, Y1), bridge(X, Y), r(Y, Y1).
+                ?- p(a, Y).
+                """
+            )
+
+    def test_shared_bound_free_head_variable(self):
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                p(X, X1) :- e(X, X1).
+                p(X, X) :- l(X, X1), p(X1, Y1), r(X, Y1).
+                ?- p(a, Y).
+                """
+            )
+
+    def test_underived_recursive_binding(self):
+        # X1 appears nowhere on the left: binding cannot propagate.
+        with pytest.raises(NotCSLError):
+            analyze(
+                """
+                p(X, Y) :- e(X, Y).
+                p(X, Y) :- p(X1, Y1), r(Y, Y1).
+                ?- p(a, Y).
+                """
+            )

@@ -1,0 +1,102 @@
+"""Tests for the Datalog lint diagnostics."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.lint import Diagnostic, lint_program
+from repro.datalog.parser import parse_program
+
+
+def lint(source, db=None):
+    return lint_program(parse_program(source), db)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestErrors:
+    def test_unsafe_rule(self):
+        diagnostics = lint("p(X, Y) :- q(X).")
+        assert "unsafe" in codes(diagnostics)
+        assert diagnostics[0].level == "error"
+
+    def test_unstratifiable(self):
+        diagnostics = lint("p(X) :- q(X), not p(X). q(a).")
+        assert "unstrat" in codes(diagnostics)
+
+    def test_clean_program_no_errors(self):
+        diagnostics = lint(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(a, Y)."
+        )
+        assert all(d.level != "error" for d in diagnostics)
+
+
+class TestWarnings:
+    def test_undefined_predicate(self):
+        diagnostics = lint("p(X) :- ghost(X). ?- p(Y).")
+        undefined = [d for d in diagnostics if d.code == "undefined"]
+        assert len(undefined) == 1
+        assert "ghost" in undefined[0].message
+
+    def test_undefined_silenced_by_facts(self):
+        db = Database()
+        db.add_facts("ghost", [("a",)])
+        diagnostics = lint("p(X) :- ghost(X). ?- p(Y).", db)
+        assert "undefined" not in codes(diagnostics)
+
+    def test_unused_idb(self):
+        diagnostics = lint("p(X) :- e(X). orphan(X) :- e(X). ?- p(Y).")
+        unused = [d for d in diagnostics if d.code == "unused"]
+        assert any("orphan" in d.message for d in unused)
+
+    def test_unreachable_rule(self):
+        diagnostics = lint(
+            "p(X) :- e(X). side(X) :- p(X). ?- p(Y)."
+        )
+        unreachable = [d for d in diagnostics if d.code == "unreachable"]
+        assert len(unreachable) == 1
+        assert unreachable[0].rule.head.predicate == "side"
+
+    def test_no_goal_skips_reachability(self):
+        diagnostics = lint("p(X) :- e(X). side(X) :- p(X).")
+        assert "unreachable" not in codes(diagnostics)
+
+
+class TestInfo:
+    def test_singleton_variable(self):
+        diagnostics = lint("p(X) :- e(X, Y). ?- p(A).")
+        singles = [d for d in diagnostics if d.code == "singleton"]
+        assert any("Y" in d.message for d in singles)
+
+    def test_underscore_silences_singleton(self):
+        diagnostics = lint("p(X) :- e(X, _y). ?- p(A).")
+        assert "singleton" not in codes(diagnostics)
+
+    def test_errors_sort_first(self):
+        diagnostics = lint("p(X, Y) :- q(X). r(X) :- q(X), s(Z, Z2).")
+        assert diagnostics[0].level == "error"
+
+    def test_str_rendering(self):
+        [diag] = [d for d in lint("p(X, Y) :- q(X).") if d.code == "unsafe"]
+        text = str(diag)
+        assert text.startswith("error[unsafe]")
+        assert "p(X, Y)" in text
+
+
+class TestCLI:
+    def test_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "program.dl"
+        path.write_text("p(X) :- ghost(X). ?- p(Y).")
+        assert main(["lint", str(path)]) == 0  # warnings only
+        out = capsys.readouterr()
+        assert "undefined" in out.out
+
+    def test_lint_error_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.dl"
+        path.write_text("p(X, Y) :- q(X).")
+        assert main(["lint", str(path)]) == 1

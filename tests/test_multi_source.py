@@ -1,0 +1,118 @@
+"""Tests for multi-source evaluation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.csl import CSLQuery
+from repro.core.multi_source import (
+    multi_source_counting,
+    multi_source_magic,
+    shared_ancestor_sources,
+)
+from repro.core.solver import fact2_answer
+from repro.datalog.relation import CostCounter
+from repro.errors import UnsafeQueryError
+
+from .conftest import acyclic_csl_queries
+
+
+def per_source_oracle(query, sources):
+    return {
+        source: fact2_answer(CSLQuery(query.left, query.exit, query.right, source))
+        for source in sources
+    }
+
+
+class TestCorrectness:
+    def test_magic_matches_oracle(self, samegen_query):
+        sources = ["d", "e", "b"]
+        got = multi_source_magic(samegen_query, sources)
+        assert got == per_source_oracle(samegen_query, sources)
+
+    def test_counting_matches_oracle(self, samegen_query):
+        sources = ["d", "e", "b"]
+        got = multi_source_counting(samegen_query, sources)
+        assert got == per_source_oracle(samegen_query, sources)
+
+    def test_magic_safe_on_cycles(self, cyclic_query):
+        got = multi_source_magic(cyclic_query, ["a", "b"])
+        assert got == per_source_oracle(cyclic_query, ["a", "b"])
+
+    def test_counting_unsafe_on_cycles(self, cyclic_query):
+        with pytest.raises(UnsafeQueryError):
+            multi_source_counting(cyclic_query, ["a"])
+
+    def test_empty_sources(self, samegen_query):
+        assert multi_source_magic(samegen_query, []) == {}
+        assert multi_source_counting(samegen_query, []) == {}
+
+    def test_unknown_source_gets_empty_answers(self, samegen_query):
+        got = multi_source_magic(samegen_query, ["nobody"])
+        assert got == {"nobody": frozenset()}
+
+    @settings(max_examples=40, deadline=None)
+    @given(acyclic_csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_both_match_oracle_on_random(self, query):
+        sources = ["x0", "x1", "x3"]
+        oracle = per_source_oracle(query, sources)
+        assert multi_source_magic(query, sources) == oracle
+        assert multi_source_counting(query, sources) == oracle
+
+
+class TestAmortisation:
+    def _overlapping_instance(self):
+        # Many roots feeding one long shared chain with exits.
+        left = {(f"root{i}", "hub") for i in range(12)}
+        left |= {("hub", "n0")} | {(f"n{i}", f"n{i+1}") for i in range(30)}
+        exit_pairs = {(f"n{i}", "r0") for i in range(31)}
+        right = {("r1", "r0"), ("r0", "r1")}
+        return CSLQuery(left, exit_pairs, right, "root0")
+
+    def test_magic_amortises_across_sources(self):
+        query = self._overlapping_instance()
+        sources = [f"root{i}" for i in range(12)]
+
+        one = CostCounter()
+        multi_source_magic(query, sources[:1], one)
+        many = CostCounter()
+        multi_source_magic(query, sources, many)
+        # 12 sources cost far less than 12x one source.
+        assert many.retrievals < 4 * one.retrievals
+
+    def test_counting_cost_scales_linearly(self):
+        query = self._overlapping_instance()
+        sources = [f"root{i}" for i in range(12)]
+
+        one = CostCounter()
+        multi_source_counting(query, sources[:1], one)
+        many = CostCounter()
+        multi_source_counting(query, sources, many)
+        assert many.retrievals >= 10 * one.retrievals
+
+    def test_crossover_exists(self):
+        """Counting wins for one source; shared magic wins for twelve."""
+        query = self._overlapping_instance()
+
+        counting_one = CostCounter()
+        multi_source_counting(query, ["root0"], counting_one)
+        magic_one = CostCounter()
+        multi_source_magic(query, ["root0"], magic_one)
+        assert counting_one.retrievals < magic_one.retrievals
+
+        sources = [f"root{i}" for i in range(12)]
+        counting_many = CostCounter()
+        multi_source_counting(query, sources, counting_many)
+        magic_many = CostCounter()
+        multi_source_magic(query, sources, magic_many)
+        assert magic_many.retrievals < counting_many.retrievals
+
+
+class TestHelpers:
+    def test_shared_ancestor_sources(self, samegen_query):
+        ranked = shared_ancestor_sources(samegen_query, 2)
+        assert len(ranked) == 2
+        # Hubs first: values with the highest out-degree in L.
+        degrees = {}
+        for b, _c in samegen_query.left:
+            degrees[b] = degrees.get(b, 0) + 1
+        assert degrees[ranked[0]] == max(degrees.values())

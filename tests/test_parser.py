@@ -1,0 +1,134 @@
+"""Unit tests for the Datalog tokenizer and parser."""
+
+import pytest
+
+from repro.datalog.atom import Atom, BuiltinAtom, Literal
+from repro.datalog.parser import parse_atom, parse_program, parse_rule, tokenize
+from repro.datalog.term import Constant, Variable
+from repro.errors import DatalogSyntaxError
+
+
+class TestTokenizer:
+    def test_basic_kinds(self):
+        kinds = [t.kind for t in tokenize("p(X, a) :- q(1).")]
+        assert kinds == [
+            "IDENT", "LPAREN", "VARIABLE", "COMMA", "IDENT", "RPAREN",
+            "IMPLIES", "IDENT", "LPAREN", "NUMBER", "RPAREN", "DOT", "EOF",
+        ]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("p(a). % comment here\nq(b).")
+        assert [t.text for t in tokens if t.kind == "IDENT"] == ["p", "a", "q", "b"]
+
+    def test_keywords(self):
+        kinds = {t.text: t.kind for t in tokenize("not is X nothing")}
+        assert kinds["not"] == "NOT"
+        assert kinds["is"] == "IS"
+        assert kinds["nothing"] == "IDENT"
+
+    def test_string_literal(self):
+        [tok] = [t for t in tokenize("p('hello world').") if t.kind == "STRING"]
+        assert tok.text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("p('oops).")
+
+    def test_illegal_character(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("p(a) @ q(b).")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("p(a).\n  q(b).")
+        q_token = next(t for t in tokens if t.text == "q")
+        assert (q_token.line, q_token.column) == (2, 3)
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("X <= Y, X != Y") if t.kind == "OP"]
+        assert texts == ["<=", "!="]
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("p(X, a)") == Atom("p", ("X", "a"))
+
+    def test_zero_arity(self):
+        assert parse_atom("halt") == Atom("halt")
+
+    def test_number_and_string_terms(self):
+        a = parse_atom("p(3, 'he llo')")
+        assert a.terms == (Constant(3), Constant("he llo"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("p(X) q")
+
+
+class TestParseRule:
+    def test_fact(self):
+        r = parse_rule("parent(tom, bob).")
+        assert r.is_fact
+
+    def test_rule_with_body(self):
+        r = parse_rule("p(X) :- q(X), r(X, Y).")
+        assert r.head == Atom("p", ("X",))
+        assert [e.predicate for e in r.body] == ["q", "r"]
+
+    def test_negation(self):
+        r = parse_rule("p(X) :- q(X), not r(X).")
+        assert r.body[1].negated
+
+    def test_comparison(self):
+        r = parse_rule("p(X) :- q(X), X < 3.")
+        builtin = r.body[1]
+        assert isinstance(builtin, BuiltinAtom) and builtin.name == "<"
+
+    def test_is_arithmetic(self):
+        r = parse_rule("p(J1) :- q(J), J1 is J + 1.")
+        builtin = r.body[1]
+        assert builtin.name == "is"
+        assert builtin.args[0] == Variable("J1")
+
+    def test_constant_on_comparison_left(self):
+        r = parse_rule("p(X) :- q(X), abc != X.")
+        builtin = r.body[1]
+        assert builtin.args[0] == Constant("abc")
+
+    def test_negative_number_term(self):
+        r = parse_rule("p(X) :- q(X), X > -2.")
+        assert r.body[1].args[1] == Constant(-2)
+
+    def test_missing_dot(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- q(X)")
+
+
+class TestParseProgram:
+    def test_rules_and_query(self):
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        assert len(program.rules) == 2
+        assert program.query == Atom("sg", ("a", "Y"))
+
+    def test_empty_program(self):
+        program = parse_program("")
+        assert program.rules == [] and program.query is None
+
+    def test_multiple_queries_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("?- p(X). ?- q(X).")
+
+    def test_round_trip_through_str(self):
+        source = "p(X) :- q(X), not r(X), X < 3.\n?- p(Y)."
+        program = parse_program(source)
+        again = parse_program(str(program))
+        assert again.rules == program.rules and again.query == program.query
+
+    def test_facts_parse(self):
+        program = parse_program("e(a, b). e(b, c).")
+        assert all(r.is_fact for r in program.rules)

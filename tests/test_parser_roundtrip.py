@@ -1,0 +1,91 @@
+"""Property: rendering a random program and re-parsing it is identity.
+
+Generates random rule ASTs (atoms, negation, comparisons, arithmetic),
+renders them with ``str()`` and feeds the text back through the parser.
+This pins down the exact correspondence between the AST printers and
+the grammar — any drift in either direction fails here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atom import Atom, Literal
+from repro.datalog.builtins import arithmetic, comparison
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.rule import Rule
+from repro.datalog.term import Constant, Variable
+
+_VARS = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "Count", "_t")])
+_CONSTS = st.one_of(
+    st.sampled_from([Constant(c) for c in ("a", "bob", "x_1", "value9")]),
+    st.integers(min_value=0, max_value=99).map(Constant),
+)
+_TERMS = st.one_of(_VARS, _CONSTS)
+_PREDICATES = st.sampled_from(["p", "q", "edge", "same_gen", "t2"])
+
+
+@st.composite
+def atoms(draw):
+    predicate = draw(_PREDICATES)
+    arity = draw(st.integers(0, 3))
+    return Atom(predicate, [draw(_TERMS) for _ in range(arity)])
+
+
+@st.composite
+def body_elements(draw):
+    kind = draw(st.sampled_from(["pos", "neg", "cmp", "is"]))
+    if kind == "pos":
+        return Literal(draw(atoms()))
+    if kind == "neg":
+        return Literal(draw(atoms()), negated=True)
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return comparison(op, draw(_TERMS), draw(_TERMS))
+    target = draw(_VARS)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return arithmetic(target, draw(_TERMS), op, draw(_TERMS))
+
+
+@st.composite
+def rules(draw):
+    head = draw(atoms())
+    body = [draw(body_elements()) for _ in range(draw(st.integers(0, 4)))]
+    return Rule(head, body)
+
+
+@st.composite
+def programs(draw):
+    program = Program([draw(rules()) for _ in range(draw(st.integers(1, 5)))])
+    if draw(st.booleans()):
+        program.query = draw(atoms())
+    return program
+
+
+class TestRoundTrip:
+    @settings(max_examples=250, deadline=None)
+    @given(programs())
+    def test_str_then_parse_is_identity(self, program):
+        text = str(program)
+        parsed = parse_program(text)
+        assert parsed.rules == program.rules
+        assert parsed.query == program.query
+
+    @settings(max_examples=100, deadline=None)
+    @given(rules())
+    def test_rule_round_trip(self, rule):
+        from repro.datalog.parser import parse_rule
+
+        assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=100, deadline=None)
+    @given(atoms())
+    def test_atom_round_trip(self, atom):
+        from repro.datalog.parser import parse_atom
+
+        if atom.arity == 0:
+            # Zero-arity atoms print as a bare identifier.
+            assert parse_atom(str(atom)) == atom
+        else:
+            assert parse_atom(str(atom)) == atom

@@ -1,0 +1,98 @@
+"""Unit tests for repro.datalog.program (dependency analysis)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+
+
+class TestPredicateSets:
+    def test_idb_edb_partition(self):
+        program = parse_program("p(X) :- e(X). q(X) :- p(X), f(X).")
+        assert program.idb_predicates() == {"p", "q"}
+        assert program.edb_predicates() == {"e", "f"}
+
+    def test_goal_predicate_counts_as_referenced(self):
+        program = parse_program("p(X) :- e(X). ?- ghost(a).")
+        assert "ghost" in program.edb_predicates()
+
+    def test_rules_for(self):
+        program = parse_program("p(X) :- e(X). p(X) :- f(X). q(X) :- p(X).")
+        assert len(program.rules_for("p")) == 2
+        assert len(program.rules_for("nope")) == 0
+
+
+class TestDependencyGraph:
+    def test_edges_with_polarity(self):
+        program = parse_program("p(X) :- e(X), not q(X). q(X) :- f(X).")
+        edges = set(program.dependency_edges())
+        assert ("p", "e", False) in edges
+        assert ("p", "q", True) in edges
+        assert ("q", "f", False) in edges
+
+    def test_recursive_predicates(self):
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, Z), t(Z, Y).
+            flat(X) :- e(X, X).
+            """
+        )
+        assert program.recursive_predicates() == {"t"}
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            "p(X) :- q(X). q(X) :- p(X). q(X) :- e(X)."
+        )
+        assert program.recursive_predicates() == {"p", "q"}
+
+    def test_non_recursive_chain(self):
+        program = parse_program("p(X) :- q(X). q(X) :- e(X).")
+        assert program.recursive_predicates() == set()
+
+
+class TestLinearity:
+    def test_linear_rule(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+        )
+        assert program.is_linear("t")
+
+    def test_nonlinear_rule(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), t(Z, Y)."
+        )
+        assert not program.is_linear("t")
+
+    def test_mutual_recursion_counts(self):
+        program = parse_program(
+            """
+            p(X) :- e(X).
+            p(X) :- q(X).
+            q(X) :- p(X), p(X).
+            """
+        )
+        # q's rule has two literals mutually recursive with q (via p).
+        assert not program.is_linear("q")
+
+    def test_nonrecursive_predicate_is_trivially_linear(self):
+        program = parse_program("p(X) :- e(X), e(X).")
+        assert program.is_linear("p")
+
+
+class TestMisc:
+    def test_str_includes_query(self):
+        program = parse_program("p(a). ?- p(X).")
+        assert str(program).splitlines() == ["p(a).", "?- p(X)."]
+
+    def test_equality(self):
+        a = parse_program("p(a). ?- p(X).")
+        b = parse_program("p(a). ?- p(X).")
+        assert a == b
+        c = parse_program("p(b). ?- p(X).")
+        assert a != c
+
+    def test_empty_program(self):
+        program = Program()
+        assert program.predicates() == set()
+        assert program.recursive_predicates() == set()

@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests.
+
+The per-module suites check their own invariants; this module holds the
+properties that tie the whole system together: cost accounting sanity,
+reduced-set structure, answer-set monotonicity, and the behaviour of the
+methods under graph edits the paper discusses (adding arcs, degrading
+the graph class).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.classification import classify_nodes
+from repro.core.csl import CSLQuery
+from repro.core.magic_method import magic_set_method
+from repro.core.methods import all_method_coordinates, magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.core.solver import fact2_answer
+from repro.core.step1 import compute_reduced_sets
+
+from .conftest import csl_queries
+
+
+class TestCostAccounting:
+    @settings(max_examples=60, deadline=None)
+    @given(csl_queries())
+    def test_costs_positive_and_reproducible(self, query):
+        """Same method, same instance => exactly the same cost (the
+        engines are deterministic in their retrieval pattern up to set
+        iteration order; totals must match)."""
+        first = magic_set_method(query).cost.retrievals
+        second = magic_set_method(query).cost.retrievals
+        assert first == second
+        assert first >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(csl_queries())
+    def test_probes_and_tuples_sum_to_retrievals(self, query):
+        cost = magic_set_method(query).cost
+        assert cost.retrievals == cost.probes + cost.tuples
+
+    @settings(max_examples=40, deadline=None)
+    @given(csl_queries())
+    def test_step1_cost_at_most_whole_method_cost(self, query):
+        for strategy in Strategy:
+            instance = query.instance()
+            compute_reduced_sets(instance, strategy)
+            step1_cost = instance.counter.retrievals
+            total = magic_counting(query, strategy, Mode.INTEGRATED).cost.retrievals
+            assert step1_cost <= total, strategy
+
+
+class TestReducedSetStructure:
+    @settings(max_examples=80, deadline=None)
+    @given(csl_queries())
+    def test_rc_indices_are_real_distances(self, query):
+        """Every (index, value) pair in any strategy's RC is a true
+        distance of that value from the source."""
+        classification = classify_nodes(query)
+        for strategy in Strategy:
+            reduced = compute_reduced_sets(query.instance(), strategy)
+            for index, value in reduced.rc:
+                true_indices = classification.distance_sets.get(value)
+                assert true_indices is not None, (strategy, value)
+                assert index in true_indices, (strategy, value, index)
+
+    @settings(max_examples=80, deadline=None)
+    @given(csl_queries())
+    def test_rm_shrinks_along_the_strategy_chain(self, query):
+        """basic ⊇ single ⊇ multiple ⊇ recurring — finer strategies
+        relegate fewer nodes to the magic part."""
+        sizes = [
+            len(compute_reduced_sets(query.instance(), strategy).rm)
+            for strategy in (Strategy.BASIC, Strategy.SINGLE,
+                             Strategy.MULTIPLE, Strategy.RECURRING)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @settings(max_examples=80, deadline=None)
+    @given(csl_queries())
+    def test_rm_always_contains_the_recurring_nodes(self, query):
+        """No strategy may ever count a recurring node (that is what
+        safety means)."""
+        recurring = classify_nodes(query).recurring
+        for strategy in Strategy:
+            reduced = compute_reduced_sets(query.instance(), strategy)
+            assert recurring <= reduced.rm, strategy
+            assert not (recurring & reduced.rc_values()), strategy
+
+
+class TestAnswerMonotonicity:
+    @settings(max_examples=50, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_adding_e_pairs_grows_answers(self, query):
+        bigger = CSLQuery(
+            query.left,
+            set(query.exit) | {(query.source, "extra_answer")},
+            query.right,
+            query.source,
+        )
+        assert fact2_answer(query) <= fact2_answer(bigger)
+        assert "extra_answer" in fact2_answer(bigger)
+
+    @settings(max_examples=50, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_adding_l_pairs_grows_answers(self, query):
+        bigger = CSLQuery(
+            set(query.left) | {("x0", "x1"), ("x1", "x2")},
+            query.exit,
+            query.right,
+            query.source,
+        )
+        assert fact2_answer(query) <= fact2_answer(bigger)
+
+
+class TestGraphEdits:
+    """The Figure 1 what-if discussion, generalized: degrading the
+    graph class never changes any method's *answers* on the original
+    arcs, and the methods stay correct after the edit."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(csl_queries(max_l=8, max_e=4, max_r=8))
+    def test_methods_survive_class_degradation(self, query):
+        # Force a cycle through the source.
+        cyclic = CSLQuery(
+            set(query.left) | {("x0", "x1"), ("x1", "x0")},
+            query.exit,
+            query.right,
+            query.source,
+        )
+        oracle = fact2_answer(cyclic)
+        for strategy, mode in all_method_coordinates():
+            assert magic_counting(cyclic, strategy, mode).answers == oracle
+
+
+class TestBoundSecondArgument:
+    """The methods are position-agnostic through the Datalog bridge:
+    binding the *second* argument of the goal swaps the roles of L and
+    R (adornment fb instead of bf)."""
+
+    def test_fb_goal_round_trip(self):
+        from repro.datalog.database import Database
+        from repro.datalog.evaluation import answer_tuples
+        from repro.datalog.parser import parse_program
+
+        source = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+        ?- sg(X, y2).
+        """
+        program = parse_program(source)
+        db = Database()
+        db.add_facts("up", [("a", "b"), ("b", "c"), ("q", "b")])
+        db.add_facts("flat", [("c", "c1")])
+        db.add_facts("down", [("y", "c1"), ("y2", "y")])
+        expected = answer_tuples(program, db.copy())
+        assert expected == {("a",), ("q",)}
+
+        query = CSLQuery.from_program(program, database=db)
+        # With the second argument bound, "down" becomes the binding
+        # side: the source is the goal constant.
+        assert query.source == "y2"
+        oracle = fact2_answer(query)
+        assert oracle == {"a", "q"}
+        for strategy, mode in all_method_coordinates():
+            assert magic_counting(query, strategy, mode).answers == oracle

@@ -1,0 +1,180 @@
+"""The paper's numbered claims, one test class per proposition.
+
+Most of these are covered implicitly elsewhere; this module states them
+*as the paper does*, so a reader can audit the reproduction claim by
+claim.  Measured assertions use the structured layered workloads (the
+average-case regime every ``≲`` claim is conditioned on).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.runner import measure
+from repro.core.classification import classify_nodes
+from repro.core.complexity import compute_statistics, predicted_cost
+from repro.core.csl import CSLQuery
+from repro.core.magic_method import compute_magic_set
+from repro.core.query_graph import build_query_graph
+from repro.core.solver import fact2_answer, naive_answer
+from repro.core.step1 import recurring_step1
+from repro.workloads.generators import (
+    acyclic_workload,
+    cyclic_workload,
+    regular_workload,
+)
+
+from .conftest import csl_queries
+
+
+class TestProposition1:
+    """MS = CS₋ᵢ = N_L, and the path characterisation of node classes."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(csl_queries())
+    def test_ms_equals_cs_values_equals_nl(self, query):
+        graph = build_query_graph(query)
+        magic = compute_magic_set(query.instance())
+        reduced = recurring_step1(query.instance())
+        cs_values = reduced.rc_values() | reduced.rm
+        assert magic == graph.l_nodes == cs_values
+
+    @settings(max_examples=80, deadline=None)
+    @given(csl_queries())
+    def test_part_d_indices_are_distances(self, query):
+        """I_b coincides with the set of all distances of b from a."""
+        classification = classify_nodes(query)
+        reduced = recurring_step1(query.instance())
+        for node in reduced.rc_values():
+            assert reduced.rc_indices(node) == set(
+                classification.distance_sets[node]
+            )
+
+
+class TestFact1:
+    """Q, Q_C and Q_M are equivalent."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_equivalence(self, query):
+        from repro.datalog.counting_rewrite import counting_rewrite
+        from repro.datalog.evaluation import answer_tuples
+        from repro.datalog.magic_rewrite import magic_rewrite
+
+        program = query.to_program()
+        original = answer_tuples(program, query.database())
+        magic = answer_tuples(magic_rewrite(program), query.database())
+        assert magic == original
+        if not classify_nodes(query).is_cyclic:
+            counting = answer_tuples(
+                counting_rewrite(program), query.database()
+            )
+            assert counting == original
+
+
+class TestFact2:
+    """The balanced-path characterisation of the answer."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_graph_answer_equals_model_answer(self, query):
+        assert fact2_answer(query) == naive_answer(query).answers
+
+
+class TestProposition2:
+    """C ≤_R Ms and C ≲_A Ms (with m_L = O(m_R))."""
+
+    def test_regular(self):
+        for seed in range(4):
+            m = measure(regular_workload(scale=2, seed=seed),
+                        methods=["counting", "magic_set"])
+            assert m.costs["counting"] <= m.costs["magic_set"]
+
+    def test_acyclic_average_case(self):
+        for seed in range(4):
+            m = measure(acyclic_workload(scale=2, seed=seed),
+                        methods=["counting", "magic_set"])
+            assert m.costs["counting"] <= m.costs["magic_set"]
+
+    def test_formula_level(self):
+        stats = compute_statistics(regular_workload(scale=2, seed=0))
+        assert predicted_cost("counting", stats) <= predicted_cost(
+            "magic_set", stats
+        )
+
+
+class TestProposition3:
+    """Safety of a magic counting method reduces to Step-1 safety —
+    and every Step-1 terminates, so every method does (the hypothesis
+    runs in test_methods.py witness this on arbitrary graphs; here the
+    pathological all-recurring case)."""
+
+    def test_hamiltonian_cycle_through_source(self):
+        from repro.core.methods import all_method_coordinates, magic_counting
+
+        query = CSLQuery(
+            {("a", "b"), ("b", "c"), ("c", "a")},
+            {("b", "r")},
+            {("s", "r"), ("r", "s")},
+            "a",
+        )
+        oracle = fact2_answer(query)
+        for strategy, mode in all_method_coordinates():
+            assert magic_counting(query, strategy, mode).answers == oracle
+
+
+class TestProposition4:
+    """B =_R C, B =_{A,C} Ms, B ≲_C C (trivially: C unsafe), C ≲_A B."""
+
+    def test_equalities(self):
+        regular = measure(regular_workload(scale=2, seed=0),
+                          methods=["counting", "mc_basic_independent"])
+        assert (regular.costs["mc_basic_independent"]
+                == regular.costs["counting"])
+        cyclic = measure(cyclic_workload(scale=2, seed=0),
+                         methods=["magic_set", "mc_basic_independent"])
+        assert cyclic.costs["mc_basic_independent"] == cyclic.costs["magic_set"]
+
+    def test_counting_beats_basic_on_acyclic(self):
+        m = measure(acyclic_workload(scale=2, seed=0),
+                    methods=["counting", "mc_basic_independent"])
+        assert m.costs["counting"] <= m.costs["mc_basic_independent"]
+
+
+class TestPropositions5to7:
+    """The strategy/mode orderings, measured on all three regimes."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ordering_chain(self, seed):
+        methods = [
+            "mc_basic_independent",
+            "mc_single_independent", "mc_single_integrated",
+            "mc_multiple_independent", "mc_multiple_integrated",
+            "mc_recurring_independent", "mc_recurring_integrated",
+        ]
+        # The orderings are Θ-level; on single instances a small
+        # constant (the integrated transfer pass, index bookkeeping)
+        # can flip a pair by a few percent — hence the 1.1 slack.
+        slack = 1.1
+        for generator in (acyclic_workload, cyclic_workload):
+            m = measure(generator(scale=2, seed=seed), methods=methods)
+            c = m.costs
+            # Prop 5.
+            assert c["mc_single_independent"] <= slack * c["mc_basic_independent"]
+            assert c["mc_single_integrated"] <= slack * c["mc_single_independent"]
+            # Prop 6.
+            assert c["mc_multiple_independent"] <= slack * c["mc_single_independent"]
+            assert c["mc_multiple_integrated"] <= slack * c["mc_single_integrated"]
+            assert c["mc_multiple_integrated"] <= slack * c["mc_multiple_independent"]
+            # Prop 7 (integrated <= independent always; vs multiple only
+            # on average, hence the wider slack).
+            assert (c["mc_recurring_integrated"]
+                    <= slack * c["mc_recurring_independent"])
+            assert (c["mc_recurring_integrated"]
+                    <= 1.7 * c["mc_multiple_integrated"])
+
+    def test_regular_collapse(self):
+        m = measure(regular_workload(scale=2, seed=1))
+        baseline = m.costs["counting"]
+        for method, cost in m.costs.items():
+            if method.startswith("mc_") and not method.endswith("_scc"):
+                assert cost == baseline, method

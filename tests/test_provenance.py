@@ -1,0 +1,121 @@
+"""Tests for proof trees (why-provenance)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.solver import fact2_answer
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.provenance import evaluate_with_provenance
+from repro.errors import EvaluationError
+
+from .conftest import csl_queries
+
+
+def provenance_for(source, **facts):
+    program = parse_program(source)
+    db = Database()
+    for name, tuples in facts.items():
+        db.add_facts(name, tuples)
+    return evaluate_with_provenance(program, db)
+
+
+TC = "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+
+
+class TestProofTrees:
+    def test_base_case_proof(self):
+        prov = provenance_for(TC, e=[("a", "b")])
+        proof = prov.proof("t", ("a", "b"))
+        assert proof.kind == "rule"
+        assert [leaf.predicate for leaf in proof.leaves()] == ["e"]
+
+    def test_recursive_proof_depth(self):
+        prov = provenance_for(TC, e=[("a", "b"), ("b", "c"), ("c", "d")])
+        proof = prov.proof("t", ("a", "d"))
+        leaves = proof.leaves()
+        assert all(leaf.kind == "edb" for leaf in leaves)
+        assert [leaf.values for leaf in leaves] == [
+            ("a", "b"), ("b", "c"), ("c", "d")
+        ]
+
+    def test_edb_fact_is_leaf(self):
+        prov = provenance_for(TC, e=[("a", "b")])
+        proof = prov.proof("e", ("a", "b"))
+        assert proof.kind == "edb" and proof.children == []
+
+    def test_underivable_fact_raises(self):
+        prov = provenance_for(TC, e=[("a", "b")])
+        with pytest.raises(EvaluationError):
+            prov.proof("t", ("b", "a"))
+        with pytest.raises(EvaluationError):
+            prov.proof("e", ("z", "z"))
+
+    def test_is_derivable(self):
+        prov = provenance_for(TC, e=[("a", "b"), ("b", "c")])
+        assert prov.is_derivable("t", ("a", "c"))
+        assert not prov.is_derivable("t", ("c", "a"))
+        assert prov.is_derivable("e", ("a", "b"))
+
+    def test_builtin_leaf_recorded(self):
+        prov = provenance_for(
+            "n(0). n(J1) :- n(J), J < 3, J1 is J + 1."
+        )
+        proof = prov.proof("n", (2,))
+        rendered = proof.render()
+        assert "[builtin]" in rendered
+        assert proof.depth() >= 3
+
+    def test_negation_leaf_recorded(self):
+        prov = provenance_for(
+            "good(X) :- node(X), not bad(X).",
+            node=[("a",), ("b",)],
+            bad=[("b",)],
+        )
+        proof = prov.proof("good", ("a",))
+        assert any("not bad" in leaf.predicate for leaf in proof.leaves())
+        with pytest.raises(EvaluationError):
+            prov.proof("good", ("b",))
+
+    def test_render_is_indented(self):
+        prov = provenance_for(TC, e=[("a", "b"), ("b", "c")])
+        text = prov.proof("t", ("a", "c")).render()
+        lines = text.splitlines()
+        assert lines[0].startswith("t(a, c)")
+        assert any(line.startswith("  ") for line in lines)
+
+    def test_proofs_terminate_on_cyclic_data(self):
+        prov = provenance_for(TC, e=[("a", "b"), ("b", "a")])
+        proof = prov.proof("t", ("a", "a"))
+        assert proof.depth() <= 10  # finite, no loop
+
+
+class TestFact2Structure:
+    """A proof of a CSL answer must exhibit the Fact-2 path shape:
+    k uses of the L relation, one use of E, k uses of R."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(csl_queries(max_l=8, max_e=4, max_r=8))
+    def test_answers_have_balanced_proofs(self, query):
+        program = query.to_program()
+        database = query.database()
+        prov = evaluate_with_provenance(program, database)
+        for answer in sorted(fact2_answer(query), key=repr)[:3]:
+            proof = prov.proof("p", (query.source, answer))
+            leaves = proof.leaves()
+            l_uses = sum(1 for leaf in leaves if leaf.predicate == "l")
+            e_uses = sum(1 for leaf in leaves if leaf.predicate == "e")
+            r_uses = sum(1 for leaf in leaves if leaf.predicate == "r")
+            assert e_uses == 1
+            assert l_uses == r_uses
+
+    def test_every_method_answer_admits_a_proof(self, samegen_query):
+        from repro.core.methods import magic_counting
+        from repro.core.reduced_sets import Mode, Strategy
+
+        prov = evaluate_with_provenance(
+            samegen_query.to_program(), samegen_query.database()
+        )
+        result = magic_counting(samegen_query, Strategy.MULTIPLE, Mode.INTEGRATED)
+        for answer in result.answers:
+            assert prov.is_derivable("p", (samegen_query.source, answer))

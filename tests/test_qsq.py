@@ -1,0 +1,130 @@
+"""Tests for QSQ (query-subquery) top-down evaluation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import answer_tuples
+from repro.datalog.parser import parse_program
+from repro.datalog.qsq import qsq_answer_tuples
+from repro.errors import EvaluationError
+
+from .conftest import csl_queries
+
+
+def db_with(**relations):
+    db = Database()
+    for name, tuples in relations.items():
+        db.add_facts(name, tuples)
+    return db
+
+
+EDGES = [("a", "b"), ("b", "c"), ("c", "d"), ("z", "w")]
+
+
+class TestBasics:
+    def test_transitive_closure_bound_goal(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(a, Y)."
+        )
+        assert qsq_answer_tuples(program, db_with(e=EDGES)) == {
+            ("b",), ("c",), ("d",)
+        }
+
+    def test_free_goal(self):
+        program = parse_program("p(X, Y) :- e(X, Y). ?- p(X, Y).")
+        assert qsq_answer_tuples(program, db_with(e=[("a", 1)])) == {("a", 1)}
+
+    def test_ground_goal(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(a, d)."
+        )
+        assert qsq_answer_tuples(program, db_with(e=EDGES)) == {()}
+
+    def test_edb_goal(self):
+        program = parse_program("p(X) :- e(X, X). ?- e(a, Y).")
+        assert qsq_answer_tuples(program, db_with(e=EDGES)) == {("b",)}
+
+    def test_cyclic_data_terminates(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(a, Y)."
+        )
+        db = db_with(e=[("a", "b"), ("b", "a")])
+        assert qsq_answer_tuples(program, db) == {("a",), ("b",)}
+
+    def test_same_generation(self):
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        db = db_with(
+            up=[("a", "b"), ("b", "c")],
+            flat=[("c", "c1")],
+            down=[("y", "c1"), ("y2", "y")],
+        )
+        assert qsq_answer_tuples(program, db) == {("y2",)}
+
+    def test_builtins(self):
+        program = parse_program(
+            "n(0, z). n(J1, Y) :- n(J, X), e(X, Y), J < 4, J1 is J + 1. ?- n(J, Y)."
+        )
+        db = db_with(e=[("z", "s1"), ("s1", "s2")])
+        answers = qsq_answer_tuples(program, db)
+        assert (1, "s1") in answers and (2, "s2") in answers
+
+    def test_edb_negation(self):
+        program = parse_program(
+            "ok(X) :- node(X), not banned(X). ?- ok(Y)."
+        )
+        db = db_with(node=[("a",), ("b",)], banned=[("b",)])
+        assert qsq_answer_tuples(program, db) == {("a",)}
+
+    def test_idb_negation_rejected(self):
+        program = parse_program(
+            "p(X) :- node(X), not q(X). q(X) :- bad(X). ?- p(Y)."
+        )
+        db = db_with(node=[("a",)], bad=[("z",)])
+        with pytest.raises(EvaluationError):
+            qsq_answer_tuples(program, db)
+
+    def test_no_goal_rejected(self):
+        program = parse_program("p(a).")
+        with pytest.raises(EvaluationError):
+            qsq_answer_tuples(program, Database())
+
+
+class TestRelevance:
+    def test_irrelevant_branch_untouched(self):
+        """QSQ's whole point: the z/w component is never demanded."""
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(a, Y)."
+        )
+        db = db_with(e=EDGES + [(f"j{i}", f"j{i+1}") for i in range(40)])
+        cost_qsq = db.copy()
+        qsq_answer_tuples(program, cost_qsq)
+        cost_plain = db.copy()
+        answer_tuples(program, cost_plain)
+        assert cost_qsq.total_cost() < cost_plain.total_cost()
+
+
+class TestAgainstOtherEngines:
+    @settings(max_examples=50, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_qsq_equals_seminaive_on_csl(self, query):
+        program = query.to_program()
+        expected = answer_tuples(program, query.database())
+        assert qsq_answer_tuples(program, query.database()) == expected
+
+    def test_qsq_equals_magic(self):
+        from repro.datalog.magic_rewrite import magic_rewrite
+
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), e(Z, Y). ?- t(b, Y)."
+        )
+        db = db_with(e=EDGES)
+        assert qsq_answer_tuples(program, db.copy()) == answer_tuples(
+            magic_rewrite(program), db.copy()
+        )

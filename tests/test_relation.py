@@ -1,0 +1,115 @@
+"""Unit tests for the cost-instrumented relation storage."""
+
+import pytest
+
+from repro.datalog.relation import CostCounter, Relation
+
+
+@pytest.fixture
+def counter():
+    return CostCounter()
+
+
+@pytest.fixture
+def edges(counter):
+    return Relation(
+        "edge", 2, [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")], counter
+    )
+
+
+class TestBasics:
+    def test_len_and_contains(self, edges):
+        assert len(edges) == 4
+        assert ("a", "b") in edges
+        assert ("b", "a") not in edges
+
+    def test_add_deduplicates(self, edges):
+        assert not edges.add(("a", "b"))
+        assert edges.add(("a", "z"))
+        assert len(edges) == 5
+
+    def test_arity_enforced(self, edges):
+        with pytest.raises(ValueError):
+            edges.add(("a",))
+        with pytest.raises(ValueError):
+            list(edges.lookup(("a",)))
+
+    def test_negative_arity_rejected(self, counter):
+        with pytest.raises(ValueError):
+            Relation("bad", -1, counter=counter)
+
+    def test_column_values(self, edges):
+        assert edges.column_values(0) == {"a", "b", "c"}
+        assert edges.column_values(1) == {"a", "b", "c"}
+
+    def test_copy_is_independent(self, edges, counter):
+        clone = edges.copy(CostCounter())
+        clone.add(("z", "z"))
+        assert ("z", "z") not in edges
+
+
+class TestLookup:
+    def test_by_first_column(self, edges):
+        assert set(edges.lookup(("a", None))) == {("a", "b"), ("a", "c")}
+
+    def test_by_second_column(self, edges):
+        assert set(edges.lookup((None, "c"))) == {("a", "c"), ("b", "c")}
+
+    def test_full_scan(self, edges):
+        assert len(list(edges.lookup((None, None)))) == 4
+
+    def test_membership_pattern(self, edges):
+        assert list(edges.lookup(("a", "b"))) == [("a", "b")]
+        assert list(edges.lookup(("b", "b"))) == []
+
+    def test_index_maintained_after_add(self, edges):
+        list(edges.lookup(("a", None)))  # build the index
+        edges.add(("a", "q"))
+        assert set(edges.lookup(("a", None))) == {("a", "b"), ("a", "c"), ("a", "q")}
+
+    def test_missing_key(self, edges):
+        assert list(edges.lookup(("zzz", None))) == []
+
+
+class TestCostAccounting:
+    def test_probe_plus_tuples(self, edges, counter):
+        list(edges.lookup(("a", None)))
+        assert counter.probes == 1
+        assert counter.tuples == 2
+        assert counter.retrievals == 3
+
+    def test_empty_probe_still_charged(self, edges, counter):
+        list(edges.lookup(("zzz", None)))
+        assert counter.retrievals == 1
+
+    def test_contains_charges(self, edges, counter):
+        edges.contains(("a", "b"))
+        assert counter.retrievals == 2  # probe + hit
+        edges.contains(("zz", "zz"))
+        assert counter.retrievals == 3  # probe only
+
+    def test_per_relation_breakdown(self, counter):
+        r1 = Relation("one", 1, [(1,), (2,)], counter)
+        r2 = Relation("two", 1, [(3,)], counter)
+        list(r1.lookup((None,)))
+        list(r2.lookup((None,)))
+        assert counter.per_relation["one"] == 3
+        assert counter.per_relation["two"] == 2
+
+    def test_reset(self, edges, counter):
+        list(edges.lookup((None, None)))
+        counter.reset()
+        assert counter.retrievals == 0 and counter.per_relation == {}
+
+    def test_uncharged_structural_access(self, edges, counter):
+        _ = len(edges)
+        _ = ("a", "b") in edges
+        _ = list(edges)
+        _ = edges.as_set()
+        assert counter.retrievals == 0
+
+    def test_snapshot(self, edges, counter):
+        list(edges.lookup(("a", None)))
+        snap = counter.snapshot()
+        assert snap["retrievals"] == 3
+        assert snap["relation:edge"] == 3

@@ -1,0 +1,153 @@
+"""Tests for the interactive shell (driven via Repl.execute)."""
+
+import pytest
+
+from repro.repl import Repl
+
+
+@pytest.fixture
+def shell():
+    return Repl()
+
+
+def feed(shell, *lines):
+    output = []
+    for line in lines:
+        output.extend(shell.execute(line))
+    return output
+
+
+class TestStatements:
+    def test_store_fact(self, shell):
+        assert feed(shell, "parent(ann, mona).") == ["stored."]
+        assert feed(shell, "parent(ann, mona).") == ["duplicate."]
+
+    def test_add_rule(self, shell):
+        out = feed(shell, "p(X) :- parent(X, Y).")
+        assert out == ["rule added."]
+
+    def test_unsafe_rule_rejected(self, shell):
+        out = feed(shell, "p(X, Y) :- parent(X, Z).")
+        assert out[0].startswith("error:")
+
+    def test_syntax_error_reported(self, shell):
+        out = feed(shell, "p(X :- q.")
+        assert out[0].startswith("error:")
+
+    def test_blank_and_comment_ignored(self, shell):
+        assert feed(shell, "", "   ", "% a comment") == []
+
+
+class TestQueries:
+    def setup_sg(self, shell):
+        feed(
+            shell,
+            "parent(ann, mona).",
+            "parent(ben, mona).",
+            "parent(mona, gr).",
+            "parent(uma, gr).",
+            "parent(cleo, uma).",
+            "flat(gr, gr).",
+            "sg(X, Y) :- flat(X, Y).",
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).",
+        )
+
+    def test_csl_query_uses_paper_method(self, shell):
+        self.setup_sg(shell)
+        out = feed(shell, "?- sg(ann, Y).")
+        assert "Y = ben" in out
+        assert "Y = cleo" in out
+        assert any("method mc_recurring_integrated_scc" in line for line in out)
+
+    def test_method_switch(self, shell):
+        self.setup_sg(shell)
+        feed(shell, ".method magic_set")
+        out = feed(shell, "?- sg(ann, Y).")
+        assert any("method magic_set" in line for line in out)
+
+    def test_ground_goal(self, shell):
+        self.setup_sg(shell)
+        out = feed(shell, "?- sg(ann, ben).")
+        assert out[0] == "true."
+        out = feed(shell, "?- sg(ann, gr).")
+        assert out[0] == "false."
+
+    def test_free_goal_generic_engine(self, shell):
+        self.setup_sg(shell)
+        out = feed(shell, "?- parent(X, Y).")
+        assert any("X = ann, Y = mona" in line for line in out)
+
+    def test_non_csl_query_falls_back(self, shell):
+        feed(shell, "e(1, 2).", "e(2, 3).",
+             "t(X, Y) :- e(X, Y).",
+             "t(X, Y) :- t(X, Z), t(Z, Y).")
+        out = feed(shell, "?- t(1, Y).")
+        assert "Y = 2" in out and "Y = 3" in out
+        assert any("seminaive" in line for line in out)
+
+
+class TestCommands:
+    def test_help(self, shell):
+        out = feed(shell, ".help")
+        assert any(".method" in line for line in out)
+
+    def test_method_validation(self, shell):
+        out = feed(shell, ".method astrology")
+        assert "unknown method" in out[0]
+        assert shell.method == "auto"
+
+    def test_rules_and_facts_listing(self, shell):
+        feed(shell, "e(1, 2).", "p(X) :- e(X, Y).")
+        assert feed(shell, ".facts") == ["e(1, 2)."]
+        assert feed(shell, ".rules") == ["p(X) :- e(X, Y)."]
+
+    def test_clear(self, shell):
+        feed(shell, "e(1, 2).", "p(X) :- e(X, Y).")
+        assert feed(shell, ".clear") == ["cleared."]
+        assert feed(shell, ".facts") == ["(no facts)"]
+
+    def test_quit(self, shell):
+        assert feed(shell, ".quit") == ["bye."]
+        assert shell.done
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in feed(shell, ".frobnicate")[0]
+
+    def test_save_and_load_round_trip(self, shell, tmp_path):
+        feed(shell, "e(1, 2).", "p(X) :- e(X, Y).")
+        path = str(tmp_path / "session.dl")
+        [saved] = feed(shell, f".save {path}")
+        assert "saved 1 fact(s) and 1 rule(s)" in saved
+
+        fresh = Repl()
+        [loaded] = feed(fresh, f".load {path}")
+        assert "loaded 1 fact(s) and 1 rule(s)" in loaded
+        assert feed(fresh, ".facts") == ["e(1, 2)."]
+        assert feed(fresh, ".rules") == ["p(X) :- e(X, Y)."]
+
+    def test_load_missing_file(self, shell):
+        out = feed(shell, ".load /nonexistent/path.dl")
+        assert out[0].startswith("error:")
+
+    def test_load_usage(self, shell):
+        assert feed(shell, ".load") == ["usage: .load FILE"]
+        assert feed(shell, ".save") == ["usage: .save FILE"]
+
+    def test_analyze(self, shell):
+        feed(shell,
+             "parent(ann, mona).",
+             "flat(mona, mona).",
+             "sg(X, Y) :- flat(X, Y).",
+             "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).")
+        out = feed(shell, ".analyze sg(ann, Y)")
+        assert any("class: regular" in line for line in out)
+
+    def test_explain(self, shell):
+        feed(shell, "e(1, 2).", "p(X, Y) :- e(X, Y).")
+        out = feed(shell, ".explain p(1, 2)")
+        assert out[0].startswith("p(1, 2)")
+        assert any("[fact]" in line for line in out)
+
+    def test_explain_requires_ground(self, shell):
+        feed(shell, "e(1, 2).", "p(X, Y) :- e(X, Y).")
+        assert feed(shell, ".explain p(1, Y)") == ["explain needs a ground fact."]

@@ -1,0 +1,214 @@
+"""Tests for the magic-set and counting rewritings.
+
+The key property, for both: the rewritten program is *equivalent* to the
+original (Fact 1 of the paper) — same answers on every database — while
+deriving fewer irrelevant facts.
+"""
+
+import pytest
+
+from repro.datalog.counting_rewrite import counting_rewrite
+from repro.datalog.database import Database
+from repro.datalog.evaluation import answer_tuples, seminaive_evaluate
+from repro.datalog.magic_rewrite import magic_rewrite
+from repro.datalog.parser import parse_program
+from repro.errors import NotCSLError, UnsafeQueryError
+
+SG_SOURCE = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+?- sg(a, Y).
+"""
+
+
+def sg_db():
+    db = Database()
+    db.add_facts("up", [("a", "b"), ("b", "c"), ("a", "d"), ("z", "w")])
+    db.add_facts("flat", [("c", "c1"), ("d", "d1"), ("a", "a1"), ("w", "w1")])
+    db.add_facts("down", [("y", "c1"), ("y2", "y"), ("v", "d1"), ("u", "w1")])
+    return db
+
+
+def answers(program, db):
+    return answer_tuples(program, db.copy())
+
+
+class TestMagicRewrite:
+    def test_equivalent_to_original(self):
+        program = parse_program(SG_SOURCE)
+        rewritten = magic_rewrite(program)
+        assert answers(rewritten, sg_db()) == answers(program, sg_db())
+
+    def test_produces_papers_qm_shape(self):
+        rewritten = magic_rewrite(parse_program(SG_SOURCE))
+        text = str(rewritten)
+        assert "m_sg__bf(a)." in text
+        assert "m_sg__bf(X1) :- m_sg__bf(X), up(X, X1)." in text
+        assert "sg__bf(X, Y) :- m_sg__bf(X), flat(X, Y)." in text
+
+    def test_avoids_irrelevant_facts(self):
+        program = parse_program(SG_SOURCE)
+        rewritten = magic_rewrite(program)
+        db = sg_db()
+        seminaive_evaluate(rewritten, db)
+        # The z/w branch is unreachable from a: no sg fact for it.
+        assert ("w", "u") not in db.facts("sg__bf")
+        assert db.facts("m_sg__bf") == {("a",), ("b",), ("c",), ("d",)}
+
+    def test_cheaper_than_unrewritten_on_large_db(self):
+        program = parse_program(SG_SOURCE)
+        db = Database()
+        # A long chain far from the query constant.
+        db.add_facts("up", [("a", "b")] + [(f"n{i}", f"n{i+1}") for i in range(60)])
+        db.add_facts("flat", [("b", "x")] + [(f"n{i}", f"m{i}") for i in range(60)])
+        db.add_facts("down", [("y", "x")])
+        plain = db.copy()
+        answer_tuples(program, plain)
+        magic = db.copy()
+        answer_tuples(magic_rewrite(program), magic)
+        assert magic.total_cost() < plain.total_cost()
+
+    def test_nonrecursive_program(self):
+        program = parse_program("p(X, Y) :- e(X, Y). ?- p(a, Y).")
+        db = Database()
+        db.add_facts("e", [("a", 1), ("b", 2)])
+        assert answers(magic_rewrite(program), db) == {(1,)}
+
+    def test_fully_free_goal(self):
+        program = parse_program("p(X, Y) :- e(X, Y). ?- p(X, Y).")
+        db = Database()
+        db.add_facts("e", [("a", 1), ("b", 2)])
+        assert answers(magic_rewrite(program), db) == {("a", 1), ("b", 2)}
+
+    def test_edb_goal_passthrough(self):
+        program = parse_program("p(X) :- e(X). ?- e(a).")
+        db = Database()
+        db.add_facts("e", [("a",)])
+        assert answers(magic_rewrite(program), db) == {()}
+
+
+class TestCountingRewrite:
+    def test_equivalent_to_original(self):
+        program = parse_program(SG_SOURCE)
+        rewritten = counting_rewrite(program)
+        assert answers(rewritten, sg_db()) == answers(program, sg_db())
+
+    def test_produces_papers_qc_shape(self):
+        rewritten = counting_rewrite(parse_program(SG_SOURCE))
+        text = str(rewritten)
+        assert "cs_sg(0, a)." in text
+        assert "cs_sg(J1, X1) :- cs_sg(J, X), up(X, X1), J1 is J + 1." in text
+        assert "cnt_sg(J, Y) :- cs_sg(J, X), flat(X, Y)." in text
+        assert (
+            "cnt_sg(J1, Y) :- cnt_sg(J, Y1), down(Y, Y1), J >= 1, J1 is J - 1."
+            in text
+        )
+
+    def test_unsafe_on_cyclic_data(self):
+        program = counting_rewrite(parse_program(SG_SOURCE))
+        db = Database()
+        db.add_facts("up", [("a", "b"), ("b", "a")])
+        db.add_facts("flat", [("a", "x")])
+        db.add_facts("down", [("y", "x")])
+        with pytest.raises(UnsafeQueryError):
+            answer_tuples(program, db, max_iterations=300)
+
+    def test_derived_predicates_carried_over(self):
+        source = """
+        up(X, Y) :- father(X, Y).
+        up(X, Y) :- mother(X, Y).
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+        ?- sg(a, Y).
+        """
+        program = parse_program(source)
+        rewritten = counting_rewrite(program)
+        db = Database()
+        db.add_facts("father", [("a", "f"), ("b", "f")])
+        db.add_facts("mother", [("a", "m"), ("c", "m")])
+        db.add_facts("flat", [("f", "f"), ("m", "m")])
+        expected = answers(program, db)
+        assert answers(rewritten, db) == expected
+        assert ("b",) in expected and ("c",) in expected
+
+    def test_index_variable_fresh(self):
+        # The rule already uses J; the rewrite must pick another name.
+        source = """
+        sg(J, Y) :- flat(J, Y).
+        sg(J, Y) :- up(J, X1), sg(X1, Y1), down(Y, Y1).
+        ?- sg(a, Y).
+        """
+        rewritten = counting_rewrite(parse_program(source))
+        db = sg_db()
+        assert answers(rewritten, db) == answers(parse_program(SG_SOURCE), db)
+
+    def test_rejects_non_linear(self):
+        source = "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), t(Z, Y). ?- t(a, Y)."
+        with pytest.raises(NotCSLError):
+            counting_rewrite(parse_program(source))
+
+    def test_multiple_exit_rules(self):
+        source = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- flat2(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+        ?- sg(a, Y).
+        """
+        program = parse_program(source)
+        db = sg_db()
+        db.add_facts("flat2", [("b", "q1")])
+        db.add_facts("down", [("q0", "q1")])
+        assert answers(counting_rewrite(program), db) == answers(program, db)
+
+
+class TestMultipleAdornments:
+    def test_swapping_rule_generates_bf_and_fb(self):
+        source = """
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(Y, X).
+        ?- p(a, Y).
+        """
+        program = parse_program(source)
+        rewritten = magic_rewrite(program)
+        text = str(rewritten)
+        assert "m_p__bf" in text and "m_p__fb" in text
+
+        db = Database()
+        db.add_facts("e", [("a", 1), (2, "a"), (3, 4)])
+        expected = answers(program, db)
+        assert expected == {(1,), (2,)}
+        assert answers(rewritten, db) == expected
+
+    def test_second_argument_bound_goal(self):
+        source = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+        ?- sg(X, y2).
+        """
+        program = parse_program(source)
+        db = sg_db()
+        expected = answers(program, db)
+        assert answers(magic_rewrite(program), db) == expected
+
+    def test_three_argument_predicate(self):
+        source = """
+        path(X, Y, N) :- e(X, Y), one(N).
+        path(X, Y, N) :- e(X, Z), path(Z, Y, M), N is M + 1.
+        ?- path(a, Y, N).
+        """
+        program = parse_program(source)
+        db = Database()
+        db.add_facts("e", [("a", "b"), ("b", "c")])
+        db.add_facts("one", [(1,)])
+        expected = answers(program, db)
+        assert ("c", 2) in expected
+        assert answers(magic_rewrite(program), db) == expected
+
+
+class TestRewritesAgree:
+    def test_magic_and_counting_agree_on_acyclic(self):
+        program = parse_program(SG_SOURCE)
+        db = sg_db()
+        assert answers(magic_rewrite(program), db) == answers(
+            counting_rewrite(program), db
+        )

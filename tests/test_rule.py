@@ -1,0 +1,104 @@
+"""Unit tests for repro.datalog.rule (structure and safety checking)."""
+
+import pytest
+
+from repro.datalog.atom import Atom, Literal
+from repro.datalog.builtins import arithmetic, comparison
+from repro.datalog.rule import Rule, rule
+from repro.datalog.term import Variable
+from repro.errors import SafetyError
+
+X, Y, Z, J, J1 = (Variable(n) for n in ("X", "Y", "Z", "J", "J1"))
+
+
+def p(*ts):
+    return Atom("p", ts)
+
+
+def q(*ts):
+    return Atom("q", ts)
+
+
+class TestStructure:
+    def test_fact_detection(self):
+        assert Rule(p("a")).is_fact
+        assert not Rule(p("X")).is_fact
+        assert not Rule(p("a"), (Literal(q("a")),)).is_fact
+
+    def test_atom_coerced_to_literal(self):
+        r = Rule(p("X"), (q("X"),))
+        assert isinstance(r.body[0], Literal) and not r.body[0].negated
+
+    def test_partitions(self):
+        r = Rule(
+            p("X"),
+            (q("X"), Literal(q("Y"), negated=True), comparison("<", "X", "Y")),
+        )
+        assert len(r.positive_literals()) == 1
+        assert len(r.negative_literals()) == 1
+        assert len(r.builtins()) == 1
+
+    def test_body_predicates(self):
+        r = Rule(p("X"), (q("X"), Atom("r", ("X",))))
+        assert r.body_predicates() == ["q", "r"]
+
+    def test_variables_order(self):
+        r = Rule(p("X", "Y"), (q("Y", "Z"),))
+        assert list(r.variables()) == [X, Y, Z]
+
+    def test_rename_apart(self):
+        r = Rule(p("X"), (q("X", "Y"),)).rename_apart("_0")
+        assert list(r.variables()) == [Variable("X_0"), Variable("Y_0")]
+
+    def test_str(self):
+        assert str(Rule(p("a"))) == "p(a)."
+        assert str(Rule(p("X"), (q("X"),))) == "p(X) :- q(X)."
+
+    def test_invalid_body_element(self):
+        with pytest.raises(TypeError):
+            Rule(p("X"), ("nonsense",))
+
+    def test_head_must_be_atom(self):
+        with pytest.raises(TypeError):
+            Rule("p(X)", ())
+
+
+class TestSafety:
+    def test_safe_simple(self):
+        rule(p("X"), q("X")).check_safety()
+
+    def test_unbound_head_variable(self):
+        with pytest.raises(SafetyError):
+            rule(p("X", "Y"), q("X")).check_safety()
+
+    def test_unbound_negated_variable(self):
+        with pytest.raises(SafetyError):
+            Rule(p("X"), (q("X"), Literal(q("Z"), negated=True))).check_safety()
+
+    def test_bound_negated_ok(self):
+        Rule(p("X"), (q("X"), Literal(q("X"), negated=True))).check_safety()
+
+    def test_comparison_needs_bound_args(self):
+        with pytest.raises(SafetyError):
+            Rule(p("X"), (q("X"), comparison("<", "X", "Z"))).check_safety()
+
+    def test_is_binds_head_variable(self):
+        Rule(p(J1), (q(J), arithmetic(J1, J, "+", 1))).check_safety()
+
+    def test_is_with_unbound_operand(self):
+        with pytest.raises(SafetyError):
+            Rule(p(J1), (arithmetic(J1, J, "+", 1),)).check_safety()
+
+    def test_chained_is(self):
+        # J1 is J + 1, Z is J1 * 2 — second builtin depends on the first.
+        Rule(
+            p(Z),
+            (q(J), arithmetic(J1, J, "+", 1), arithmetic(Z, J1, "*", 2)),
+        ).check_safety()
+
+    def test_ground_fact_is_safe(self):
+        Rule(p("a", 1)).check_safety()
+
+    def test_non_ground_bodiless_rule_unsafe(self):
+        with pytest.raises(SafetyError):
+            Rule(p("X")).check_safety()

@@ -1,0 +1,107 @@
+"""Tests for the public solve() API and the oracles."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.reduced_sets import Mode, Strategy
+from repro.core.solver import (
+    fact2_answer,
+    naive_answer,
+    seminaive_answer,
+    solve,
+)
+from repro.errors import EvaluationError, UnsafeQueryError
+
+from .conftest import csl_queries
+
+
+class TestSolve:
+    def test_auto_is_safe_and_correct(self, cyclic_query):
+        result = solve(cyclic_query)
+        assert result.answers == fact2_answer(cyclic_query)
+        assert result.method == "mc_recurring_integrated_scc"
+
+    def test_named_methods(self, samegen_query):
+        oracle = fact2_answer(samegen_query)
+        for name in ("counting", "magic_set", "extended_counting", "naive"):
+            assert solve(samegen_query, method=name).answers == oracle, name
+
+    def test_magic_counting_with_coordinates(self, samegen_query):
+        result = solve(
+            samegen_query,
+            method="magic_counting",
+            strategy=Strategy.SINGLE,
+            mode=Mode.INDEPENDENT,
+        )
+        assert result.method == "mc_single_independent"
+        assert result.answers == fact2_answer(samegen_query)
+
+    def test_magic_counting_defaults(self, samegen_query):
+        result = solve(samegen_query, method="magic_counting")
+        assert result.method == "mc_multiple_integrated"
+
+    def test_unknown_method(self, samegen_query):
+        with pytest.raises(EvaluationError):
+            solve(samegen_query, method="prolog")
+
+    def test_counting_propagates_unsafe(self, cyclic_query):
+        with pytest.raises(UnsafeQueryError):
+            solve(cyclic_query, method="counting")
+
+
+class TestSolveProgram:
+    def test_one_call_from_datalog(self):
+        from repro.core.solver import solve_program
+        from repro.datalog.database import Database
+        from repro.datalog.parser import parse_program
+
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+            ?- sg(a, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("up", [("a", "b")])
+        db.add_facts("flat", [("b", "r0")])
+        db.add_facts("down", [("out", "r0")])
+        result = solve_program(program, db)
+        assert result.answers == frozenset({"out"})
+
+    def test_non_csl_raises(self):
+        from repro.core.solver import solve_program
+        from repro.datalog.database import Database
+        from repro.datalog.parser import parse_program
+        from repro.errors import NotCSLError
+
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- t(X, Z), t(Z, Y). ?- t(a, Y)."
+        )
+        db = Database()
+        db.add_facts("e", [("a", "b")])
+        with pytest.raises(NotCSLError):
+            solve_program(program, db)
+
+
+class TestOracles:
+    def test_naive_matches_seminaive(self, samegen_query):
+        assert (
+            naive_answer(samegen_query).answers
+            == seminaive_answer(samegen_query).answers
+        )
+
+    def test_oracles_on_cyclic(self, cyclic_query):
+        assert naive_answer(cyclic_query).answers == fact2_answer(cyclic_query)
+
+    @settings(max_examples=60, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_fact2_matches_datalog_naive(self, query):
+        """Fact 2's graph characterisation equals the model-theoretic
+        answer computed by the (entirely independent) Datalog engine."""
+        assert fact2_answer(query) == naive_answer(query).answers
+
+    @settings(max_examples=40, deadline=None)
+    @given(csl_queries(max_l=10, max_e=4, max_r=10))
+    def test_fact2_matches_datalog_seminaive(self, query):
+        assert fact2_answer(query) == seminaive_answer(query).answers

@@ -1,0 +1,217 @@
+"""Tests for the Step-1 reduced-set computations (Sections 6-9).
+
+The load-bearing property (run under hypothesis over arbitrary graphs):
+every strategy's output satisfies the Theorem 1 / Theorem 2 correctness
+conditions against the ground-truth classification, and the per-strategy
+characterisations hold (basic: all-or-nothing; single: distance split at
+i_x; multiple: RM = non-single nodes; recurring: RM = recurring nodes
+with full index sets in RC).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.classification import boundary_index, classify_nodes
+from repro.core.csl import CSLQuery
+from repro.core.reduced_sets import (
+    Strategy,
+    check_theorem1,
+    check_theorem2,
+)
+from repro.core.step1 import (
+    basic_step1,
+    compute_reduced_sets,
+    multiple_step1,
+    recurring_step1,
+    recurring_step1_scc,
+    single_step1,
+)
+
+from .conftest import csl_queries
+
+ALL_STEP1 = [
+    (Strategy.BASIC, False),
+    (Strategy.SINGLE, False),
+    (Strategy.MULTIPLE, False),
+    (Strategy.RECURRING, False),
+    (Strategy.RECURRING, True),
+]
+
+
+def magic_only(left, source="a"):
+    return CSLQuery(left, set(), set(), source)
+
+
+class TestBasic:
+    def test_regular_uses_counting(self):
+        rs = basic_step1(magic_only({("a", "b"), ("b", "c")}).instance())
+        assert rs.rm == set()
+        assert rs.rc == {(0, "a"), (1, "b"), (2, "c")}
+        assert rs.details["regular"]
+
+    def test_nonregular_uses_magic(self):
+        rs = basic_step1(magic_only({("a", "b"), ("b", "c"), ("a", "c")}).instance())
+        assert rs.rc == set()
+        assert rs.rm == {"a", "b", "c"}
+        assert not rs.details["regular"]
+
+    def test_cyclic_terminates(self):
+        rs = basic_step1(magic_only({("a", "b"), ("b", "a")}).instance())
+        assert rs.rm == {"a", "b"}
+
+    def test_same_level_rederivation_stays_regular(self):
+        # Two paths of equal length: the diamond is regular.
+        rs = basic_step1(
+            magic_only({("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}).instance()
+        )
+        assert rs.details["regular"]
+
+
+class TestSingle:
+    def test_boundary_split(self):
+        left = {("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")}
+        rs = single_step1(magic_only(left).instance())
+        # c is multiple with shortest distance 1, so i_x = 1.
+        assert rs.details["i_x"] == 1
+        assert rs.rc == {(0, "a")}
+        assert rs.rm == {"b", "c", "d"}
+
+    def test_detects_minimal_non_single_node(self):
+        # b* = e is the minimal multiple node (distance 2 via a-b-e and
+        # distance 3 via a-b-c-e); nodes below stay in RC.
+        left = {("a", "b"), ("b", "e"), ("b", "c"), ("c", "e")}
+        rs = single_step1(magic_only(left).instance())
+        classification = classify_nodes(magic_only(left))
+        assert rs.details["i_x"] == boundary_index(classification) == 2
+        # Only nodes with index strictly below i_x stay in RC: c sits at
+        # distance 2 = i_x and is relegated to RM even though single.
+        assert rs.rc_values() == {"a", "b"}
+        assert rs.rm == {"c", "e"}
+
+    def test_regular_equals_basic(self):
+        left = {("a", "b"), ("b", "c")}
+        assert single_step1(magic_only(left).instance()).rc == basic_step1(
+            magic_only(left).instance()
+        ).rc
+
+
+class TestMultiple:
+    def test_rm_is_exactly_non_single(self):
+        left = {("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("a", "e")}
+        rs = multiple_step1(magic_only(left).instance())
+        classification = classify_nodes(magic_only(left))
+        assert rs.rm == classification.multiple | classification.recurring
+        assert rs.rc_values() == classification.single
+
+    def test_terminates_on_cycles(self):
+        rs = multiple_step1(
+            magic_only({("a", "b"), ("b", "c"), ("c", "b"), ("c", "d")}).instance()
+        )
+        assert rs.rm == {"b", "c", "d"}
+
+    def test_single_nodes_keep_unique_index(self):
+        left = {("a", "b"), ("b", "c"), ("a", "c")}
+        rs = multiple_step1(magic_only(left).instance())
+        assert (1, "b") in rs.rc
+
+
+class TestRecurring:
+    def test_rm_is_exactly_recurring(self):
+        left = {("a", "b"), ("b", "c"), ("c", "b"), ("a", "d"), ("b", "e")}
+        for step1 in (recurring_step1, recurring_step1_scc):
+            rs = step1(magic_only(left).instance())
+            classification = classify_nodes(magic_only(left))
+            assert rs.rm == classification.recurring, step1.__name__
+
+    def test_multiple_nodes_keep_all_indices(self):
+        left = {("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")}
+        for step1 in (recurring_step1, recurring_step1_scc):
+            rs = step1(magic_only(left).instance())
+            assert rs.rc_indices("c") == {1, 2}, step1.__name__
+            assert rs.rc_indices("d") == {2, 3}, step1.__name__
+
+    def test_hamiltonian_cycle(self):
+        # The 2K-1 bound is tight when one cycle spans every node.
+        left = {("a", "b"), ("b", "c"), ("c", "a")}
+        rs = recurring_step1(magic_only(left).instance())
+        assert rs.rm == {"a", "b", "c"}
+
+    def test_self_loop_on_source(self):
+        rs = recurring_step1(magic_only({("a", "a")}).instance())
+        assert rs.rm == {"a"}
+
+    def test_scc_variant_agrees_with_fixpoint(self):
+        left = {
+            ("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"),
+            ("d", "e"), ("e", "d"), ("e", "f"),
+        }
+        naive = recurring_step1(magic_only(left).instance())
+        smart = recurring_step1_scc(magic_only(left).instance())
+        assert naive.rc == smart.rc
+        assert naive.rm == smart.rm
+        assert naive.ms == smart.ms
+
+    def test_scc_step1_cheaper_on_cyclic(self):
+        # A long chain into a small cycle: the naive 2K-1 sweep pays
+        # Θ(n_L x m_L); the SCC variant stays near-linear.
+        chain = {(f"n{i}", f"n{i+1}") for i in range(40)}
+        chain.add(("a", "n0"))
+        chain.add(("n40", "n39"))  # small cycle at the end
+        naive_instance = magic_only(chain).instance()
+        recurring_step1(naive_instance)
+        smart_instance = magic_only(chain).instance()
+        recurring_step1_scc(smart_instance)
+        assert smart_instance.counter.retrievals < naive_instance.counter.retrievals
+
+
+class TestTheoremConditions:
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_all_strategies_satisfy_theorem1(self, query):
+        classification = classify_nodes(query)
+        for strategy, scc in ALL_STEP1:
+            rs = compute_reduced_sets(query.instance(), strategy, scc_variant=scc)
+            check_theorem1(rs, classification, query.source)
+
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_all_strategies_satisfy_theorem2_after_source_pair(self, query):
+        classification = classify_nodes(query)
+        for strategy, scc in ALL_STEP1:
+            rs = compute_reduced_sets(query.instance(), strategy, scc_variant=scc)
+            rs.ensure_source_pair(query.source)
+            check_theorem2(rs, classification, query.source)
+
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_ms_equals_true_magic_set(self, query):
+        expected = query.magic_set()
+        for strategy, scc in ALL_STEP1:
+            rs = compute_reduced_sets(query.instance(), strategy, scc_variant=scc)
+            assert rs.ms == expected, strategy
+
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_multiple_rm_matches_ground_truth(self, query):
+        classification = classify_nodes(query)
+        rs = multiple_step1(query.instance())
+        assert rs.rm == classification.multiple | classification.recurring
+
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_recurring_rm_matches_ground_truth(self, query):
+        classification = classify_nodes(query)
+        for variant in (recurring_step1, recurring_step1_scc):
+            rs = variant(query.instance())
+            assert rs.rm == classification.recurring, variant.__name__
+
+    @settings(max_examples=120, deadline=None)
+    @given(csl_queries())
+    def test_recurring_rc_has_exact_index_sets(self, query):
+        classification = classify_nodes(query)
+        for variant in (recurring_step1, recurring_step1_scc):
+            rs = variant(query.instance())
+            for node in rs.rc_values():
+                assert rs.rc_indices(node) == set(
+                    classification.distance_sets[node]
+                ), (variant.__name__, node)

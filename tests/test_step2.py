@@ -1,0 +1,136 @@
+"""Dedicated unit tests for the Step-2 engines (Sections 4-5).
+
+The methods-level suites check end-to-end answers; here we pin down the
+internal semantics: which part derives what, how the guards restrict
+the magic fixpoint, and how the transfer rule moves results across the
+RC/RM frontier.
+"""
+
+import pytest
+
+from repro.core.csl import CSLQuery
+from repro.core.magic_method import magic_fixpoint, compute_magic_set
+from repro.core.reduced_sets import ReducedSets
+from repro.core.step2 import independent_step2, integrated_step2
+
+
+@pytest.fixture
+def chain_query():
+    """a -L-> b -L-> c, exits at every node into a 3-deep R chain."""
+    left = {("a", "b"), ("b", "c")}
+    exit_pairs = {("a", "r0"), ("b", "r0"), ("c", "r0")}
+    right = {("r1", "r0"), ("r2", "r1"), ("r3", "r2")}
+    return CSLQuery(left, exit_pairs, right, "a")
+
+
+def reduced_split(query, rc_nodes_with_indices, rm_nodes):
+    return ReducedSets(
+        rc=set(rc_nodes_with_indices),
+        rm=set(rm_nodes),
+        ms=query.magic_set(),
+    )
+
+
+class TestMagicFixpointGuards:
+    def test_exit_guard_restricts_seeds(self, chain_query):
+        instance = chain_query.instance()
+        magic = compute_magic_set(instance)
+        pm = magic_fixpoint(instance, magic, exit_guard={"c"})
+        # Seeds only at c; recursion (over full MS) pulls results down.
+        assert set(pm) == {"a", "b", "c"}
+        assert pm["c"] == {"r0"}
+        assert pm["b"] == {"r1"}
+        assert pm["a"] == {"r2"}
+
+    def test_recursion_guard_blocks_propagation(self, chain_query):
+        instance = chain_query.instance()
+        magic = compute_magic_set(instance)
+        pm = magic_fixpoint(
+            instance, magic, exit_guard={"c"}, recursion_guard={"b", "c"}
+        )
+        # 'a' is not in the recursion guard: results stop at b.
+        assert "a" not in pm
+        assert pm["b"] == {"r1"}
+
+    def test_empty_exit_guard_gives_empty_pm(self, chain_query):
+        instance = chain_query.instance()
+        magic = compute_magic_set(instance)
+        assert magic_fixpoint(instance, magic, exit_guard=set()) == {}
+
+
+class TestIndependentStep2:
+    def test_counting_part_only(self, chain_query):
+        # All nodes in RC: the magic part has nothing to do.
+        reduced = reduced_split(
+            chain_query, {(0, "a"), (1, "b"), (2, "c")}, set()
+        )
+        answers, details = independent_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}
+        assert details["pm_facts"] == 0
+        assert details["magic_answers"] == 0
+
+    def test_magic_part_only(self, chain_query):
+        reduced = reduced_split(chain_query, set(), {"a", "b", "c"})
+        answers, details = independent_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}
+        assert details["counting_answers"] == 0
+        assert details["pm_facts"] > 0
+
+    def test_split_parts_union(self, chain_query):
+        # a counts; b, c go magic.  Answers from both parts must union.
+        reduced = reduced_split(chain_query, {(0, "a")}, {"b", "c"})
+        answers, details = independent_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}
+        assert details["counting_answers"] >= 1
+        assert details["magic_answers"] >= 1
+
+    def test_magic_recursion_uses_full_ms(self, chain_query):
+        """Rule 4 ranges over MS, not RM: with RM = {c}, the result must
+        still reach a."""
+        reduced = reduced_split(chain_query, set(), {"c"})
+        # (This reduced set violates Theorem 1 — b is nowhere — but the
+        # mechanics of rule 4 are what we are probing.)
+        answers, _details = independent_step2(chain_query.instance(), reduced)
+        assert "r2" in answers  # c's exit arrived at a through b ∈ MS
+
+
+class TestIntegratedStep2:
+    def test_transfer_crosses_the_frontier(self, chain_query):
+        # a counts, b and c are magic; (0, a) in RC per Theorem 2.
+        reduced = reduced_split(chain_query, {(0, "a")}, {"b", "c"})
+        answers, details = integrated_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}
+        assert details["transferred"] >= 1
+
+    def test_no_transfer_when_all_counting(self, chain_query):
+        reduced = reduced_split(
+            chain_query, {(0, "a"), (1, "b"), (2, "c")}, set()
+        )
+        answers, details = integrated_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}
+        assert details["transferred"] == 0
+        assert details["pm_facts"] == 0
+
+    def test_magic_recursion_confined_to_rm(self, chain_query):
+        """Integrated rule 2 uses RM, not MS: the magic part must NOT
+        walk below the frontier; the transfer rule does that instead."""
+        instance = chain_query.instance()
+        reduced = reduced_split(chain_query, {(0, "a")}, {"b", "c"})
+        _answers, _details = integrated_step2(instance, reduced)
+        pm = magic_fixpoint(
+            chain_query.instance(),
+            chain_query.magic_set(),
+            exit_guard={"b", "c"},
+            recursion_guard={"b", "c"},
+        )
+        assert "a" not in pm  # the magic part never reaches the source
+
+    def test_answers_only_from_counting_part(self, chain_query):
+        """Rule 6: without (0, a) in RC the integrated method loses the
+        answers — which is exactly why Theorem 2 demands the pair."""
+        reduced = reduced_split(chain_query, set(), {"a", "b", "c"})
+        answers, _details = integrated_step2(chain_query.instance(), reduced)
+        assert answers == set()  # violates condition (c), and it shows
+        reduced.ensure_source_pair("a")
+        answers, _details = integrated_step2(chain_query.instance(), reduced)
+        assert answers == {"r0", "r1", "r2"}

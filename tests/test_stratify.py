@@ -1,0 +1,101 @@
+"""Unit tests for SCC computation and program stratification."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify, strongly_connected_components
+from repro.errors import StratificationError
+
+
+def scc_sets(nodes, edges):
+    successors = {n: set() for n in nodes}
+    for a, b in edges:
+        successors[a].add(b)
+    return [frozenset(c) for c in strongly_connected_components(nodes, successors)]
+
+
+class TestSCC:
+    def test_dag_all_singletons(self):
+        components = scc_sets([1, 2, 3], [(1, 2), (2, 3)])
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_cycle_detected(self):
+        components = scc_sets([1, 2, 3, 4], [(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert frozenset({1, 2, 3}) in components
+        assert frozenset({4}) in components
+
+    def test_self_loop_is_singleton_component(self):
+        components = scc_sets([1], [(1, 1)])
+        assert components == [frozenset({1})]
+
+    def test_two_cycles(self):
+        components = scc_sets(
+            list(range(6)), [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)]
+        )
+        assert frozenset({0, 1}) in components
+        assert frozenset({2, 3, 4}) in components
+
+    def test_dependency_order(self):
+        # Edge a->b means "a depends on b"; b's component must come first.
+        components = scc_sets(["a", "b"], [("a", "b")])
+        assert components.index(frozenset({"b"})) < components.index(
+            frozenset({"a"})
+        )
+
+    def test_large_chain_no_recursion_limit(self):
+        n = 50_000
+        nodes = list(range(n))
+        successors = {i: ({i + 1} if i + 1 < n else set()) for i in nodes}
+        components = strongly_connected_components(nodes, successors)
+        assert len(components) == n
+
+    def test_disconnected(self):
+        components = scc_sets([1, 2], [])
+        assert len(components) == 2
+
+
+class TestStratify:
+    def test_no_negation_single_pass(self):
+        program = parse_program("p(X) :- e(X). q(X) :- p(X).")
+        strata = stratify(program)
+        flat = [p for s in strata for p in s]
+        assert flat.index("p") < flat.index("q")
+
+    def test_negation_across_strata(self):
+        program = parse_program("p(X) :- e(X). q(X) :- e(X), not p(X).")
+        strata = stratify(program)
+        p_stratum = next(i for i, s in enumerate(strata) if "p" in s)
+        q_stratum = next(i for i, s in enumerate(strata) if "q" in s)
+        assert p_stratum < q_stratum
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_program("p(X) :- e(X), not q(X). q(X) :- e(X), not p(X).")
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_self_negation_rejected(self):
+        program = parse_program("p(X) :- e(X), not p(X).")
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_recursive_component_kept_together(self):
+        program = parse_program(
+            "p(X) :- q(X). q(X) :- p(X). q(X) :- e(X)."
+        )
+        strata = stratify(program)
+        assert {"p", "q"} in strata
+
+    def test_negation_into_recursive_component_ok(self):
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- e(X, Z), t(Z, Y).
+            iso(X) :- v(X), not reach(X).
+            reach(Y) :- t(a, Y).
+            """
+        )
+        strata = stratify(program)
+        flat = [p for s in strata for p in s]
+        assert flat.index("t") < flat.index("iso")
+        assert flat.index("reach") < flat.index("iso")

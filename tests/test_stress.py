@@ -1,0 +1,102 @@
+"""Moderate-scale stress tests: thousands of arcs, seconds not minutes.
+
+These guard against accidental super-linear blowups (per-path instead
+of per-node work, index rebuilds inside loops, recursion limits) that
+small unit tests cannot see.
+"""
+
+import time
+
+import pytest
+
+from repro.core.classification import classify_nodes
+from repro.core.counting_method import counting_method
+from repro.core.magic_method import magic_set_method
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.core.solver import fact2_answer
+from repro.workloads.generators import grid_workload
+from repro.workloads.adversarial import chorded_cycle
+
+
+def timed(fn, budget_seconds):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    assert elapsed < budget_seconds, f"took {elapsed:.2f}s"
+    return result
+
+
+class TestGridStress:
+    def test_grid_is_regular_despite_exponential_paths(self):
+        # 20x20 grid: C(38, 19) ≈ 1.7e10 paths to the far corner; the
+        # classification must finish instantly anyway.
+        classification = timed(lambda: classify_nodes(grid_workload(20)), 5.0)
+        assert classification.is_regular
+        assert len(classification.single) == 401  # a + 400 grid nodes
+
+    def test_counting_on_grid(self):
+        query = grid_workload(15)
+        result = timed(lambda: counting_method(query), 5.0)
+        assert result.answers  # the r-chain nodes at matching depths
+
+    def test_all_step1_strategies_linear_on_grid(self):
+        query = grid_workload(15)
+        costs = {}
+        for strategy in Strategy:
+            instance = query.instance()
+            from repro.core.step1 import compute_reduced_sets
+
+            timed(lambda: compute_reduced_sets(instance, strategy), 5.0)
+            costs[strategy] = instance.counter.retrievals
+        # On a regular graph every strategy's Step 1 is one pass:
+        # within a small factor of each other.
+        values = sorted(costs.values())
+        assert values[-1] <= 4 * values[0]
+
+    def test_methods_agree_on_grid(self):
+        query = grid_workload(8)
+        oracle = fact2_answer(query)
+        for strategy in (Strategy.BASIC, Strategy.RECURRING):
+            result = magic_counting(query, strategy, Mode.INTEGRATED)
+            assert result.answers == oracle
+
+
+class TestLargeCycles:
+    def test_scc_step1_on_large_chorded_cycle(self):
+        query = chorded_cycle(800)
+        from repro.core.step1 import recurring_step1_scc
+
+        reduced = timed(lambda: recurring_step1_scc(query.instance()), 5.0)
+        assert len(reduced.rm) == 800
+
+    def test_magic_set_on_large_cycle(self):
+        query = chorded_cycle(300)
+        result = timed(lambda: magic_set_method(query), 5.0)
+        assert result.answers == frozenset()
+
+    def test_no_recursion_limit_on_deep_chains(self):
+        # 5000-deep chain: everything must be iterative.
+        left = {("a", "n0")} | {(f"n{i}", f"n{i+1}") for i in range(5000)}
+        from repro.core.csl import CSLQuery
+
+        query = CSLQuery(left, {(f"n{5000}", "r0")}, {("r1", "r0")}, "a")
+        classification = timed(lambda: classify_nodes(query), 10.0)
+        assert classification.is_regular
+        result = timed(lambda: counting_method(query), 10.0)
+        assert result.answers == frozenset()  # r-chain too short to land at 0
+
+
+class TestDatalogEngineStress:
+    def test_transitive_closure_of_1000_chain(self):
+        from repro.datalog.database import Database
+        from repro.datalog.evaluation import answer_tuples
+        from repro.datalog.parser import parse_program
+
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y). ?- t(0, Y)."
+        )
+        db = Database()
+        db.add_facts("e", [(i, i + 1) for i in range(1000)])
+        answers = timed(lambda: answer_tuples(program, db), 30.0)
+        assert len(answers) == 1000

@@ -1,0 +1,56 @@
+"""Tests for cost sweeps and crossover detection."""
+
+import pytest
+
+from repro.analysis.sweeps import cost_series, find_crossover
+from repro.workloads.generators import cyclic_workload, regular_workload
+
+
+def regular_family(scale):
+    return regular_workload(scale=scale, seed=0)
+
+
+def cyclic_family(scale):
+    return cyclic_workload(scale=scale, seed=0)
+
+
+class TestCostSeries:
+    def test_series_shape(self):
+        series = cost_series(regular_family, [1, 2], ["counting", "magic_set"])
+        assert series.labels == [1, 2]
+        assert len(series.series("counting")) == 2
+        assert all(isinstance(v, int) for v in series.series("counting"))
+
+    def test_costs_grow_with_scale(self):
+        series = cost_series(regular_family, [1, 2, 3], ["magic_set"])
+        values = series.series("magic_set")
+        assert values == sorted(values)
+
+    def test_unsafe_recorded_as_none(self):
+        series = cost_series(cyclic_family, [1], ["counting"])
+        assert series.series("counting") == [None]
+
+    def test_render(self):
+        series = cost_series(regular_family, [1, 2], ["counting"])
+        text = series.render("curves")
+        assert "curves" in text and "counting" in text
+
+    def test_unknown_method_has_empty_series(self):
+        series = cost_series(regular_family, [1], ["counting"])
+        assert series.series("never_measured") == []
+
+
+class TestFindCrossover:
+    def test_counting_beats_magic_immediately_on_regular(self):
+        scale = find_crossover(regular_family, "counting", "magic_set", [1, 2, 3])
+        assert scale == 1
+
+    def test_unsafe_never_wins(self):
+        scale = find_crossover(cyclic_family, "counting", "magic_set", [1, 2])
+        assert scale is None
+
+    def test_hybrid_beats_magic_on_cyclic(self):
+        scale = find_crossover(
+            cyclic_family, "mc_multiple_integrated", "magic_set", [1, 2, 3]
+        )
+        assert scale is not None

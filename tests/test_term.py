@@ -1,0 +1,81 @@
+"""Unit tests for repro.datalog.term."""
+
+import pytest
+
+from repro.datalog.term import Constant, Variable, is_ground, make_term, variables_of
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Foo")) == "Foo"
+
+    def test_flags(self):
+        v = Variable("X")
+        assert v.is_variable and not v.is_constant
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_not_equal_to_constant(self):
+        assert Variable("X") != Constant("X")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_hash_distinct_from_variable(self):
+        assert hash(Constant("X")) != hash(Variable("X"))
+
+    def test_str_of_string(self):
+        assert str(Constant("alice")) == "alice"
+
+    def test_str_of_int(self):
+        assert str(Constant(42)) == "42"
+
+    def test_flags(self):
+        c = Constant(0)
+        assert c.is_constant and not c.is_variable
+
+    def test_tuple_payload(self):
+        assert Constant(("a", "b")) == Constant(("a", "b"))
+
+
+class TestMakeTerm:
+    def test_uppercase_is_variable(self):
+        assert make_term("X") == Variable("X")
+
+    def test_underscore_is_variable(self):
+        assert make_term("_tmp") == Variable("_tmp")
+
+    def test_lowercase_is_constant(self):
+        assert make_term("alice") == Constant("alice")
+
+    def test_int_is_constant(self):
+        assert make_term(5) == Constant(5)
+
+    def test_passthrough(self):
+        v = Variable("Y")
+        assert make_term(v) is v
+        c = Constant(1)
+        assert make_term(c) is c
+
+
+class TestHelpers:
+    def test_is_ground(self):
+        assert is_ground([Constant(1), Constant(2)])
+        assert not is_ground([Constant(1), Variable("X")])
+        assert is_ground([])
+
+    def test_variables_of_dedup_and_order(self):
+        terms = [Variable("X"), Constant(1), Variable("Y"), Variable("X")]
+        assert list(variables_of(terms)) == [Variable("X"), Variable("Y")]

@@ -1,0 +1,198 @@
+"""Tests for program transformations (unfold, rename, dead-rule
+elimination)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import answer_tuples
+from repro.datalog.parser import parse_program
+from repro.datalog.transform import (
+    eliminate_dead_rules,
+    rename_predicate,
+    unfold_all_views,
+    unfold_predicate,
+)
+from repro.errors import ReproError
+
+from .test_engine_fuzz import build_db, random_databases, random_programs
+
+
+class TestRename:
+    def test_everywhere(self):
+        program = parse_program(
+            "p(X) :- q(X), not p(X2), q(X2). ?- p(Y)."
+        )
+        renamed = rename_predicate(program, "p", "p2")
+        text = str(renamed)
+        assert "p2(X) :- q(X), not p2(X2), q(X2)." in text
+        assert "?- p2(Y)." in text
+        assert "p(" not in text.replace("p2(", "")
+
+    def test_untouched_predicates_stay(self):
+        program = parse_program("p(X) :- q(X).")
+        renamed = rename_predicate(program, "q", "r")
+        assert str(renamed.rules[0]) == "p(X) :- r(X)."
+
+
+class TestDeadRules:
+    def test_unreachable_rule_dropped(self):
+        program = parse_program(
+            "p(X) :- e(X). side(X) :- p(X). ?- p(Y)."
+        )
+        slim = eliminate_dead_rules(program)
+        assert [r.head.predicate for r in slim.rules] == ["p"]
+
+    def test_reachable_chain_kept(self):
+        program = parse_program(
+            "p(X) :- q(X). q(X) :- e(X). ?- p(Y)."
+        )
+        slim = eliminate_dead_rules(program)
+        assert len(slim.rules) == 2
+
+    def test_no_goal_keeps_everything(self):
+        program = parse_program("p(X) :- e(X). side(X) :- p(X).")
+        assert len(eliminate_dead_rules(program).rules) == 2
+
+
+class TestUnfold:
+    def test_union_view_inlined(self):
+        program = parse_program(
+            """
+            up(X, Y) :- father(X, Y).
+            up(X, Y) :- mother(X, Y).
+            anc(X, Y) :- up(X, Y).
+            anc(X, Y) :- up(X, Z), anc(Z, Y).
+            ?- anc(a, Y).
+            """
+        )
+        unfolded = unfold_predicate(program, "up")
+        assert "up" not in unfolded.idb_predicates()
+        # Each rule mentioning up once splits in two; the recursive rule
+        # mentioned it once as well.
+        assert len(unfolded.rules) == 4
+
+    def test_equivalence_on_data(self):
+        program = parse_program(
+            """
+            up(X, Y) :- father(X, Y).
+            up(X, Y) :- mother(X, Y).
+            anc(X, Y) :- up(X, Y).
+            anc(X, Y) :- up(X, Z), anc(Z, Y).
+            ?- anc(a, Y).
+            """
+        )
+        db = Database()
+        db.add_facts("father", [("a", "f"), ("f", "gf")])
+        db.add_facts("mother", [("a", "m"), ("m", "gm")])
+        expected = answer_tuples(program, db.copy())
+        unfolded = unfold_predicate(program, "up")
+        assert answer_tuples(unfolded, db.copy()) == expected
+        assert expected == {("f",), ("m",), ("gf",), ("gm",)}
+
+    def test_multiple_occurrences_multiply(self):
+        program = parse_program(
+            """
+            v(X) :- e1(X).
+            v(X) :- e2(X).
+            pair(X, Y) :- v(X), v(Y).
+            """
+        )
+        unfolded = unfold_predicate(program, "v")
+        assert len(unfolded.rules_for("pair")) == 4
+
+    def test_constants_unify(self):
+        program = parse_program(
+            """
+            special(a).
+            special(b).
+            p(X) :- special(X), e(X).
+            """
+        )
+        unfolded = unfold_predicate(program, "special")
+        texts = {str(r) for r in unfolded.rules}
+        assert "p(a) :- e(a)." in texts
+        assert "p(b) :- e(b)." in texts
+
+    def test_recursive_rejected(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+        )
+        with pytest.raises(ReproError):
+            unfold_predicate(program, "t")
+
+    def test_negated_occurrence_rejected(self):
+        program = parse_program(
+            "v(X) :- e(X). p(X) :- w(X), not v(X)."
+        )
+        with pytest.raises(ReproError):
+            unfold_predicate(program, "v")
+
+    def test_goal_predicate_rejected(self):
+        program = parse_program("p(X) :- e(X). ?- p(Y).")
+        with pytest.raises(ReproError):
+            unfold_predicate(program, "p")
+
+    def test_chained_unifier_resolved(self):
+        # Definition head special(Y, Y) against occurrence special(X, 1):
+        # the unifier chains Y -> X -> 1 and must fully resolve.
+        program = parse_program(
+            """
+            special(Y, Y) :- w(Y).
+            p(X) :- special(X, 1), e(X).
+            """
+        )
+        unfolded = unfold_predicate(program, "special")
+        db = Database()
+        db.add_facts("w", [(1,), (2,)])
+        db.add_facts("e", [(1,), (2,)])
+        answers = answer_tuples(
+            parse_program(str(unfolded) + "\n?- p(A)."), db
+        )
+        assert answers == {(1,)}
+
+    def test_variable_capture_avoided(self):
+        # The definition's Y must not collide with the caller's Y.
+        program = parse_program(
+            """
+            mid(X, Z) :- e(X, Y), e(Y, Z).
+            p(X, Y) :- mid(X, Y).
+            """
+        )
+        unfolded = unfold_predicate(program, "mid")
+        db = Database()
+        db.add_facts("e", [(1, 2), (2, 3)])
+        assert answer_tuples(
+            parse_program(str(unfolded) + "\n?- p(A, B)."), db.copy()
+        ) == {(1, 3)}
+
+
+class TestUnfoldAllViews:
+    def test_flattens_everything_non_recursive(self):
+        program = parse_program(
+            """
+            v1(X) :- e(X).
+            v2(X) :- v1(X), f(X).
+            anc(X, Y) :- up(X, Y), v2(X).
+            anc(X, Y) :- up(X, Z), anc(Z, Y).
+            ?- anc(a, Y).
+            """
+        )
+        flat = unfold_all_views(program)
+        assert flat.idb_predicates() == {"anc"}
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_programs(), random_databases(), st.sampled_from(["p", "q"]))
+    def test_equivalence_property(self, program, spec, goal_pred):
+        from repro.datalog.atom import Atom
+        from repro.datalog.term import Variable
+
+        program.query = Atom(goal_pred, (Variable("A"), Variable("B")))
+        db = build_db(spec)
+        expected = answer_tuples(program, db.copy())
+        try:
+            flattened = unfold_all_views(program)
+        except ReproError:
+            return  # a foldable predicate occurred under negation etc.
+        assert answer_tuples(flattened, db.copy()) == expected

@@ -1,0 +1,98 @@
+"""Unit tests for repro.datalog.unify."""
+
+import pytest
+
+from repro.datalog.atom import Atom
+from repro.datalog.term import Constant, Variable
+from repro.datalog.unify import (
+    ground_atom_tuple,
+    lookup_pattern,
+    match_tuple,
+    unify_atoms,
+    unify_terms,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestMatchTuple:
+    def test_binds_variables(self):
+        theta = match_tuple((X, Y), ("a", "b"), {})
+        assert theta == {X: Constant("a"), Y: Constant("b")}
+
+    def test_respects_existing_bindings(self):
+        theta = match_tuple((X,), ("a",), {X: Constant("a")})
+        assert theta == {X: Constant("a")}
+        assert match_tuple((X,), ("b",), {X: Constant("a")}) is None
+
+    def test_constant_mismatch(self):
+        assert match_tuple((Constant("a"),), ("b",), {}) is None
+
+    def test_repeated_variable_same_value(self):
+        assert match_tuple((X, X), ("a", "a"), {}) is not None
+        assert match_tuple((X, X), ("a", "b"), {}) is None
+
+    def test_input_not_mutated(self):
+        theta = {}
+        match_tuple((X,), ("a",), theta)
+        assert theta == {}
+
+    def test_no_new_bindings_returns_same_dict(self):
+        theta = {X: Constant("a")}
+        result = match_tuple((X,), ("a",), theta)
+        assert result is theta
+
+
+class TestLookupPattern:
+    def test_mixed(self):
+        theta = {X: Constant("a")}
+        assert lookup_pattern((X, Y, Constant(3)), theta) == ("a", None, 3)
+
+    def test_all_free(self):
+        assert lookup_pattern((X, Y), {}) == (None, None)
+
+
+class TestGroundAtomTuple:
+    def test_ground(self):
+        theta = {X: Constant(1)}
+        assert ground_atom_tuple(Atom("p", (X, "c")), theta) == (1, "c")
+
+    def test_unbound_raises(self):
+        with pytest.raises(ValueError):
+            ground_atom_tuple(Atom("p", (X,)), {})
+
+
+class TestUnify:
+    def test_var_to_constant(self):
+        theta = unify_terms((X,), (Constant(1),))
+        assert theta[X] == Constant(1)
+
+    def test_var_to_var(self):
+        theta = unify_terms((X,), (Y,))
+        assert theta in ({X: Y}, {Y: X})
+
+    def test_chained_resolution(self):
+        theta = unify_terms((X, X), (Y, Constant(1)))
+        # X ~ Y and X ~ 1 must give both the value 1.
+        def resolve(t):
+            while t.is_variable and t in theta:
+                t = theta[t]
+            return t
+        assert resolve(X) == Constant(1)
+        assert resolve(Y) == Constant(1)
+
+    def test_constant_clash(self):
+        assert unify_terms((Constant(1),), (Constant(2),)) is None
+
+    def test_length_mismatch(self):
+        assert unify_terms((X,), (X, Y)) is None
+
+    def test_unify_atoms_same_predicate(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("p", ("a",))) is not None
+
+    def test_unify_atoms_different_predicate(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_extends_given_substitution(self):
+        theta = unify_terms((X,), (Constant(1),), {Y: Constant(2)})
+        assert theta[Y] == Constant(2) and theta[X] == Constant(1)

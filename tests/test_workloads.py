@@ -1,0 +1,197 @@
+"""Tests for the workload generators: each must deliver the graph class
+and structural properties it promises."""
+
+import pytest
+
+from repro.core.classification import MagicGraphClass, classify_nodes
+from repro.core.methods import magic_counting
+from repro.core.reduced_sets import Mode, Strategy
+from repro.core.solver import fact2_answer
+from repro.workloads.generators import (
+    WorkloadParams,
+    acyclic_workload,
+    cyclic_workload,
+    generate,
+    regular_workload,
+)
+from repro.workloads.random_graphs import random_csl, random_csl_batch
+from repro.workloads.samegen import (
+    accidentally_cyclic_family,
+    balanced_same_generation,
+    balanced_tree_parent,
+    random_forest_parent,
+)
+
+
+class TestLayeredGenerators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regular_is_regular(self, seed):
+        c = classify_nodes(regular_workload(scale=2, seed=seed))
+        assert c.graph_class is MagicGraphClass.REGULAR
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_acyclic_is_nonregular_acyclic(self, seed):
+        c = classify_nodes(acyclic_workload(scale=2, seed=seed))
+        assert c.graph_class is MagicGraphClass.ACYCLIC
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cyclic_is_cyclic(self, seed):
+        c = classify_nodes(cyclic_workload(scale=2, seed=seed))
+        assert c.graph_class is MagicGraphClass.CYCLIC
+
+    def test_deterministic_given_seed(self):
+        assert acyclic_workload(scale=2, seed=9) == acyclic_workload(scale=2, seed=9)
+        assert acyclic_workload(scale=2, seed=9) != acyclic_workload(scale=2, seed=10)
+
+    def test_scale_grows_sizes(self):
+        small = regular_workload(scale=1, seed=0)
+        large = regular_workload(scale=3, seed=0)
+        assert len(large.left) > len(small.left)
+        assert len(large.right) > len(small.right)
+
+    def test_lower_region_stays_regular(self):
+        # Non-regularity must only appear at/above nonregular_from.
+        params = WorkloadParams(
+            l_levels=6, l_width=3, kind="acyclic", nonregular_from=3, seed=4
+        )
+        query = generate(params)
+        classification = classify_nodes(query)
+        for node in classification.multiple | classification.recurring:
+            assert classification.shortest_distance[node] >= 3
+
+    def test_answers_nonempty(self):
+        query = regular_workload(scale=2, seed=0)
+        assert fact2_answer(query)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(kind="chaotic")
+
+    def test_all_methods_agree_on_generated(self):
+        for generator in (regular_workload, acyclic_workload, cyclic_workload):
+            query = generator(scale=1, seed=3)
+            oracle = fact2_answer(query)
+            result = magic_counting(query, Strategy.RECURRING, Mode.INTEGRATED)
+            assert result.answers == oracle
+
+
+class TestGridWorkload:
+    def test_regular_with_correct_size(self):
+        from repro.workloads.generators import grid_workload
+
+        query = grid_workload(side=4)
+        c = classify_nodes(query)
+        assert c.graph_class is MagicGraphClass.REGULAR
+        # a + 16 grid nodes.
+        assert len(c.shortest_distance) == 17
+
+    def test_corner_distance(self):
+        from repro.workloads.generators import grid_workload
+
+        query = grid_workload(side=4)
+        c = classify_nodes(query)
+        assert c.shortest_distance["g3_3"] == 7  # 1 + (3 + 3)
+
+
+class TestLayeredComplete:
+    def test_regular_and_dense(self):
+        from repro.workloads.tight import layered_complete
+
+        query = layered_complete(levels=3, width=3)
+        c = classify_nodes(query)
+        assert c.graph_class is MagicGraphClass.REGULAR
+        # Complete inter-layer wiring: width^2 arcs per layer pair plus
+        # the source fan-out.
+        assert len(query.left) == 3 + 2 * 9
+
+    def test_cycle_flag(self):
+        from repro.workloads.tight import layered_complete
+
+        query = layered_complete(levels=3, width=3, with_cycle=True)
+        assert classify_nodes(query).graph_class is MagicGraphClass.CYCLIC
+
+    def test_answers_nonempty(self):
+        from repro.core.solver import fact2_answer
+        from repro.workloads.tight import layered_complete
+
+        assert fact2_answer(layered_complete(levels=2, width=2))
+
+
+class TestSameGeneration:
+    def test_balanced_tree_shape(self):
+        pairs = balanced_tree_parent(depth=3, fanout=2)
+        assert len(pairs) == 2 + 4 + 8
+        children = {c for c, _ in pairs}
+        parents = {p for _, p in pairs}
+        assert len(children - parents) == 8  # the leaves
+
+    def test_balanced_same_generation_answers(self):
+        query = balanced_same_generation(depth=2, fanout=2)
+        answers = fact2_answer(query)
+        # All four grandchildren are of the source's generation.
+        assert len(answers) == 4
+        c = classify_nodes(query)
+        assert c.graph_class is MagicGraphClass.REGULAR
+
+    def test_random_forest_acyclic(self):
+        from repro.core.csl import CSLQuery
+
+        pairs = random_forest_parent(30, seed=1, extra_parents=5)
+        query = CSLQuery.same_generation(pairs, source="p29")
+        c = classify_nodes(query)
+        assert c.graph_class is not MagicGraphClass.CYCLIC
+
+    def test_accidental_cycle_is_cyclic(self):
+        query = accidentally_cyclic_family(25, seed=0, cycle_edges=2)
+        c = classify_nodes(query)
+        assert c.graph_class is MagicGraphClass.CYCLIC
+
+    def test_accidental_cycle_methods_agree(self):
+        query = accidentally_cyclic_family(20, seed=1)
+        oracle = fact2_answer(query)
+        result = magic_counting(query, Strategy.MULTIPLE, Mode.INTEGRATED)
+        assert result.answers == oracle
+
+
+class TestWorkloadParams:
+    def test_fractional_e_per_node(self):
+        from repro.workloads.generators import WorkloadParams, generate
+
+        low = generate(WorkloadParams(l_levels=4, l_width=4,
+                                      e_per_node=0.2, seed=1))
+        high = generate(WorkloadParams(l_levels=4, l_width=4,
+                                       e_per_node=2.0, seed=1))
+        assert len(high.exit) > len(low.exit)
+
+    def test_r_levels_default_exceeds_l_depth(self):
+        from repro.workloads.generators import WorkloadParams
+
+        params = WorkloadParams(l_levels=6)
+        assert params.r_levels == 7
+
+    def test_nonregular_from_default_midpoint(self):
+        from repro.workloads.generators import WorkloadParams
+
+        assert WorkloadParams(l_levels=8).nonregular_from == 4
+
+    def test_fanout_capped_by_width(self):
+        from repro.workloads.generators import WorkloadParams, generate
+        from repro.core.classification import classify_nodes
+
+        query = generate(WorkloadParams(l_levels=3, l_width=2, l_fanout=10,
+                                        kind="regular", seed=0))
+        assert classify_nodes(query).is_regular
+
+
+class TestRandomGraphs:
+    def test_deterministic(self):
+        assert random_csl(5) == random_csl(5)
+        assert random_csl(5) != random_csl(6)
+
+    def test_batch_distinct_seeds(self):
+        batch = random_csl_batch(4, base_seed=10)
+        assert len({q for q in batch}) >= 3
+
+    def test_source_in_domain(self):
+        q = random_csl(0)
+        assert q.source == "x0"

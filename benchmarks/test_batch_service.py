@@ -1,0 +1,139 @@
+"""Extension experiment — batched serving vs. one-shot solving.
+
+The serving-layer claim: a :class:`SolverService` answering N bound
+goals ``?- P(a_i, Y)`` from one compiled plan — one union reachability
+sweep, one shared ``P_M`` fixpoint — does strictly less total work
+(tuple retrievals, the paper's cost unit) than N independent
+``solve()`` calls, which each re-derive the query graph and re-run
+Step 1/Step 2 from scratch.  Measured over the paper's figure
+workloads and a scaled cyclic workload with over 100 sources.
+
+Marked ``slow``: deselected by default (see the ``slow`` marker in
+pyproject.toml); run with ``pytest benchmarks -m slow``.
+"""
+
+import pytest
+
+from repro.analysis.tables import _render
+from repro.core.csl import CSLQuery
+from repro.core.solver import solve
+from repro.datalog.relation import CostCounter
+from repro.service import SolverService
+from repro.workloads.figures import figure1_query, figure2_query
+from repro.workloads.generators import cyclic_workload
+
+from .conftest import add_report
+
+pytestmark = pytest.mark.slow
+
+
+def magic_side_values(query: CSLQuery):
+    return sorted({value for pair in query.left for value in pair})
+
+
+def one_shot_total(query: CSLQuery, sources) -> int:
+    """N independent ``solve()`` calls, summed (fresh counter each)."""
+    total = 0
+    for source in sources:
+        counter = CostCounter()
+        solve(
+            CSLQuery(query.left, query.exit, query.right, source),
+            counter=counter,
+        )
+        total += counter.retrievals
+    return total
+
+
+def test_batch_beats_one_shot_on_figure_workloads():
+    rows = []
+    for name, query in (
+        ("figure1", figure1_query()),
+        ("figure2", figure2_query()),
+    ):
+        sources = magic_side_values(query)
+        service = SolverService()
+        result = service.solve_batch(query, sources)
+        independent = one_shot_total(query, sources)
+        assert result.retrievals < independent
+        rows.append(
+            [
+                name,
+                str(len(sources)),
+                str(independent),
+                str(result.retrievals),
+                f"{independent / result.retrievals:.1f}x",
+            ]
+        )
+    add_report(
+        "batch_service_figures",
+        _render(
+            "Batched service vs one-shot solve(), figure workloads "
+            "(total tuple retrievals)",
+            ["workload", "sources", "one-shot", "batched", "speedup"],
+            rows,
+        ),
+    )
+
+
+def test_batch_beats_one_shot_over_100_sources():
+    """The acceptance experiment: >= 100 sources, strictly less work."""
+    query = cyclic_workload(scale=6, seed=0)
+    all_sources = magic_side_values(query)
+    rows = []
+    for count in (10, 25, 50, 100, len(all_sources)):
+        sources = all_sources[:count]
+        service = SolverService()
+        result = service.solve_batch(query, sources)
+        independent = one_shot_total(query, sources)
+        if count >= 100:
+            assert len(sources) >= 100
+            assert result.retrievals < independent
+            # Per-source answers must still be the one-shot answers.
+            for source in sources[:10]:
+                single = solve(
+                    CSLQuery(query.left, query.exit, query.right, source)
+                )
+                assert single.answers == result.answers[source]
+        rows.append(
+            [
+                str(len(sources)),
+                str(independent),
+                str(result.retrievals),
+                f"{independent / max(1, result.retrievals):.1f}x",
+            ]
+        )
+    add_report(
+        "batch_service_scale",
+        _render(
+            "Batched service vs one-shot solve(), cyclic workload scale 6 "
+            "(total tuple retrievals)",
+            ["sources", "one-shot", "batched", "speedup"],
+            rows,
+        ),
+    )
+
+
+def test_plan_cache_amortises_compilation():
+    """Repeat batches on one service: every batch after the first is a
+    plan-cache hit, and execution cost stays flat."""
+    query = cyclic_workload(scale=4, seed=0)
+    sources = magic_side_values(query)[:40]
+    service = SolverService()
+    first = service.solve_batch(query, sources)
+    assert first.cache_hit is False
+    costs = []
+    for _ in range(5):
+        repeat = service.solve_batch(query, sources)
+        assert repeat.cache_hit is True
+        assert repeat.answers == first.answers
+        costs.append(repeat.retrievals)
+    assert len(set(costs)) == 1  # deterministic, no drift
+    assert service.stats()["compiles"] == 1
+
+
+def test_bench_batch_service(benchmark):
+    query = cyclic_workload(scale=4, seed=0)
+    sources = magic_side_values(query)[:40]
+    service = SolverService()
+    service.solve_batch(query, sources)  # warm the plan cache
+    benchmark(lambda: service.solve_batch(query, sources))

@@ -9,6 +9,9 @@ The package implements the full stack the paper builds on:
   linear queries, query graphs, node classification, the counting and
   magic set methods, and the eight magic counting methods
   (basic/single/multiple/recurring × independent/integrated);
+* :mod:`repro.service` — the serving layer: a batch solver service
+  with compiled-plan caching (compile a program once, answer many
+  bound goals on the shared plan);
 * :mod:`repro.workloads` — synthetic query-instance generators,
   including the exact example graphs of Figures 1 and 2;
 * :mod:`repro.analysis` — the graph statistics and Θ-cost formulas of
@@ -49,13 +52,16 @@ from .datalog import (
     magic_rewrite,
     parse_program,
 )
+from .service import BatchResult, SolverService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnswerResult",
+    "BatchResult",
     "CSLQuery",
     "Database",
+    "SolverService",
     "MagicGraphClass",
     "Mode",
     "Program",

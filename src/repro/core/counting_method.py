@@ -14,11 +14,13 @@ counting back down through ``R``::
     Answer(Y)   :- P_C(0, Y).
 
 The method is **unsafe on cyclic magic graphs**: the ``CS`` fixpoint
-never terminates.  :func:`counting_method` detects divergence (a frontier
-still alive at a level strictly greater than the number of distinct
-values seen proves a cycle) and raises :class:`UnsafeQueryError` instead
-of hanging — reproducing the "unsafe" entry of Table 1 without an
-actual non-termination.
+never terminates.  :func:`counting_method` detects divergence — the
+frontier at each level is a function of the previous frontier alone, so
+a repeated frontier set proves the fixpoint periodic (with a coarser
+``level > |seen values|`` backstop) — and raises
+:class:`UnsafeQueryError` within O(cycle length) of entering the cycle,
+reproducing the "unsafe" entry of Table 1 without an actual
+non-termination.
 
 :func:`extended_counting_method` reconstructs the [MPS] extension the
 paper cites in the Section 3 footnote (cost there: Θ(m × n³)): a common
@@ -54,6 +56,15 @@ def compute_counting_set(
     seen: Set[object] = {instance.source}
     level = 0
     frontier = {instance.source}
+    # Divergence witness: the frontier at level k+1 is a function of the
+    # frontier at level k alone, so a repeated frontier set makes the
+    # sequence periodic — the fixpoint can never drain.  On an acyclic
+    # magic graph every walk is bounded, so the frontier empties before
+    # any repetition; the check therefore fires exactly on cyclic
+    # graphs, and within one period of the cycle being entered (much
+    # earlier than the coarse ``level > |seen|`` bound, which can lag by
+    # up to n levels on wide graphs).
+    seen_frontiers: Set[frozenset] = {frozenset(frontier)}
     while frontier:
         if max_level is not None and level >= max_level:
             break
@@ -67,14 +78,23 @@ def compute_counting_set(
             break
         levels[level] = next_frontier
         frontier = next_frontier
-        if detect_divergence and max_level is None and level > len(seen):
-            # A walk longer than the number of distinct values repeats a
-            # value, which proves a cycle: CS would grow forever.
-            raise UnsafeQueryError(
-                "counting method is unsafe: the magic graph is cyclic "
-                f"(frontier still alive at level {level} with only "
-                f"{len(seen)} distinct values)"
-            )
+        if detect_divergence and max_level is None:
+            frontier_key = frozenset(frontier)
+            if frontier_key in seen_frontiers:
+                raise UnsafeQueryError(
+                    "counting method is unsafe: the magic graph is cyclic "
+                    f"(frontier set repeated at level {level}; the CS "
+                    "fixpoint is periodic and would grow forever)"
+                )
+            seen_frontiers.add(frontier_key)
+            if level > len(seen):
+                # Backstop: a walk longer than the number of distinct
+                # values repeats a value, which also proves a cycle.
+                raise UnsafeQueryError(
+                    "counting method is unsafe: the magic graph is cyclic "
+                    f"(frontier still alive at level {level} with only "
+                    f"{len(seen)} distinct values)"
+                )
     return levels
 
 
@@ -84,19 +104,22 @@ def descend_answers(
     """Apply ``P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1)`` down to level 0.
 
     ``pc_levels`` maps index to the set of ``Y`` values known at that
-    index; it is mutated in place and the level-0 set is returned.
+    index.  The caller's mapping is left untouched (the descent works on
+    a fresh copy), so shared or cached level sets can be reused across
+    queries; the level-0 set is returned.
     """
     if not pc_levels:
         return set()
-    for level in range(max(pc_levels), 0, -1):
-        current = pc_levels.get(level)
+    working = {level: set(values) for level, values in pc_levels.items()}
+    for level in range(max(working), 0, -1):
+        current = working.get(level)
         if not current:
             continue
-        below = pc_levels.setdefault(level - 1, set())
+        below = working.setdefault(level - 1, set())
         for y1 in current:
             for y, _y1 in instance.right.lookup((None, y1)):
                 below.add(y)
-    return pc_levels.get(0, set())
+    return working.get(0, set())
 
 
 def seed_exit(

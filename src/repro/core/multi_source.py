@@ -28,8 +28,26 @@ from typing import Dict, FrozenSet, Iterable, List
 from ..datalog.relation import CostCounter
 from ..errors import UnsafeQueryError
 from .counting_method import counting_method
-from .csl import CSLQuery
+from .csl import CSLInstance, CSLQuery
 from .magic_method import magic_fixpoint
+
+
+def union_magic_set(instance: CSLInstance, sources: Iterable) -> set:
+    """The union magic set: one charged reachability sweep over ``L``
+    seeded from every source at once.
+
+    Shared by :func:`multi_source_magic` and the batch solver service —
+    a value reachable from several sources is expanded exactly once.
+    """
+    magic = set(sources)
+    frontier = list(magic)
+    while frontier:
+        value = frontier.pop()
+        for _b, successor in instance.left.lookup((value, None)):
+            if successor not in magic:
+                magic.add(successor)
+                frontier.append(successor)
+    return magic
 
 
 def multi_source_magic(
@@ -46,16 +64,7 @@ def multi_source_magic(
     counter = counter if counter is not None else CostCounter()
     instance = query.instance(counter)
 
-    # Union magic set: seed the reachability sweep from every source.
-    magic = set(sources)
-    frontier = list(sources)
-    while frontier:
-        value = frontier.pop()
-        for _b, successor in instance.left.lookup((value, None)):
-            if successor not in magic:
-                magic.add(successor)
-                frontier.append(successor)
-
+    magic = union_magic_set(instance, sources)
     pm = magic_fixpoint(instance, magic)
     return {
         source: frozenset(pm.get(source, set())) for source in sources

@@ -73,11 +73,6 @@ class CostCounter:
         )
 
 
-# A module-level counter used when a relation is created without one, so
-# standalone relations are always safe to probe.
-_NULL_COUNTER = CostCounter()
-
-
 class Relation:
     """A named relation: a set of same-arity tuples with lazy hash indexes.
 
@@ -107,7 +102,10 @@ class Relation:
             raise ValueError("arity must be non-negative")
         self.name = name
         self.arity = arity
-        self.counter = counter if counter is not None else _NULL_COUNTER
+        # A counterless relation gets a private counter: charges stay
+        # observable on the instance instead of leaking into shared
+        # module state (which would mix costs across unrelated runs).
+        self.counter = counter if counter is not None else CostCounter()
         self._tuples: set = set()
         # positions (sorted tuple of bound column indexes) -> key -> list of tuples
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}

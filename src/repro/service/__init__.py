@@ -1,0 +1,40 @@
+"""The serving layer: batch solving with compiled-plan caching.
+
+Public surface::
+
+    from repro.service import SolverService
+
+    service = SolverService(database)
+    result = service.solve_batch(program, sources=["a1", "a2", ...])
+    result.answers["a1"]          # frozenset of Y values
+    result.metrics                # per-phase retrieval breakdown
+    service.stats()               # lifetime + plan-cache counters
+
+See DESIGN.md ("Serving layer") for the compile/execute split, cache
+keying, and invalidation rules.
+"""
+
+from .cache import PlanCache
+from .fingerprint import (
+    database_fingerprint,
+    pairs_fingerprint,
+    program_fingerprint,
+)
+from .metrics import BatchMetrics, ServiceMetrics
+from .plan import CompiledPlan, compile_program_plan, compile_query_plan
+from .service import BATCH_METHODS, BatchResult, SolverService
+
+__all__ = [
+    "BATCH_METHODS",
+    "BatchMetrics",
+    "BatchResult",
+    "CompiledPlan",
+    "PlanCache",
+    "ServiceMetrics",
+    "SolverService",
+    "compile_program_plan",
+    "compile_query_plan",
+    "database_fingerprint",
+    "pairs_fingerprint",
+    "program_fingerprint",
+]

@@ -1,0 +1,90 @@
+"""An LRU cache of compiled plans with hit/miss/eviction accounting.
+
+The cache is a plain ``OrderedDict`` in recency order.  Keys are
+:data:`~repro.service.fingerprint.PlanKey` tuples
+``(program_fingerprint, database_version)``: a database mutation bumps
+the version, so stale plans can never be *hit* — but the service still
+calls :meth:`PlanCache.invalidate` explicitly on every mutation so the
+memory is released immediately rather than aging out of the LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class PlanCache:
+    """Least-recently-used cache of :class:`CompiledPlan` objects."""
+
+    def __init__(self, max_size: int = 8):
+        if max_size < 1:
+            raise ValueError("plan cache needs room for at least one plan")
+        self.max_size = max_size
+        self._plans: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key):
+        """The cached plan for ``key``, or None (counted as hit/miss)."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key, plan) -> None:
+        """Insert ``plan``, evicting the least recently used on overflow."""
+        if key in self._plans:
+            self._plans.move_to_end(key)
+        self._plans[key] = plan
+        while len(self._plans) > self.max_size:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, program_fingerprint: Optional[str] = None) -> int:
+        """Drop cached plans; returns how many were dropped.
+
+        With no argument every plan goes (the database-mutation path);
+        with a program fingerprint only that program's plans go.
+        """
+        if program_fingerprint is None:
+            dropped = len(self._plans)
+            self._plans.clear()
+        else:
+            stale = [
+                key for key in self._plans if key[0] == program_fingerprint
+            ]
+            for key in stale:
+                del self._plans[key]
+            dropped = len(stale)
+        if dropped:
+            self.invalidations += dropped
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """A plain-dict summary, symmetric with ``CostCounter.snapshot``."""
+        return {
+            "plans": len(self._plans),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key) -> bool:
+        return key in self._plans
+
+    def __repr__(self):
+        return (
+            f"PlanCache(plans={len(self._plans)}/{self.max_size}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,72 @@
+"""Stable fingerprints for plan-cache keys.
+
+A compiled plan is valid for exactly one (program, EDB state) pair, so
+the cache key has two components:
+
+* the **program fingerprint** — a digest of the rule set plus the
+  *shape* of the goal (predicate and bound/free positions) with the
+  bound constant masked out.  Batches answer the same query shape for
+  many bound constants, so the constant itself must not key the plan;
+* the **database fingerprint** — a digest of every relation's sorted
+  fact set.  The :class:`~repro.service.service.SolverService` pairs it
+  with a cheap monotone version number: mutations bump the version (and
+  explicitly invalidate the cache), while the content digest identifies
+  the EDB in metrics and guards against aliased databases.
+
+Digests are truncated SHA-256 over canonical (sorted) renderings, so
+they are stable across processes and insertion orders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+_DIGEST_LENGTH = 16
+
+
+def _digest(parts: Iterable[str]) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:_DIGEST_LENGTH]
+
+
+def program_fingerprint(program) -> str:
+    """Digest of the rule set and the goal shape (source masked).
+
+    Two programs that differ only in the goal's bound constant — the
+    batch case ``?- p(a_1, Y)`` vs ``?- p(a_2, Y)`` — share one
+    fingerprint and therefore one compiled plan.
+    """
+    parts = sorted(str(rule) for rule in program.rules)
+    goal = getattr(program, "query", None)
+    if goal is not None:
+        shape = ",".join(
+            "b" if term.is_constant else "f" for term in goal.terms
+        )
+        parts.append(f"?- {goal.predicate}/{shape}")
+    return _digest(parts)
+
+
+def pairs_fingerprint(left, exit_pairs, right) -> str:
+    """Digest of raw ``L``/``E``/``R`` pair sets (direct CSL plans)."""
+    parts = []
+    for tag, pairs in (("L", left), ("E", exit_pairs), ("R", right)):
+        parts.append(tag)
+        parts.extend(sorted(repr(pair) for pair in pairs))
+    return _digest(parts)
+
+
+def database_fingerprint(database) -> str:
+    """Digest of the full EDB contents of ``database``."""
+    parts = []
+    for name in database.names():
+        facts = database.facts(name)
+        parts.append(f"{name}/{len(facts)}")
+        parts.extend(sorted(repr(fact) for fact in facts))
+    return _digest(parts)
+
+
+PlanKey = Tuple[str, int]

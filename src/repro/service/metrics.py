@@ -1,0 +1,91 @@
+"""Per-batch and per-service cost aggregation.
+
+Built on :meth:`CostCounter.snapshot`: a :class:`BatchMetrics` takes a
+snapshot at each phase boundary (``compile``, ``reachability``,
+``fixpoint``, ...) and stores the *delta*, so a batch report decomposes
+the paper's single cost unit — tuple retrievals — into the stages of
+the compile/execute split.  :class:`ServiceMetrics` accumulates batch
+totals over the lifetime of a :class:`SolverService`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..datalog.relation import CostCounter
+
+
+def _diff(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    keys = set(before) | set(after)
+    delta = {}
+    for key in keys:
+        value = after.get(key, 0) - before.get(key, 0)
+        if value:
+            delta[key] = value
+    return delta
+
+
+class BatchMetrics:
+    """Phase-by-phase retrieval accounting for one batch execution."""
+
+    def __init__(self, counter: CostCounter):
+        self.counter = counter
+        self.phases: List[Tuple[str, Dict[str, int]]] = []
+        self._last = counter.snapshot()
+
+    def mark(self, phase: str) -> Dict[str, int]:
+        """Close the current phase under ``phase``; returns its delta."""
+        current = self.counter.snapshot()
+        delta = _diff(self._last, current)
+        self.phases.append((phase, delta))
+        self._last = current
+        return delta
+
+    def phase_retrievals(self) -> Dict[str, int]:
+        """``{phase: retrievals}`` for every recorded phase."""
+        return {
+            phase: delta.get("retrievals", 0) for phase, delta in self.phases
+        }
+
+    def summary(self, goals: int = 0) -> Dict[str, object]:
+        """A flat report: totals, per-phase retrievals, per-goal average."""
+        report: Dict[str, object] = dict(self.counter.snapshot())
+        for phase, retrievals in self.phase_retrievals().items():
+            report[f"phase:{phase}"] = retrievals
+        if goals:
+            report["goals"] = goals
+            report["retrievals_per_goal"] = self.counter.retrievals / goals
+        return report
+
+
+class ServiceMetrics:
+    """Lifetime totals for one :class:`SolverService`."""
+
+    __slots__ = ("batches", "goals", "retrievals", "compiles", "invalidations")
+
+    def __init__(self):
+        self.batches = 0
+        self.goals = 0
+        self.retrievals = 0
+        self.compiles = 0
+        self.invalidations = 0
+
+    def record_batch(self, goals: int, retrievals: int) -> None:
+        self.batches += 1
+        self.goals += goals
+        self.retrievals += retrievals
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "goals": self.goals,
+            "retrievals": self.retrievals,
+            "compiles": self.compiles,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self):
+        return (
+            f"ServiceMetrics(batches={self.batches}, goals={self.goals}, "
+            f"retrievals={self.retrievals})"
+        )

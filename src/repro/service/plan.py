@@ -1,0 +1,170 @@
+"""Compiled plans: the reusable Step-1/compile-time half of a query.
+
+The paper's methods split naturally into a *compile* phase (recognize
+the CSL shape, materialize the ``L``/``E``/``R`` relations, analyze the
+magic graph) and an *execute* phase (run a fixpoint for one source).
+Everything in the compile phase is independent of the bound constant of
+the goal, so a server answering ``?- P(a_i, Y)`` for thousands of
+``a_i`` should pay for it once.  A :class:`CompiledPlan` is that
+cached half:
+
+* the materialized pair sets (conjunctions of derived predicates are
+  evaluated once, at compile time);
+* one shared :class:`~repro.datalog.relation.Relation` per part, whose
+  lazy hash indexes persist across batches — the first batch builds
+  them, later batches reuse them;
+* memoized per-source magic-graph classifications (uncharged analysis,
+  used for adaptive method selection).
+
+Plans are immutable with respect to the database state they were
+compiled from; the owning :class:`SolverService` discards them when the
+database mutates.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..core.classification import Classification, classify_nodes
+from ..core.csl import CSLInstance, CSLQuery, Pair
+from ..datalog.relation import CostCounter, Relation
+from .fingerprint import (
+    database_fingerprint,
+    pairs_fingerprint,
+    program_fingerprint,
+)
+
+_CLASSIFICATION_MEMO_LIMIT = 256
+
+
+class CompiledPlan:
+    """The compiled, source-independent artifacts of one CSL program."""
+
+    def __init__(
+        self,
+        left: FrozenSet[Pair],
+        exit_pairs: FrozenSet[Pair],
+        right: FrozenSet[Pair],
+        default_source,
+        fingerprint: str,
+        database_fp: str = "",
+        db_version: int = 0,
+    ):
+        self.left = frozenset(left)
+        self.exit = frozenset(exit_pairs)
+        self.right = frozenset(right)
+        self.default_source = default_source
+        self.fingerprint = fingerprint
+        self.database_fp = database_fp
+        self.db_version = db_version
+        # Shared relations: indexes built lazily on first use persist
+        # for the lifetime of the plan.  The idle counter absorbs
+        # charges outside any batch; ``attached`` swaps it out.
+        self._idle_counter = CostCounter()
+        self.left_relation = Relation("l", 2, self.left, self._idle_counter)
+        self.exit_relation = Relation("e", 2, self.exit, self._idle_counter)
+        self.right_relation = Relation("r", 2, self.right, self._idle_counter)
+        self._classifications: Dict[object, Classification] = {}
+
+    # --- execution-side views -----------------------------------------
+
+    @contextmanager
+    def attached(self, counter: CostCounter):
+        """Charge every relation probe inside the block to ``counter``.
+
+        Plans are shared across batches, so the cost counter is a
+        per-execution attachment rather than a construction argument.
+        Single-threaded by design (as is the whole engine layer).
+        """
+        relations = (self.left_relation, self.exit_relation, self.right_relation)
+        previous = [relation.counter for relation in relations]
+        for relation in relations:
+            relation.counter = counter
+        try:
+            yield self
+        finally:
+            for relation, prior in zip(relations, previous):
+                relation.counter = prior
+
+    def instance(self, source, counter: Optional[CostCounter] = None) -> CSLInstance:
+        """A :class:`CSLInstance` over the *shared* plan relations.
+
+        Unlike :meth:`CSLQuery.instance` this does not rebuild relation
+        storage or indexes; use inside :meth:`attached`.
+        """
+        return CSLInstance(
+            left=self.left_relation,
+            exit=self.exit_relation,
+            right=self.right_relation,
+            source=source,
+            counter=counter if counter is not None else self.left_relation.counter,
+        )
+
+    def query_for(self, source) -> CSLQuery:
+        """A plain :class:`CSLQuery` for one source (oracles, analysis)."""
+        return CSLQuery(self.left, self.exit, self.right, source)
+
+    def classification_for(self, source) -> Classification:
+        """Memoized magic-graph classification from ``source`` (uncharged)."""
+        cached = self._classifications.get(source)
+        if cached is None:
+            if len(self._classifications) >= _CLASSIFICATION_MEMO_LIMIT:
+                self._classifications.clear()
+            cached = classify_nodes(self.query_for(source))
+            self._classifications[source] = cached
+        return cached
+
+    # --- reporting ----------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "database_fp": self.database_fp,
+            "db_version": self.db_version,
+            "l_pairs": len(self.left),
+            "e_pairs": len(self.exit),
+            "r_pairs": len(self.right),
+            "default_source": self.default_source,
+        }
+
+    def __repr__(self):
+        return (
+            f"CompiledPlan({self.fingerprint}@v{self.db_version}, "
+            f"|L|={len(self.left)}, |E|={len(self.exit)}, "
+            f"|R|={len(self.right)})"
+        )
+
+
+def compile_program_plan(
+    program, database, db_version: int = 0
+) -> CompiledPlan:
+    """Compile a CSL-shaped Datalog program against ``database``.
+
+    Runs the full recognition/materialization pipeline of
+    :meth:`CSLQuery.from_program` — derived ``L``/``E``/``R``
+    conjunctions are evaluated here, once, rather than per goal.
+    Raises :class:`~repro.errors.NotCSLError` outside the class.
+    """
+    query = CSLQuery.from_program(program, database=database)
+    return CompiledPlan(
+        query.left,
+        query.exit,
+        query.right,
+        default_source=query.source,
+        fingerprint=program_fingerprint(program),
+        database_fp=database_fingerprint(database),
+        db_version=db_version,
+    )
+
+
+def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
+    """Compile a plan directly from a :class:`CSLQuery` instance."""
+    return CompiledPlan(
+        query.left,
+        query.exit,
+        query.right,
+        default_source=query.source,
+        fingerprint=pairs_fingerprint(query.left, query.exit, query.right),
+        db_version=db_version,
+    )

@@ -1,0 +1,303 @@
+"""The batch solver service: compile once, execute per batch.
+
+A :class:`SolverService` owns one :class:`~repro.datalog.database.Database`
+and serves batches of bound goals ``?- P(a_i, Y)`` against it.  The
+serving loop is a strict compile/execute split:
+
+* **compile** — recognize the CSL shape, materialize ``L``/``E``/``R``,
+  build shared relations (:mod:`repro.service.plan`).  Compiled plans
+  are cached in an LRU (:mod:`repro.service.cache`) keyed by
+  ``(program fingerprint, database version)``;
+* **execute** — answer the whole batch on the cached plan, sharing the
+  reachability sweep and the ``P_M`` fixpoint across sources
+  (:func:`~repro.core.multi_source.union_magic_set` +
+  :func:`~repro.core.magic_method.magic_fixpoint`), so a value
+  reachable from many sources is expanded once per *batch*, not once
+  per *goal*.
+
+Every database mutation goes through the service (``add_fact`` /
+``add_facts`` / ``add_atom``): it bumps the database version and
+explicitly invalidates the plan cache, so a served answer can never be
+computed from stale compiled artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from ..core.cost import AnswerResult
+from ..core.counting_method import (
+    compute_counting_set,
+    descend_answers,
+    seed_exit,
+)
+from ..core.csl import CSLQuery
+from ..core.magic_method import magic_fixpoint
+from ..core.multi_source import union_magic_set
+from ..datalog.database import Database
+from ..datalog.program import Program
+from ..datalog.relation import CostCounter
+from ..errors import EvaluationError
+from .cache import PlanCache
+from .fingerprint import database_fingerprint, pairs_fingerprint, program_fingerprint
+from .metrics import BatchMetrics, ServiceMetrics
+from .plan import CompiledPlan, compile_program_plan, compile_query_plan
+
+BATCH_METHODS = ("shared_magic", "counting", "adaptive")
+
+PlanTarget = Union[Program, CSLQuery]
+
+
+@dataclass
+class BatchResult:
+    """The outcome of serving one batch of bound goals.
+
+    ``answers`` maps each requested source to its answer set; ``cost``
+    observed the whole batch (compile charges excluded — compilation is
+    amortized across batches and reported separately); ``metrics`` is
+    the :meth:`BatchMetrics.summary` phase breakdown.
+    """
+
+    answers: Dict[object, FrozenSet]
+    method: str
+    plan: CompiledPlan
+    cache_hit: bool
+    cost: CostCounter
+    metrics: Dict[str, object] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def retrievals(self) -> int:
+        return self.cost.retrievals
+
+    def __repr__(self):
+        return (
+            f"BatchResult(method={self.method!r}, goals={len(self.answers)}, "
+            f"retrievals={self.cost.retrievals}, cache_hit={self.cache_hit})"
+        )
+
+
+class SolverService:
+    """A long-lived solver over one database with a compiled-plan cache."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        plan_cache_size: int = 8,
+    ):
+        self.database = database if database is not None else Database()
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.metrics = ServiceMetrics()
+        self._db_version = 0
+
+    # --- database mutation (every write invalidates cached plans) ------
+
+    @property
+    def db_version(self) -> int:
+        return self._db_version
+
+    def add_fact(self, name: str, *values) -> bool:
+        """Insert one fact; invalidates cached plans when it is new."""
+        added = self.database.add_fact(name, *values)
+        if added:
+            self._mutated()
+        return added
+
+    def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        """Bulk insert; invalidates cached plans when anything was new."""
+        added = self.database.add_facts(name, tuples)
+        if added:
+            self._mutated()
+        return added
+
+    def add_atom(self, atom) -> bool:
+        added = self.database.add_atom(atom)
+        if added:
+            self._mutated()
+        return added
+
+    def invalidate_plans(self) -> int:
+        """Explicitly drop every cached plan (e.g. after out-of-band
+        database edits the service could not observe)."""
+        self._db_version += 1
+        return self.plan_cache.invalidate()
+
+    def _mutated(self) -> None:
+        self._db_version += 1
+        self.plan_cache.invalidate()
+        self.metrics.invalidations += 1
+
+    # --- compilation ----------------------------------------------------
+
+    def _plan_key(self, target: PlanTarget):
+        if isinstance(target, CSLQuery):
+            fingerprint = pairs_fingerprint(
+                target.left, target.exit, target.right
+            )
+        else:
+            fingerprint = program_fingerprint(target)
+        return (fingerprint, self._db_version)
+
+    def compile(self, target: PlanTarget) -> CompiledPlan:
+        """The cached plan for ``target``, compiling on a miss."""
+        plan, _hit = self._plan_for(target)
+        return plan
+
+    def _plan_for(self, target: PlanTarget) -> Tuple[CompiledPlan, bool]:
+        key = self._plan_key(target)
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            return plan, True
+        if isinstance(target, CSLQuery):
+            plan = compile_query_plan(target, db_version=self._db_version)
+            plan.database_fp = database_fingerprint(self.database)
+        else:
+            plan = compile_program_plan(
+                target, self.database, db_version=self._db_version
+            )
+        self.plan_cache.put(key, plan)
+        self.metrics.compiles += 1
+        return plan, False
+
+    # --- serving --------------------------------------------------------
+
+    def solve_batch(
+        self,
+        target: PlanTarget,
+        sources: Optional[Iterable] = None,
+        method: str = "shared_magic",
+    ) -> BatchResult:
+        """Answer one batch of bound goals on the compiled plan.
+
+        ``method`` is one of
+
+        * ``"shared_magic"`` (default) — one union reachability sweep
+          plus one shared ``P_M`` fixpoint for the whole batch; safe on
+          every input and the amortized winner for large batches;
+        * ``"counting"`` — an independent counting pass per source
+          (raises :class:`UnsafeQueryError` on cyclic magic graphs);
+          the per-goal winner on small regular batches;
+        * ``"adaptive"`` — counting for a single-goal batch on a
+          non-cyclic magic graph, shared magic otherwise.
+        """
+        if method not in BATCH_METHODS:
+            raise EvaluationError(
+                f"unknown batch method {method!r}; expected one of "
+                f"{', '.join(BATCH_METHODS)}"
+            )
+        plan, cache_hit = self._plan_for(target)
+        if sources is None:
+            source_list: List = [plan.default_source]
+        else:
+            source_list = list(sources)
+        chosen = method
+        if method == "adaptive":
+            chosen = self._choose_method(plan, source_list)
+        counter = CostCounter()
+        metrics = BatchMetrics(counter)
+        with plan.attached(counter):
+            if chosen == "shared_magic":
+                answers, details = _execute_shared_magic(
+                    plan, source_list, counter, metrics
+                )
+            else:
+                answers, details = _execute_counting(
+                    plan, source_list, counter, metrics
+                )
+        self.metrics.record_batch(len(source_list), counter.retrievals)
+        return BatchResult(
+            answers=answers,
+            method=chosen,
+            plan=plan,
+            cache_hit=cache_hit,
+            cost=counter,
+            metrics=metrics.summary(goals=len(source_list)),
+            details=details,
+        )
+
+    def solve(
+        self,
+        target: PlanTarget,
+        source=None,
+        method: str = "adaptive",
+    ) -> AnswerResult:
+        """Single-goal convenience wrapper over :meth:`solve_batch`."""
+        sources = None if source is None else [source]
+        batch = self.solve_batch(target, sources, method=method)
+        (answer_source,) = batch.answers
+        return AnswerResult(
+            answers=batch.answers[answer_source],
+            method=f"service_{batch.method}",
+            cost=batch.cost,
+            details={
+                "cache_hit": batch.cache_hit,
+                "plan": batch.plan.fingerprint,
+                **batch.details,
+            },
+        )
+
+    def _choose_method(self, plan: CompiledPlan, sources: List) -> str:
+        """The adaptive rule: counting only where it can win.
+
+        Counting re-derives per-source distances, so it only beats the
+        shared fixpoint when there is nothing to share — a single goal —
+        and only terminates off cyclic magic graphs.  (Crossover data:
+        ``benchmarks/test_multi_source.py``.)
+        """
+        if len(sources) != 1:
+            return "shared_magic"
+        classification = plan.classification_for(sources[0])
+        if classification.is_cyclic:
+            return "shared_magic"
+        return "counting"
+
+    def stats(self) -> Dict[str, object]:
+        """Service totals plus plan-cache counters, as one flat dict."""
+        report: Dict[str, object] = {"db_version": self._db_version}
+        report.update(self.metrics.snapshot())
+        for key, value in self.plan_cache.stats().items():
+            report[f"cache:{key}"] = value
+        return report
+
+    def __repr__(self):
+        return (
+            f"SolverService(db_version={self._db_version}, "
+            f"batches={self.metrics.batches}, cache={self.plan_cache!r})"
+        )
+
+
+def _execute_shared_magic(
+    plan: CompiledPlan, sources: List, counter: CostCounter, metrics: BatchMetrics
+):
+    """One union sweep + one shared ``P_M`` fixpoint for the batch."""
+    anchor = sources[0] if sources else plan.default_source
+    instance = plan.instance(anchor, counter)
+    magic = union_magic_set(instance, sources)
+    metrics.mark("reachability")
+    pm = magic_fixpoint(instance, magic)
+    metrics.mark("fixpoint")
+    answers = {
+        source: frozenset(pm.get(source, set())) for source in sources
+    }
+    details = {
+        "magic_set_size": len(magic),
+        "pm_facts": sum(len(values) for values in pm.values()),
+    }
+    return answers, details
+
+
+def _execute_counting(
+    plan: CompiledPlan, sources: List, counter: CostCounter, metrics: BatchMetrics
+):
+    """Independent counting passes per source on the shared relations."""
+    answers: Dict[object, FrozenSet] = {}
+    cs_pairs = 0
+    for source in sources:
+        instance = plan.instance(source, counter)
+        cs_levels = compute_counting_set(instance)
+        pc_levels = seed_exit(instance, cs_levels)
+        answers[source] = frozenset(descend_answers(instance, pc_levels))
+        cs_pairs += sum(len(values) for values in cs_levels.values())
+    metrics.mark("counting")
+    return answers, {"cs_pairs": cs_pairs}

@@ -194,3 +194,60 @@ class TestErrors:
         path.write_text("p(a).")
         assert main(["analyze", str(path)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBatch:
+    def test_batch_explicit_sources(self, program_file, facts_file, capsys):
+        assert main(["batch", program_file, "--facts", facts_file,
+                     "--sources", "a,b"]) == 0
+        out = capsys.readouterr()
+        rows = {tuple(line.split("\t")) for line in out.out.splitlines()}
+        assert ("a", "a1") in rows
+        assert ("a", "y2") in rows
+        assert ("b", "y") in rows
+        assert "shared_magic" in out.err
+        assert "compiled" in out.err
+        assert "tuple retrievals" in out.err
+
+    def test_batch_defaults_to_goal_source(self, program_file, facts_file,
+                                           capsys):
+        assert main(["batch", program_file, "--facts", facts_file]) == 0
+        out = capsys.readouterr()
+        sources = {line.split("\t")[0] for line in out.out.splitlines()}
+        assert sources == {"a"}
+
+    def test_batch_sources_file(self, program_file, facts_file, tmp_path,
+                                capsys):
+        sources_path = tmp_path / "sources.txt"
+        sources_path.write_text("a\nb\n")
+        assert main(["batch", program_file, "--facts", facts_file,
+                     "--sources-file", str(sources_path)]) == 0
+        out = capsys.readouterr()
+        sources = {line.split("\t")[0] for line in out.out.splitlines()}
+        assert sources == {"a", "b"}
+
+    def test_batch_counting_method(self, program_file, facts_file, capsys):
+        assert main(["batch", program_file, "--facts", facts_file,
+                     "--sources", "a", "--method", "counting"]) == 0
+        out = capsys.readouterr()
+        assert "counting" in out.err
+
+    def test_batch_counting_unsafe_on_cycle(self, program_file, tmp_path,
+                                            capsys):
+        cyclic = tmp_path / "cyclic.dl"
+        cyclic.write_text(CYCLIC_FACTS)
+        assert main(["batch", program_file, "--facts", str(cyclic),
+                     "--sources", "a", "--method", "counting"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_matches_solve_per_source(self, program_file, facts_file,
+                                            capsys):
+        assert main(["batch", program_file, "--facts", facts_file,
+                     "--sources", "a"]) == 0
+        batch_out = capsys.readouterr()
+        assert main(["solve", program_file, "--facts", facts_file]) == 0
+        solve_out = capsys.readouterr()
+        batch_answers = {
+            line.split("\t")[1] for line in batch_out.out.splitlines()
+        }
+        assert batch_answers == set(solve_out.out.split())

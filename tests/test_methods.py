@@ -4,10 +4,18 @@ The master property (Fact 1 + Theorems 1 and 2): on every instance,
 every safe method returns exactly the answer set of the Fact-2 oracle.
 """
 
+import re
+
 import pytest
 from hypothesis import given, settings
 
-from repro.core.counting_method import counting_method, extended_counting_method
+from repro.core.counting_method import (
+    compute_counting_set,
+    counting_method,
+    descend_answers,
+    extended_counting_method,
+    seed_exit,
+)
 from repro.core.magic_method import compute_magic_set, magic_set_method
 from repro.core.methods import all_method_coordinates, magic_counting, method_name
 from repro.core.reduced_sets import Mode, Strategy
@@ -52,6 +60,32 @@ class TestCountingMethod:
     @given(acyclic_csl_queries())
     def test_correct_on_all_acyclic(self, query):
         assert counting_method(query).answers == fact2_answer(query)
+
+    def test_descend_answers_leaves_caller_levels_untouched(self, samegen_query):
+        # Regression: descend_answers used to mutate pc_levels in place,
+        # corrupting any cached/shared level sets on a second descent.
+        instance = samegen_query.instance()
+        cs_levels = compute_counting_set(instance)
+        pc_levels = seed_exit(instance, cs_levels)
+        snapshot = {level: set(values) for level, values in pc_levels.items()}
+        first = descend_answers(instance, pc_levels)
+        assert pc_levels == snapshot
+        assert descend_answers(instance, pc_levels) == first
+
+    def test_divergence_detected_within_cycle_length(self):
+        # Regression for the old `level > len(seen)` bound: on a wide
+        # graph (many dead-end siblings) it fired only ~n levels after
+        # the cycle was provable.  The frontier-repetition check fires
+        # within one period of entering the cycle.
+        left = {("a", f"dead{i}") for i in range(50)}
+        left |= {("a", "c0"), ("c0", "c1"), ("c1", "c0")}
+        query = CSLQuery(left, {("c0", "u")}, {("u", "u")}, "a")
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            counting_method(query)
+        level = int(re.search(r"level (\d+)", str(excinfo.value)).group(1))
+        # Cycle is entered at level 1 and has length 2; detection must
+        # land within O(cycle length), far below the ~53 of the old bound.
+        assert level <= 6
 
 
 class TestExtendedCounting:

@@ -113,3 +113,30 @@ class TestCostAccounting:
         snap = counter.snapshot()
         assert snap["retrievals"] == 3
         assert snap["relation:edge"] == 3
+
+
+class TestStandaloneCounters:
+    """Regression: counterless relations used to share one module-level
+    counter, leaking retrieval charges across unrelated relations (and
+    across tests / concurrent service requests)."""
+
+    def test_counterless_relations_have_private_counters(self):
+        first = Relation("first", 2, [("a", "b")])
+        second = Relation("second", 2, [("c", "d")])
+        assert first.counter is not second.counter
+        list(first.lookup(("a", None)))
+        assert first.counter.retrievals > 0
+        assert second.counter.retrievals == 0
+
+    def test_fresh_counterless_relation_starts_at_zero(self):
+        noisy = Relation("noisy", 1, [("x",)])
+        for _ in range(5):
+            list(noisy.lookup((None,)))
+        assert Relation("fresh", 1).counter.retrievals == 0
+
+    def test_counterless_charges_stay_observable(self):
+        relation = Relation("solo", 2, [("a", "b"), ("a", "c")])
+        list(relation.lookup(("a", None)))
+        snap = relation.counter.snapshot()
+        assert snap["retrievals"] == 3
+        assert snap["relation:solo"] == 3

@@ -1,0 +1,259 @@
+"""Tests for the batch solver service and its compiled-plan cache."""
+
+import pytest
+
+from repro.core.csl import CSLQuery
+from repro.core.solver import fact2_answer, solve
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.relation import CostCounter
+from repro.errors import EvaluationError, UnsafeQueryError
+from repro.service import (
+    PlanCache,
+    SolverService,
+    program_fingerprint,
+)
+from repro.workloads.generators import cyclic_workload
+
+PROGRAM = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y, Y1).
+?- sg(a, Y).
+"""
+
+FACTS = {
+    "up": [("a", "b"), ("b", "c"), ("d", "b")],
+    "flat": [("c", "c1"), ("a", "a1")],
+    "down": [("y", "c1"), ("y2", "y")],
+}
+
+
+def sg_program() -> Program:
+    program = parse_program(PROGRAM)
+    return Program([r for r in program.rules if not r.is_fact], program.query)
+
+
+def sg_database() -> Database:
+    database = Database()
+    for name, tuples in FACTS.items():
+        database.add_facts(name, tuples)
+    return database
+
+
+def per_source_oracle(query: CSLQuery, sources):
+    return {
+        source: fact2_answer(
+            CSLQuery(query.left, query.exit, query.right, source)
+        )
+        for source in sources
+    }
+
+
+class TestBatchCorrectness:
+    def test_shared_magic_matches_oracle(self, samegen_query):
+        sources = ["d", "e", "b"]
+        result = SolverService().solve_batch(samegen_query, sources)
+        assert result.answers == per_source_oracle(samegen_query, sources)
+        assert result.method == "shared_magic"
+
+    def test_counting_matches_oracle(self, samegen_query):
+        sources = ["d", "e", "b"]
+        result = SolverService().solve_batch(
+            samegen_query, sources, method="counting"
+        )
+        assert result.answers == per_source_oracle(samegen_query, sources)
+
+    def test_shared_magic_safe_on_cycle(self, cyclic_query):
+        sources = ["a", "b"]
+        result = SolverService().solve_batch(cyclic_query, sources)
+        assert result.answers == per_source_oracle(cyclic_query, sources)
+
+    def test_counting_unsafe_on_cycle(self, cyclic_query):
+        with pytest.raises(UnsafeQueryError):
+            SolverService().solve_batch(
+                cyclic_query, ["a"], method="counting"
+            )
+
+    def test_adaptive_picks_counting_for_single_acyclic_goal(
+        self, samegen_query
+    ):
+        result = SolverService().solve_batch(
+            samegen_query, ["d"], method="adaptive"
+        )
+        assert result.method == "counting"
+        assert result.answers == per_source_oracle(samegen_query, ["d"])
+
+    def test_adaptive_picks_shared_magic_for_batches_and_cycles(
+        self, samegen_query, cyclic_query
+    ):
+        batch = SolverService().solve_batch(
+            samegen_query, ["d", "e"], method="adaptive"
+        )
+        assert batch.method == "shared_magic"
+        single_cyclic = SolverService().solve_batch(
+            cyclic_query, ["a"], method="adaptive"
+        )
+        assert single_cyclic.method == "shared_magic"
+        assert single_cyclic.answers == per_source_oracle(cyclic_query, ["a"])
+
+    def test_empty_batch(self, samegen_query):
+        result = SolverService().solve_batch(samegen_query, [])
+        assert result.answers == {}
+
+    def test_unknown_method_rejected(self, samegen_query):
+        with pytest.raises(EvaluationError):
+            SolverService().solve_batch(samegen_query, ["d"], method="bogus")
+
+    def test_program_target_defaults_to_goal_source(self):
+        service = SolverService(sg_database())
+        result = service.solve_batch(sg_program())
+        assert set(result.answers) == {"a"}
+        assert result.answers["a"] == frozenset({"a1", "y2"})
+
+    def test_solve_wrapper_matches_core_solver(self, samegen_query):
+        service = SolverService()
+        got = service.solve(samegen_query, source="d")
+        assert got.answers == solve(samegen_query).answers
+        assert got.method.startswith("service_")
+        assert got.details["cache_hit"] is False
+
+    def test_batch_metrics_expose_phases(self, samegen_query):
+        result = SolverService().solve_batch(samegen_query, ["d", "e"])
+        assert result.metrics["phase:reachability"] >= 1
+        assert result.metrics["phase:fixpoint"] >= 1
+        assert result.metrics["goals"] == 2
+        assert result.metrics["retrievals"] == result.cost.retrievals
+
+
+class TestPlanCache:
+    def test_hit_after_miss_reuses_plan(self, samegen_query):
+        service = SolverService()
+        first = service.solve_batch(samegen_query, ["d"])
+        second = service.solve_batch(samegen_query, ["e", "b"])
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert second.plan is first.plan
+        stats = service.stats()
+        assert stats["cache:hits"] == 1
+        assert stats["cache:misses"] == 1
+        assert stats["compiles"] == 1
+
+    def test_mutation_invalidates_and_recompiles(self):
+        service = SolverService(sg_database())
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        assert before.answers["d"] == frozenset({"y2"})
+        # A new exit fact at d adds a direct answer; the old plan must
+        # not be served afterwards.
+        assert service.add_fact("flat", "d", "d1") is True
+        assert service.db_version == 1
+        assert len(service.plan_cache) == 0
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is False
+        assert after.plan is not before.plan
+        oracle = CSLQuery.from_program(
+            program, database=service.database
+        )
+        assert after.answers["d"] == fact2_answer(
+            CSLQuery(oracle.left, oracle.exit, oracle.right, "d")
+        )
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+
+    def test_duplicate_fact_does_not_invalidate(self):
+        service = SolverService(sg_database())
+        program = sg_program()
+        service.solve_batch(program, ["a"])
+        assert service.add_fact("up", "a", "b") is False
+        assert service.db_version == 0
+        assert service.solve_batch(program, ["a"]).cache_hit is True
+
+    def test_lru_eviction(self, samegen_query, cyclic_query):
+        service = SolverService(plan_cache_size=1)
+        service.solve_batch(samegen_query, ["d"])
+        service.solve_batch(cyclic_query, ["a"])
+        # The samegen plan was evicted; a third solve must recompile.
+        third = service.solve_batch(samegen_query, ["d"])
+        assert third.cache_hit is False
+        assert service.plan_cache.stats()["evictions"] >= 1
+
+    def test_plan_cache_direct_api(self):
+        cache = PlanCache(max_size=2)
+        assert cache.get(("fp1", 0)) is None
+        cache.put(("fp1", 0), "plan1")
+        cache.put(("fp2", 0), "plan2")
+        assert cache.get(("fp1", 0)) == "plan1"
+        cache.put(("fp3", 0), "plan3")  # evicts fp2 (least recent)
+        assert ("fp2", 0) not in cache
+        assert cache.invalidate("fp1") == 1
+        assert ("fp1", 0) not in cache
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["invalidations"] == 1
+
+    def test_program_fingerprint_masks_goal_constant(self):
+        base = parse_program(PROGRAM)
+        other = parse_program(PROGRAM.replace("sg(a, Y)", "sg(d, Y)"))
+        assert program_fingerprint(base) == program_fingerprint(other)
+        different_rules = parse_program(
+            PROGRAM.replace("up(X, X1)", "down(X, X1)")
+        )
+        assert program_fingerprint(base) != program_fingerprint(
+            different_rules
+        )
+
+
+class TestInterleavedBatches:
+    def test_two_databases_stay_independent(self):
+        program = sg_program()
+        service_one = SolverService(sg_database())
+        other_db = sg_database()
+        other_db.add_fact("flat", "d", "d1")
+        service_two = SolverService(other_db)
+
+        first_one = service_one.solve_batch(program, ["d", "a"])
+        first_two = service_two.solve_batch(program, ["d", "a"])
+        second_one = service_one.solve_batch(program, ["d"])
+
+        # Interleaving must not bleed plans or answers across services.
+        assert first_two.plan is not first_one.plan
+        assert second_one.cache_hit is True
+        assert second_one.plan is first_one.plan
+        assert first_one.answers["d"] == frozenset({"y2"})
+        assert first_two.answers["d"] == frozenset({"d1", "y2"})
+        assert first_one.answers["a"] == first_two.answers["a"]
+
+        # Costs are per-service: service one saw two batches, two three
+        # goals; service two exactly one batch of two goals.
+        assert service_one.metrics.batches == 2
+        assert service_one.metrics.goals == 3
+        assert service_two.metrics.batches == 1
+        assert service_two.metrics.goals == 2
+
+    def test_batch_counter_is_isolated_per_batch(self, samegen_query):
+        service = SolverService()
+        first = service.solve_batch(samegen_query, ["d"])
+        second = service.solve_batch(samegen_query, ["e"])
+        assert first.cost is not second.cost
+        total = first.cost.retrievals + second.cost.retrievals
+        assert service.metrics.retrievals == total
+
+
+class TestAmortisation:
+    def test_batched_beats_one_shot_over_100_sources(self):
+        query = cyclic_workload(scale=6, seed=0)
+        sources = sorted({value for pair in query.left for value in pair})[
+            :100
+        ]
+        assert len(sources) == 100
+        result = SolverService().solve_batch(query, sources)
+        independent = 0
+        for source in sources:
+            counter = CostCounter()
+            one_shot = solve(
+                CSLQuery(query.left, query.exit, query.right, source),
+                counter=counter,
+            )
+            independent += counter.retrievals
+            assert one_shot.answers == result.answers[source]
+        assert result.retrievals < independent

@@ -19,6 +19,7 @@ from .fingerprint import (
     database_fingerprint,
     pairs_fingerprint,
     program_fingerprint,
+    target_fingerprint,
 )
 from .metrics import BatchMetrics, ServiceMetrics
 from .plan import CompiledPlan, compile_program_plan, compile_query_plan
@@ -37,4 +38,5 @@ __all__ = [
     "database_fingerprint",
     "pairs_fingerprint",
     "program_fingerprint",
+    "target_fingerprint",
 ]

@@ -9,17 +9,24 @@ the cache key has two components:
   many bound constants, so the constant itself must not key the plan;
 * the **database fingerprint** — a digest of every relation's sorted
   fact set.  The :class:`~repro.service.service.SolverService` pairs it
-  with a cheap monotone version number: mutations bump the version (and
-  explicitly invalidate the cache), while the content digest identifies
-  the EDB in metrics and guards against aliased databases.
+  with a cheap monotone version number: mutations routed through the
+  service bump the version (and explicitly invalidate the cache), while
+  the content digest identifies the EDB in metrics and reports.  The
+  version counter cannot see out-of-band edits to the caller's
+  ``Database``; constructing the service with ``verify_database=True``
+  re-checks this digest on every cache hit and recompiles on mismatch,
+  at the cost of re-hashing the EDB per lookup.
 
 Digests are truncated SHA-256 over canonical (sorted) renderings, so
-they are stable across processes and insertion orders.
+they are stable across processes and insertion orders.  Computing one
+is O(m log m) in the target's size, so :func:`target_fingerprint`
+memoizes digests per target object for repeat batches.
 """
 
 from __future__ import annotations
 
 import hashlib
+import weakref
 from typing import Iterable, Tuple
 
 _DIGEST_LENGTH = 16
@@ -57,6 +64,44 @@ def pairs_fingerprint(left, exit_pairs, right) -> str:
         parts.append(tag)
         parts.extend(sorted(repr(pair) for pair in pairs))
     return _digest(parts)
+
+
+# Weak-keyed so memoized digests die with their targets.  Values are
+# (validation token, fingerprint); the token catches in-place Program
+# mutations (rule count / goal rebinding) that would stale the digest.
+_target_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def target_fingerprint(target) -> str:
+    """Memoized plan fingerprint for a Program or CSLQuery target.
+
+    ``program_fingerprint`` re-renders every rule and
+    ``pairs_fingerprint`` sorts the repr of every pair — O(m log m) per
+    call, which would erode cache amortization if paid on every batch.
+    Repeat batches over the same target object pay the digest once.
+    CSLQuery is frozen so its digest never goes stale; Program is
+    mutable, so the memo entry is revalidated against a cheap token and
+    recomputed when the rule set or goal visibly changed.
+    """
+    from ..core.csl import CSLQuery
+
+    is_query = isinstance(target, CSLQuery)
+    token = None if is_query else (len(target.rules), id(target.query))
+    try:
+        cached = _target_memo.get(target)
+    except TypeError:
+        cached = None  # unhashable / non-weakrefable target
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    if is_query:
+        fingerprint = pairs_fingerprint(target.left, target.exit, target.right)
+    else:
+        fingerprint = program_fingerprint(target)
+    try:
+        _target_memo[target] = (token, fingerprint)
+    except TypeError:
+        pass
+    return fingerprint
 
 
 def database_fingerprint(database) -> str:

@@ -40,7 +40,7 @@ from ..datalog.program import Program
 from ..datalog.relation import CostCounter
 from ..errors import EvaluationError
 from .cache import PlanCache
-from .fingerprint import database_fingerprint, pairs_fingerprint, program_fingerprint
+from .fingerprint import database_fingerprint, target_fingerprint
 from .metrics import BatchMetrics, ServiceMetrics
 from .plan import CompiledPlan, compile_program_plan, compile_query_plan
 
@@ -85,10 +85,17 @@ class SolverService:
         self,
         database: Optional[Database] = None,
         plan_cache_size: int = 8,
+        verify_database: bool = False,
     ):
+        """``verify_database`` re-digests the EDB on every cache hit and
+        recompiles on mismatch — a paranoia mode for callers that keep a
+        handle on the database and may mutate it behind the service's
+        back (the version counter only sees mutations routed through
+        the service)."""
         self.database = database if database is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
         self.metrics = ServiceMetrics()
+        self.verify_database = verify_database
         self._db_version = 0
 
     # --- database mutation (every write invalidates cached plans) ------
@@ -131,13 +138,7 @@ class SolverService:
     # --- compilation ----------------------------------------------------
 
     def _plan_key(self, target: PlanTarget):
-        if isinstance(target, CSLQuery):
-            fingerprint = pairs_fingerprint(
-                target.left, target.exit, target.right
-            )
-        else:
-            fingerprint = program_fingerprint(target)
-        return (fingerprint, self._db_version)
+        return (target_fingerprint(target), self._db_version)
 
     def compile(self, target: PlanTarget) -> CompiledPlan:
         """The cached plan for ``target``, compiling on a miss."""
@@ -147,6 +148,13 @@ class SolverService:
     def _plan_for(self, target: PlanTarget) -> Tuple[CompiledPlan, bool]:
         key = self._plan_key(target)
         plan = self.plan_cache.get(key)
+        if plan is not None and self.verify_database:
+            if database_fingerprint(self.database) != plan.database_fp:
+                # Out-of-band edit: the content digest moved without a
+                # version bump.  Drop every plan and recompile.
+                self._mutated()
+                key = (key[0], self._db_version)
+                plan = None
         if plan is not None:
             return plan, True
         if isinstance(target, CSLQuery):
@@ -170,6 +178,11 @@ class SolverService:
     ) -> BatchResult:
         """Answer one batch of bound goals on the compiled plan.
 
+        When ``sources`` is omitted the batch is the single source bound
+        in *this* target's goal — never the goal that happened to
+        compile the cached plan (plans are shared across every bound
+        constant of the same query shape).
+
         ``method`` is one of
 
         * ``"shared_magic"`` (default) — one union reachability sweep
@@ -188,7 +201,13 @@ class SolverService:
             )
         plan, cache_hit = self._plan_for(target)
         if sources is None:
-            source_list: List = [plan.default_source]
+            source = _target_source(target)
+            # plan.default_source is only a last resort for anchor-less
+            # targets; a cached plan may have been compiled from a goal
+            # with a different bound constant.
+            source_list: List = [
+                source if source is not None else plan.default_source
+            ]
         else:
             source_list = list(sources)
         chosen = method
@@ -265,6 +284,25 @@ class SolverService:
             f"SolverService(db_version={self._db_version}, "
             f"batches={self.metrics.batches}, cache={self.plan_cache!r})"
         )
+
+
+def _target_source(target: PlanTarget):
+    """The bound constant(s) of ``target``'s own goal, or None.
+
+    Mirrors :meth:`CSLQuery.from_program`'s source extraction (constant
+    goal positions are the bound positions), but without compiling —
+    the source must come from the target at hand even when the plan
+    cache already holds a plan compiled from a different goal constant.
+    """
+    if isinstance(target, CSLQuery):
+        return target.source
+    goal = getattr(target, "query", None)
+    if goal is None:
+        return None
+    constants = tuple(term.value for term in goal.terms if term.is_constant)
+    if not constants:
+        return None
+    return constants[0] if len(constants) == 1 else constants
 
 
 def _execute_shared_magic(

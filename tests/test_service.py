@@ -13,6 +13,7 @@ from repro.service import (
     PlanCache,
     SolverService,
     program_fingerprint,
+    target_fingerprint,
 )
 from repro.workloads.generators import cyclic_workload
 
@@ -29,8 +30,8 @@ FACTS = {
 }
 
 
-def sg_program() -> Program:
-    program = parse_program(PROGRAM)
+def sg_program(source: str = "a") -> Program:
+    program = parse_program(PROGRAM.replace("sg(a, Y)", f"sg({source}, Y)"))
     return Program([r for r in program.rules if not r.is_fact], program.query)
 
 
@@ -111,6 +112,32 @@ class TestBatchCorrectness:
         assert set(result.answers) == {"a"}
         assert result.answers["a"] == frozenset({"a1", "y2"})
 
+    def test_cached_plan_uses_each_goals_own_constant(self):
+        # Regression: a cache hit must answer for *this* target's bound
+        # constant, not the constant of the goal that compiled the plan.
+        service = SolverService(sg_database())
+        first = service.solve_batch(sg_program("a"))
+        assert first.answers == {"a": frozenset({"a1", "y2"})}
+        hit = service.solve(sg_program("d"))
+        assert hit.details["cache_hit"] is True
+        assert hit.answers == frozenset({"y2"})
+        batch_hit = service.solve_batch(sg_program("d"))
+        assert batch_hit.cache_hit is True
+        assert batch_hit.answers == {"d": frozenset({"y2"})}
+
+    def test_query_target_defaults_to_its_own_source(self, samegen_query):
+        service = SolverService()
+        service.solve_batch(samegen_query, ["d"])
+        rebound = CSLQuery(
+            samegen_query.left,
+            samegen_query.exit,
+            samegen_query.right,
+            "e",
+        )
+        result = service.solve_batch(rebound)
+        assert result.cache_hit is True
+        assert result.answers == per_source_oracle(samegen_query, ["e"])
+
     def test_solve_wrapper_matches_core_solver(self, samegen_query):
         service = SolverService()
         got = service.solve(samegen_query, source="d")
@@ -190,6 +217,33 @@ class TestPlanCache:
         stats = cache.stats()
         assert stats["evictions"] == 1
         assert stats["invalidations"] == 1
+
+    def test_verify_database_catches_out_of_band_mutation(self):
+        database = sg_database()
+        service = SolverService(database, verify_database=True)
+        program = sg_program("d")
+        before = service.solve_batch(program, ["d"])
+        assert before.answers["d"] == frozenset({"y2"})
+        # Mutate behind the service's back: no version bump happens,
+        # but verification re-digests the EDB on the next lookup.
+        database.add_fact("flat", "d", "d1")
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is False
+        assert after.plan is not before.plan
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+        # No false positives: an untouched database still hits.
+        assert service.solve_batch(program, ["d"]).cache_hit is True
+
+    def test_target_fingerprint_memoizes_and_revalidates(self):
+        program = sg_program()
+        fingerprint = target_fingerprint(program)
+        assert fingerprint == program_fingerprint(program)
+        assert target_fingerprint(program) == fingerprint
+        # In-place mutation must not serve the stale digest.
+        extra = parse_program("sg(X, Y) :- extra(X, Y).")
+        program.add_rule(extra.rules[0])
+        assert target_fingerprint(program) != fingerprint
+        assert target_fingerprint(program) == program_fingerprint(program)
 
     def test_program_fingerprint_masks_goal_constant(self):
         base = parse_program(PROGRAM)

@@ -1,0 +1,111 @@
+"""Extension experiment — static analysis is cheap relative to solving.
+
+The analyzer's value proposition is that certification happens *before*
+any fixpoint at a cost that is negligible next to evaluation: one SCC
+pass over the L graph plus the pure-graph lint passes.  This module
+wall-clocks ``run_static_analysis`` on the largest shipped example
+program, and ``certify_counting_safety`` against a full adaptive solve
+on scaled cyclic workloads, then registers the table in
+``benchmarks/results/static_analysis.txt``.
+
+Marked ``slow``: deselected by default; run with
+``pytest benchmarks/test_static_analysis.py -m slow``.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis.static import certify_counting_safety, run_static_analysis
+from repro.analysis.tables import _render
+from repro.core.solver import adaptive_solve
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.workloads.generators import cyclic_workload
+
+from .conftest import add_report
+
+pytestmark = pytest.mark.slow
+
+PROGRAMS = pathlib.Path(__file__).parent.parent / "examples" / "programs"
+
+
+def load_program(path):
+    program = parse_program(path.read_text())
+    database = Database()
+    rules = []
+    for rule in program.rules:
+        if rule.is_fact:
+            database.add_atom(rule.head)
+        else:
+            rules.append(rule)
+    return Program(rules, program.query), database
+
+
+def clocked(fn, repeat=5):
+    """Best-of-``repeat`` wall time in milliseconds, plus the result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, result
+
+
+def test_analyzer_runtime_on_examples_and_scaled_workloads():
+    rows = []
+
+    # Full multi-pass analysis of the largest example program.
+    largest = max(PROGRAMS.glob("*.dl"), key=lambda p: p.stat().st_size)
+    program, database = load_program(largest)
+    analyze_ms, report = clocked(
+        lambda: run_static_analysis(program, database)
+    )
+    rows.append(
+        [
+            f"example:{largest.stem}",
+            str(len(program.rules)),
+            str(report.certificate.verdict),
+            f"{analyze_ms:.2f}",
+            "-",
+            "-",
+        ]
+    )
+    assert analyze_ms < 250.0, "full analysis of an example should be fast"
+
+    # Certification vs. a full adaptive solve on growing cyclic
+    # instances: the gate must stay a vanishing fraction of the work it
+    # protects.
+    for scale in (1, 2, 4, 8):
+        query = cyclic_workload(scale=scale, seed=0)
+        certify_ms, certificate = clocked(
+            lambda: certify_counting_safety(query)
+        )
+        solve_ms, _ = clocked(lambda: adaptive_solve(query), repeat=1)
+        assert certificate.verdict == "unsafe"
+        rows.append(
+            [
+                f"cyclic(scale={scale})",
+                str(len(query.left)),
+                str(certificate.verdict),
+                f"{certify_ms:.2f}",
+                f"{solve_ms:.2f}",
+                f"{solve_ms / max(certify_ms, 1e-9):.0f}x",
+            ]
+        )
+        assert certify_ms < solve_ms, (
+            "certification must be cheaper than the solve it gates"
+        )
+
+    add_report(
+        "static_analysis",
+        _render(
+            "Static analyzer runtime (best-of-5 wall clock, ms)",
+            ["workload", "|L| or rules", "verdict", "analyze", "solve",
+             "ratio"],
+            rows,
+        ),
+    )

@@ -1,7 +1,9 @@
-"""Measurement harness and table rendering for the cost experiments.
+"""Measurement harness, table rendering, and static program analysis.
 
 Graph statistics themselves live in :mod:`repro.core.complexity`
 (re-exported here for convenience, since they are analysis artefacts).
+The static safety analyzer lives in :mod:`repro.analysis.static`; its
+entry point and report type are re-exported here.
 """
 
 from ..core.complexity import (
@@ -12,6 +14,7 @@ from ..core.complexity import (
 )
 from .dot import magic_graph_to_dot, query_graph_to_dot
 from .runner import ALL_METHODS, Measurement, measure, run_method, sweep
+from .static import SafetyCertificate, StaticReport, run_static_analysis
 from .sweeps import CostSeries, cost_series, find_crossover
 from .tables import render_ratio_sweep, render_table
 
@@ -19,6 +22,9 @@ __all__ = [
     "ALL_METHODS",
     "CostSeries",
     "GraphStatistics",
+    "SafetyCertificate",
+    "StaticReport",
+    "run_static_analysis",
     "cost_series",
     "find_crossover",
     "Measurement",

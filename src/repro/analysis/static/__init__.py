@@ -1,0 +1,74 @@
+"""Static safety analysis: certify before you solve.
+
+A multi-pass static-analysis framework over Datalog programs.  One call
+runs the whole pipeline::
+
+    from repro.analysis.static import run_static_analysis
+
+    report = run_static_analysis(program, database)
+    report.certificate.verdict      # "safe" | "unsafe" | "unknown"
+    report.diagnostics              # lint + safety + rewrite findings
+    report.to_sarif()               # SARIF 2.1.0 for CI ingestion
+
+The passes share one lazily-derived :class:`ProgramFacts` (dependency
+graph + SCC condensation, adornment dataflow, materialized CSL query,
+magic-graph classification).  The headline passes certify counting-
+safety (SCC analysis of the ``L`` graph — no fixpoint ever runs),
+verify the magic-counting rewrites against the paper's Theorem 1/2
+partition conditions, and report per-goal method admissibility.  The
+classic :mod:`repro.datalog.lint` checks run as the first six passes.
+"""
+
+from .admissibility import MethodVerdict, method_admissibility, recommended
+from .facts import ProgramFacts
+from .framework import (
+    AnalysisPass,
+    StaticReport,
+    analyze_query,
+    register_pass,
+    registered_passes,
+    run_static_analysis,
+)
+from .rewrite_check import (
+    expected_reduced_sets,
+    lint_rewrite_outputs,
+    verify_partition_conditions,
+    verify_rewrites,
+)
+from .safety import (
+    SafetyCertificate,
+    Verdict,
+    certify_counting_safety,
+    certify_program,
+    certify_relation,
+    certify_source,
+    find_l_cycle,
+)
+from .sarif import SARIF_SCHEMA_URI, SARIF_VERSION, report_to_sarif
+
+__all__ = [
+    "AnalysisPass",
+    "MethodVerdict",
+    "ProgramFacts",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "SafetyCertificate",
+    "StaticReport",
+    "Verdict",
+    "analyze_query",
+    "certify_counting_safety",
+    "certify_program",
+    "certify_relation",
+    "certify_source",
+    "expected_reduced_sets",
+    "find_l_cycle",
+    "lint_rewrite_outputs",
+    "method_admissibility",
+    "recommended",
+    "register_pass",
+    "registered_passes",
+    "report_to_sarif",
+    "run_static_analysis",
+    "verify_partition_conditions",
+    "verify_rewrites",
+]

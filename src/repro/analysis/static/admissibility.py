@@ -1,0 +1,95 @@
+"""Method-admissibility advisory: which methods may run on this goal.
+
+Couples the counting-safety certificate with the paper's termination
+results to report, per goal, which of the twelve evaluation methods
+(counting, extended counting, magic set, Henschen-Naqvi, and the eight
+magic counting methods) are statically admissible:
+
+* the pure **counting** method and **Henschen-Naqvi** terminate exactly
+  when the certified magic graph is acyclic — their admissibility *is*
+  the certificate's verdict;
+* **extended counting** truncates at ``n_L × n_R`` levels and the
+  **magic set** method saturates a finite set — both always admissible;
+* all eight **magic counting** methods are safe on every input
+  (Proposition 3: every Step-1 fixpoint terminates by construction).
+
+``recommended()`` exposes the selection policy of
+:func:`~repro.core.methods.recommended_plan` so the advisory names the
+method the adaptive solver would actually pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...core.classification import Classification
+from ...core.methods import all_method_coordinates, method_name, recommended_plan
+from .safety import SafetyCertificate, Verdict
+
+
+@dataclass(frozen=True)
+class MethodVerdict:
+    """Admissibility of one method for one goal.
+
+    ``admissible`` is three-valued: True / False / None (unknown — the
+    certificate could not decide the graph class).
+    """
+
+    method: str
+    admissible: Optional[bool]
+    reason: str
+
+    def describe(self) -> str:
+        state = {True: "yes", False: "no", None: "unknown"}[self.admissible]
+        return f"{self.method}: {state} ({self.reason})"
+
+
+def _cycle_dependent(certificate: SafetyCertificate, method: str, why: str):
+    if certificate.verdict == Verdict.SAFE:
+        return MethodVerdict(method, True, "certified acyclic magic graph")
+    if certificate.verdict == Verdict.UNSAFE:
+        return MethodVerdict(method, False, why)
+    return MethodVerdict(method, None, certificate.reason)
+
+
+def method_admissibility(
+    certificate: SafetyCertificate,
+) -> List[MethodVerdict]:
+    """Admissibility of every method under ``certificate``."""
+    verdicts = [
+        _cycle_dependent(
+            certificate, "counting",
+            "diverges on the certified cyclic magic graph",
+        ),
+        MethodVerdict(
+            "extended_counting", True,
+            "truncated at n_L x n_R levels; terminates on every input",
+        ),
+        MethodVerdict(
+            "magic_set", True,
+            "saturates a finite magic set; terminates on every input",
+        ),
+        _cycle_dependent(
+            certificate, "henschen_naqvi",
+            "enumerates unboundedly many L-paths on a cyclic magic graph",
+        ),
+    ]
+    for strategy, mode in all_method_coordinates():
+        verdicts.append(
+            MethodVerdict(
+                method_name(strategy, mode), True,
+                "safe on every input (Proposition 3)",
+            )
+        )
+    return verdicts
+
+
+def recommended(
+    classification: Optional[Classification],
+    certificate: SafetyCertificate,
+) -> Optional[str]:
+    """The method the adaptive policy would select, when decidable."""
+    if classification is None:
+        return "magic_set" if certificate.verdict == Verdict.UNKNOWN else None
+    return recommended_plan(classification)[0]

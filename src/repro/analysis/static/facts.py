@@ -1,0 +1,190 @@
+"""Shared program facts: computed once, read by every analysis pass.
+
+A :class:`ProgramFacts` lazily derives and memoizes the artifacts most
+passes need — the predicate dependency graph and its SCC condensation,
+the goal's dependency cone, the adornment dataflow from the goal, the
+materialized CSL query (when a database is available) and its magic-
+graph classification, and the counting-safety certificate.  Passes draw
+from this object instead of recomputing, so running ten passes costs
+one dependency-graph build, one adornment worklist, one SCC pass.
+
+Every derivation is failure-tolerant: a program outside the CSL class,
+without a goal, or without a database simply yields ``None`` plus a
+recorded reason, and the passes that need the missing artifact degrade
+to informational diagnostics instead of crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...core.classification import Classification, classify_nodes
+from ...core.csl import CSLQuery
+from ...datalog.adornment import AdornedProgram, adorn_program
+from ...datalog.database import Database
+from ...datalog.lint import goal_cone
+from ...datalog.program import Program
+from ...datalog.stratify import strongly_connected_components
+from ...errors import NotCSLError, ReproError
+from .safety import SafetyCertificate, certify_counting_safety, certify_program
+
+_UNSET = object()
+
+
+class ProgramFacts:
+    """Lazy, shared derivation cache for one (program, database) pair."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        csl: Optional[CSLQuery] = None,
+    ):
+        """``csl`` pre-seeds the materialized query when the caller has
+        already paid for recognition (the serving layer's compile path),
+        so analysis never materializes ``L``/``E``/``R`` twice."""
+        self.program = program
+        self.database = database
+        self._memo: Dict[str, object] = {}
+        if csl is not None:
+            self._memo["csl"] = csl
+
+    def _cached(self, key: str, compute):
+        value = self._memo.get(key, _UNSET)
+        if value is _UNSET:
+            value = compute()
+            self._memo[key] = value
+        return value
+
+    # --- dependency structure -----------------------------------------
+
+    @property
+    def goal(self):
+        return self.program.query
+
+    def dependency_graph(self) -> Dict[str, Set[str]]:
+        return self._cached("depgraph", self.program.dependency_graph)
+
+    def condensation(self) -> List[List[str]]:
+        """SCCs of the predicate dependency graph, reverse-topological.
+
+        Singleton components without a self-edge are non-recursive;
+        everything else is a (mutual) recursion cluster.
+        """
+
+        def compute():
+            graph = self.dependency_graph()
+            nodes = sorted(
+                set(graph)
+                | {dep for deps in graph.values() for dep in deps}
+            )
+            successors = {
+                node: set(graph.get(node, ())) for node in nodes
+            }
+            return strongly_connected_components(nodes, successors)
+
+        return self._cached("condensation", compute)
+
+    def recursive_components(self) -> List[List[str]]:
+        """The recursion clusters of :meth:`condensation` only."""
+
+        def compute():
+            graph = self.dependency_graph()
+            clusters = []
+            for component in self.condensation():
+                if len(component) > 1 or component[0] in graph.get(
+                    component[0], ()
+                ):
+                    clusters.append(component)
+            return clusters
+
+        return self._cached("recursive", compute)
+
+    def goal_cone(self) -> Optional[Set[str]]:
+        return self._cached("cone", lambda: goal_cone(self.program))
+
+    # --- adornment dataflow -------------------------------------------
+
+    def adorned(self) -> Optional[AdornedProgram]:
+        """The goal-driven adorned program, or None (reason recorded)."""
+
+        def compute():
+            if self.goal is None:
+                self._memo["adornment_error"] = "no query goal"
+                return None
+            try:
+                return adorn_program(self.program, self.goal)
+            except ReproError as error:
+                self._memo["adornment_error"] = str(error)
+                return None
+
+        return self._cached("adorned", compute)
+
+    @property
+    def adornment_error(self) -> Optional[str]:
+        self.adorned()
+        return self._memo.get("adornment_error")
+
+    def call_patterns(self) -> List[Tuple[str, str]]:
+        """All reachable (predicate, adornment) call patterns."""
+        adorned = self.adorned()
+        return adorned.call_patterns() if adorned is not None else []
+
+    # --- CSL shape and the magic graph --------------------------------
+
+    def csl_query(self) -> Optional[CSLQuery]:
+        """The materialized CSL query, or None (reason recorded).
+
+        Materialization needs a database (derived ``L``/``E``/``R``
+        parts are evaluated over its facts); absent one, or outside the
+        CSL class, this records why and returns None.
+        """
+
+        def compute():
+            if self.goal is None:
+                self._memo["not_csl_reason"] = "no query goal"
+                return None
+            if not any(term.is_constant for term in self.goal.terms):
+                self._memo["not_csl_reason"] = (
+                    "the query goal binds no constant"
+                )
+                return None
+            if self.database is None:
+                self._memo["not_csl_reason"] = (
+                    "no database supplied; cannot materialize L/E/R"
+                )
+                return None
+            try:
+                return CSLQuery.from_program(
+                    self.program, database=self.database
+                )
+            except NotCSLError as error:
+                self._memo["not_csl_reason"] = str(error)
+                return None
+
+        return self._cached("csl", compute)
+
+    @property
+    def not_csl_reason(self) -> Optional[str]:
+        self.csl_query()
+        return self._memo.get("not_csl_reason")
+
+    def classification(self) -> Optional[Classification]:
+        """Magic-graph classification from the goal's own source."""
+
+        def compute():
+            query = self.csl_query()
+            return None if query is None else classify_nodes(query)
+
+        return self._cached("classification", compute)
+
+    def safety_certificate(self) -> SafetyCertificate:
+        """The counting-safety certificate for this program's goal."""
+
+        def compute():
+            query = self.csl_query()
+            if query is not None:
+                return certify_counting_safety(query)
+            return certify_program(self.program, self.database)
+
+        return self._cached("certificate", compute)

@@ -1,0 +1,321 @@
+"""The multi-pass static-analysis framework: registry, report, runner.
+
+An :class:`AnalysisPass` is a named function from shared
+:class:`~repro.analysis.static.facts.ProgramFacts` to diagnostics; the
+module-level registry holds the default pipeline in execution order.
+:func:`run_static_analysis` drives every registered pass (or a caller-
+selected subset) and folds the results — diagnostics plus the
+structured artifacts (safety certificate, classification, method
+advisory) — into one :class:`StaticReport` that the serving layer can
+attach to a compiled plan and the CLI can render as text, JSON, or
+SARIF.
+
+The classic :mod:`repro.datalog.lint` checks are absorbed here as the
+first six passes; ``lint_program`` itself remains the standalone
+composition for callers that want only the classic diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ...core.csl import CSLQuery
+from ...datalog import lint as lint_checks
+from ...datalog.database import Database
+from ...datalog.lint import LEVELS, Diagnostic, sort_diagnostics
+from ...datalog.program import Program
+from .admissibility import MethodVerdict, method_admissibility, recommended
+from .facts import ProgramFacts
+from .rewrite_check import verify_rewrites
+from .safety import SafetyCertificate, Verdict, certify_counting_safety
+
+PassFunction = Callable[[ProgramFacts], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered pass: a name, a description, and its function."""
+
+    name: str
+    description: str
+    run: PassFunction
+
+
+_REGISTRY: Dict[str, AnalysisPass] = {}
+
+
+def register_pass(name: str, description: str):
+    """Decorator: add a pass to the default pipeline, in call order."""
+
+    def decorate(function: PassFunction) -> PassFunction:
+        _REGISTRY[name] = AnalysisPass(name, description, function)
+        return function
+
+    return decorate
+
+
+def registered_passes() -> List[AnalysisPass]:
+    """The default pipeline, in registration (execution) order."""
+    return list(_REGISTRY.values())
+
+
+# --- the classic lint checks, absorbed as passes -----------------------
+
+
+@register_pass("rule-safety", "range restriction on every rule")
+def _pass_rule_safety(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_rule_safety(facts.program)
+
+
+@register_pass("stratification", "no recursion through negation")
+def _pass_stratification(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_stratification(facts.program)
+
+
+@register_pass("undefined", "body predicates with no rules and no facts")
+def _pass_undefined(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_undefined(facts.program, facts.database)
+
+
+@register_pass("unused", "IDB predicates never referenced (any polarity)")
+def _pass_unused(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_unused(facts.program)
+
+
+@register_pass("unreachable", "rules outside the goal's dependency cone")
+def _pass_unreachable(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_unreachable(facts.program)
+
+
+@register_pass("singletons", "single-occurrence variables (underscore-exempt)")
+def _pass_singletons(facts: ProgramFacts) -> List[Diagnostic]:
+    return lint_checks.check_singletons(facts.program)
+
+
+# --- binding and shape passes ------------------------------------------
+
+
+@register_pass("goal-binding", "adornment dataflow from the query goal")
+def _pass_goal_binding(facts: ProgramFacts) -> List[Diagnostic]:
+    goal = facts.goal
+    if goal is None:
+        return []
+    if not any(term.is_constant for term in goal.terms):
+        return [
+            Diagnostic(
+                "warning",
+                "free-goal",
+                f"query goal {goal} binds no constant: no binding "
+                "propagation is possible and every optimized method "
+                "degenerates to full evaluation",
+            )
+        ]
+    return []
+
+
+@register_pass("csl-shape", "membership in the CSL class")
+def _pass_csl_shape(facts: ProgramFacts) -> List[Diagnostic]:
+    if facts.goal is None:
+        return []
+    if facts.csl_query() is None and facts.not_csl_reason is not None:
+        return [
+            Diagnostic(
+                "info",
+                "not-csl",
+                f"the program is not a recognized canonical strongly "
+                f"linear query ({facts.not_csl_reason}); the counting "
+                "and magic-counting analyses do not apply",
+            )
+        ]
+    return []
+
+
+# --- the headline passes -----------------------------------------------
+
+
+@register_pass("counting-safety", "certify counting termination (SCC, no fixpoint)")
+def _pass_counting_safety(facts: ProgramFacts) -> List[Diagnostic]:
+    if facts.goal is None:
+        return []
+    certificate = facts.safety_certificate()
+    if certificate.verdict == Verdict.UNSAFE:
+        return [
+            Diagnostic("warning", "counting-unsafe", certificate.describe())
+        ]
+    if (
+        certificate.verdict == Verdict.UNKNOWN
+        and facts.not_csl_reason is None
+    ):
+        # Outside the CSL class the csl-shape pass already explains
+        # why; only report residual unknowns (no database, free goal).
+        return [
+            Diagnostic("info", "counting-unknown", certificate.describe())
+        ]
+    return []
+
+
+@register_pass("rewrite-verification", "Theorem 1/2 partition conditions "
+               "and structural rewrite linting")
+def _pass_rewrite_verification(facts: ProgramFacts) -> List[Diagnostic]:
+    classification = facts.classification()
+    query = facts.csl_query()
+    return verify_rewrites(
+        facts.program,
+        classification,
+        query.source if query is not None else None,
+    )
+
+
+# --- the report --------------------------------------------------------
+
+
+@dataclass
+class StaticReport:
+    """Everything the analyzer learned about one program or query."""
+
+    goal: Optional[str]
+    diagnostics: List[Diagnostic]
+    passes_run: List[str]
+    certificate: Optional[SafetyCertificate] = None
+    graph_class: Optional[str] = None
+    admissibility: List[MethodVerdict] = field(default_factory=list)
+    recommended_method: Optional[str] = None
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.level == "error" for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {level: 0 for level in LEVELS}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.level] += 1
+        return tally
+
+    def exceeds(self, fail_on: str) -> bool:
+        """True when any diagnostic is at or above ``fail_on`` severity."""
+        threshold = LEVELS.index(fail_on)
+        return any(
+            LEVELS.index(d.level) <= threshold for d in self.diagnostics
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-dict rendering (the CLI's ``--format json``)."""
+        return {
+            "goal": self.goal,
+            "passes": list(self.passes_run),
+            "counts": self.counts(),
+            "diagnostics": [
+                {
+                    "level": d.level,
+                    "code": d.code,
+                    "message": d.message,
+                    "rule": None if d.rule is None else str(d.rule),
+                }
+                for d in self.diagnostics
+            ],
+            "counting_safety": None
+            if self.certificate is None
+            else {
+                "verdict": self.certificate.verdict,
+                "reason": self.certificate.reason,
+                "source": None
+                if self.certificate.source is None
+                else repr(self.certificate.source),
+                "cycle": None
+                if self.certificate.cycle is None
+                else [repr(node) for node in self.certificate.cycle],
+                "checked_nodes": self.certificate.checked_nodes,
+            },
+            "graph_class": self.graph_class,
+            "admissible_methods": [
+                {
+                    "method": verdict.method,
+                    "admissible": verdict.admissible,
+                    "reason": verdict.reason,
+                }
+                for verdict in self.admissibility
+            ],
+            "recommended_method": self.recommended_method,
+        }
+
+    def to_sarif(self, artifact_uri: Optional[str] = None) -> Dict[str, object]:
+        from .sarif import report_to_sarif
+
+        return report_to_sarif(self, artifact_uri=artifact_uri)
+
+
+def run_static_analysis(
+    program: Program,
+    database: Optional[Database] = None,
+    passes: Optional[Iterable[str]] = None,
+    csl_query: Optional[CSLQuery] = None,
+) -> StaticReport:
+    """Run the (selected) pipeline over ``program`` and fold a report.
+
+    ``passes`` restricts the pipeline to the named subset, preserving
+    registration order; unknown names raise ``KeyError`` so typos fail
+    loudly rather than silently skipping a check.  ``csl_query``
+    pre-seeds the materialized query when the caller already holds it.
+    """
+    facts = ProgramFacts(program, database, csl=csl_query)
+    if passes is None:
+        selected = registered_passes()
+    else:
+        wanted = set(passes)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(
+                f"unknown analysis pass(es): {sorted(unknown)}; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        selected = [p for p in registered_passes() if p.name in wanted]
+    diagnostics: List[Diagnostic] = []
+    for analysis_pass in selected:
+        diagnostics.extend(analysis_pass.run(facts))
+    classification = facts.classification()
+    certificate = (
+        facts.safety_certificate() if facts.goal is not None else None
+    )
+    return StaticReport(
+        goal=None if facts.goal is None else str(facts.goal),
+        diagnostics=sort_diagnostics(diagnostics),
+        passes_run=[p.name for p in selected],
+        certificate=certificate,
+        graph_class=None
+        if classification is None
+        else classification.graph_class.value,
+        admissibility=[]
+        if certificate is None
+        else method_admissibility(certificate),
+        recommended_method=None
+        if certificate is None
+        else recommended(classification, certificate),
+    )
+
+
+def analyze_query(query: CSLQuery) -> StaticReport:
+    """A report for an already-materialized CSL query.
+
+    Used by the serving layer when a plan is compiled directly from a
+    :class:`CSLQuery` (no Datalog source to lint): only the graph-level
+    passes — safety certification and method admissibility — apply.
+    """
+    from ...core.classification import classify_nodes
+
+    certificate = certify_counting_safety(query)
+    classification = classify_nodes(query)
+    diagnostics: List[Diagnostic] = []
+    if certificate.verdict == Verdict.UNSAFE:
+        diagnostics.append(
+            Diagnostic("warning", "counting-unsafe", certificate.describe())
+        )
+    return StaticReport(
+        goal=f"p({query.source!r}, Y)?",
+        diagnostics=diagnostics,
+        passes_run=["counting-safety"],
+        certificate=certificate,
+        graph_class=classification.graph_class.value,
+        admissibility=method_admissibility(certificate),
+        recommended_method=recommended(classification, certificate),
+    )

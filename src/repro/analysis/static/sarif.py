@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 rendering of a :class:`StaticReport`.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+the lingua franca CI systems ingest for static-analysis findings; the
+``lint --format sarif`` CLI path emits one ``sarifLog`` with a single
+run.  Level mapping follows the SARIF ``result.level`` enumeration:
+``error`` -> ``error``, ``warning`` -> ``warning``, ``info`` ->
+``note``.  Datalog rules carry no file/line provenance (programs are
+parsed from whole files or strings), so each result anchors to a
+*logical* location — the offending rule's text — plus, when the CLI
+knows it, the program file as an ``artifactLocation``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL_MAP = {"error": "error", "warning": "warning", "info": "note"}
+
+# Rule metadata: every diagnostic code the pipeline can emit.
+RULE_METADATA: Dict[str, str] = {
+    "unsafe": "A rule violates range restriction.",
+    "unstrat": "The program recurses through negation.",
+    "undefined": "A body predicate has no rules and no facts.",
+    "unused": "An IDB predicate is defined but never referenced.",
+    "unreachable": "A rule cannot contribute to the query goal.",
+    "singleton": "A variable occurs exactly once in a rule.",
+    "free-goal": "The query goal binds no constant.",
+    "not-csl": "The program is outside the CSL class.",
+    "counting-unsafe": (
+        "The magic graph reachable from the bound source is cyclic; "
+        "the counting method would diverge."
+    ),
+    "counting-unknown": (
+        "Counting safety could not be statically decided."
+    ),
+    "rewrite-partition": (
+        "A Step-1 partition strategy violates the Theorem 1/2 "
+        "correctness conditions."
+    ),
+    "rewrite-unsafe": "A rewrite emitted an unsafe rule.",
+    "rewrite-unstrat": "A rewrite emitted an unstratifiable program.",
+}
+
+
+def _rule_descriptors(codes: List[str]) -> List[Dict[str, object]]:
+    return [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": RULE_METADATA.get(code, code)
+            },
+        }
+        for code in codes
+    ]
+
+
+def report_to_sarif(
+    report, artifact_uri: Optional[str] = None
+) -> Dict[str, object]:
+    """One SARIF 2.1.0 ``sarifLog`` document for ``report``."""
+    codes = sorted({d.code for d in report.diagnostics})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = []
+    for diagnostic in report.diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": diagnostic.code,
+            "ruleIndex": rule_index[diagnostic.code],
+            "level": _LEVEL_MAP[diagnostic.level],
+            "message": {"text": diagnostic.message},
+        }
+        location: Dict[str, object] = {}
+        if diagnostic.rule is not None:
+            location["logicalLocations"] = [
+                {
+                    "fullyQualifiedName": str(diagnostic.rule),
+                    "kind": "declaration",
+                }
+            ]
+        if artifact_uri is not None:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": artifact_uri}
+            }
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "repro-static-analyzer",
+                "informationUri": (
+                    "https://dl.acm.org/doi/10.1145/38713.38725"
+                ),
+                "version": "1.0.0",
+                "rules": _rule_descriptors(codes),
+            }
+        },
+        "results": results,
+    }
+    properties: Dict[str, object] = {}
+    if report.certificate is not None:
+        properties["countingSafety"] = report.certificate.verdict
+        properties["countingSafetyReason"] = report.certificate.reason
+    if report.graph_class is not None:
+        properties["magicGraphClass"] = report.graph_class
+    if report.recommended_method is not None:
+        properties["recommendedMethod"] = report.recommended_method
+    if properties:
+        run["properties"] = properties
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

@@ -170,6 +170,19 @@ def cmd_analyze(args) -> int:
     for method, predicted in all_method_predictions(stats).items():
         cell = "unsafe" if predicted is None else str(predicted)
         print(f"  {method:26s} {cell}")
+    from .analysis.static import (
+        certify_counting_safety,
+        method_admissibility,
+        recommended,
+    )
+
+    certificate = certify_counting_safety(query)
+    print()
+    print(f"counting safety: {certificate.verdict} ({certificate.reason})")
+    print("statically admissible methods:")
+    for verdict in method_admissibility(certificate):
+        print(f"  {verdict.describe()}")
+    print(f"recommended method: {recommended(classification, certificate)}")
     if args.dot:
         from .analysis.dot import query_graph_to_dot
 
@@ -264,18 +277,37 @@ def cmd_report(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .datalog.lint import lint_program
+    import json
+
+    from .analysis.static import run_static_analysis
 
     program, database = _load(args.program, args.facts)
-    diagnostics = lint_program(program, database)
-    for diagnostic in diagnostics:
-        print(diagnostic)
-    errors = sum(1 for d in diagnostics if d.level == "error")
+    report = run_static_analysis(program, database)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(
+            json.dumps(
+                report.to_sarif(artifact_uri=args.program),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic)
+    counts = report.counts()
     print(
-        f"-- {len(diagnostics)} finding(s), {errors} error(s)",
+        f"-- {len(report.diagnostics)} finding(s), "
+        f"{counts['error']} error(s)",
         file=sys.stderr,
     )
-    return 1 if errors else 0
+    if report.certificate is not None:
+        print(
+            f"-- counting safety: {report.certificate.verdict}",
+            file=sys.stderr,
+        )
+    return 1 if report.exceeds(args.fail_on) else 0
 
 
 def cmd_explain(args) -> int:
@@ -377,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static diagnostics for a program"
     )
     add_common(sub_lint)
+    sub_lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format (sarif emits a SARIF 2.1.0 log for CI)",
+    )
+    sub_lint.add_argument(
+        "--fail-on", dest="fail_on", default="error",
+        choices=["error", "warning"],
+        help="lowest severity that forces a non-zero exit code",
+    )
     sub_lint.set_defaults(handler=cmd_lint)
 
     sub_repl = subparsers.add_parser(

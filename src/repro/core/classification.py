@@ -66,6 +66,12 @@ class Classification:
         return bool(self.recurring)
 
     @property
+    def counting_safe(self) -> bool:
+        """True when the pure counting method terminates on this graph
+        (no recurring node — equivalently, no reachable L-cycle)."""
+        return not self.recurring
+
+    @property
     def graph_class(self) -> MagicGraphClass:
         if self.recurring:
             return MagicGraphClass.CYCLIC

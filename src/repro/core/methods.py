@@ -98,3 +98,35 @@ def all_method_coordinates():
         )
         for mode in (Mode.INDEPENDENT, Mode.INTEGRATED)
     ]
+
+
+def recommended_plan(classification):
+    """The selection policy, by magic-graph regime.
+
+    Returns ``(method_name, strategy, mode, scc_step1)``; ``strategy``
+    and ``mode`` are None for the pure counting method.  This is the
+    single source of truth shared by :func:`repro.core.solver.
+    adaptive_solve` and the static method-admissibility advisory:
+
+    * **regular** — the pure counting method (unbeatable there);
+    * **acyclic non-regular** — the integrated multiple method (best
+      measured all-rounder without the recurring Step-1 overhead,
+      which buys nothing when no node is recurring);
+    * **cyclic** — the integrated recurring method with the
+      linear-time SCC Step 1.
+    """
+    if classification.is_regular:
+        return ("counting", None, None, False)
+    if not classification.is_cyclic:
+        return (
+            method_name(Strategy.MULTIPLE, Mode.INTEGRATED),
+            Strategy.MULTIPLE,
+            Mode.INTEGRATED,
+            False,
+        )
+    return (
+        method_name(Strategy.RECURRING, Mode.INTEGRATED, scc_step1=True),
+        Strategy.RECURRING,
+        Mode.INTEGRATED,
+        True,
+    )

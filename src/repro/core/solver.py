@@ -98,27 +98,20 @@ def adaptive_solve(query: CSLQuery, counter=None) -> AnswerResult:
     """Pick the method by a cheap pre-classification of the magic graph.
 
     One linear SCC pass (uncharged — it is compile-time analysis)
-    decides the regime, then:
-
-    * **regular** — the pure counting method (unbeatable there);
-    * **acyclic non-regular** — the integrated multiple method (best
-      measured all-rounder without the recurring Step-1 overhead, which
-      buys nothing when no node is recurring);
-    * **cyclic** — the integrated recurring method with the linear-time
-      SCC Step 1.
+    decides the regime; the regime-to-method mapping is
+    :func:`repro.core.methods.recommended_plan`, shared with the static
+    method-admissibility advisory so the analyzer's recommendation and
+    the solver's behaviour can never drift apart.
     """
     from .classification import classify_nodes
+    from .methods import recommended_plan
 
     classification = classify_nodes(query)
-    if classification.is_regular:
+    name, strategy, mode, scc_step1 = recommended_plan(classification)
+    if name == "counting":
         return counting_method(query, counter=counter)
-    if not classification.is_cyclic:
-        return magic_counting(
-            query, Strategy.MULTIPLE, Mode.INTEGRATED, counter=counter
-        )
     return magic_counting(
-        query, Strategy.RECURRING, Mode.INTEGRATED, counter=counter,
-        scc_step1=True,
+        query, strategy, mode, counter=counter, scc_step1=scc_step1
     )
 
 

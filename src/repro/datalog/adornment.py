@@ -88,6 +88,25 @@ class AdornedProgram:
         self.adorned_rules = adorned_rules
         self.idb = idb
 
+    def call_patterns(self) -> List[Tuple[str, Adornment]]:
+        """Every reachable IDB call pattern, sorted.
+
+        The pairs ``(predicate, adornment)`` the worklist closure
+        visited: the goal's own pattern, each adorned rule head, and
+        each adorned body occurrence.  This is the binding-propagation
+        summary the static analyzer reports per goal.
+        """
+        patterns: Set[Tuple[str, Adornment]] = set()
+        if self.goal.predicate in self.idb:
+            patterns.add((self.goal.predicate, self.goal_adornment))
+        for adorned in self.adorned_rules:
+            patterns.add(
+                (adorned.rule.head.predicate, adorned.head_adornment)
+            )
+            for index, adornment in adorned.literal_adornments.items():
+                patterns.add((adorned.rule.body[index].predicate, adornment))
+        return sorted(patterns)
+
 
 def _bound_variables_of_head(rule: Rule, adornment: Adornment) -> Set[Variable]:
     bound: Set[Variable] = set()

@@ -17,6 +17,19 @@ code         level    meaning
 ``singleton`` info    a variable occurring exactly once in a rule —
                       legal, but the classic typo smell
 ===========  =======  ====================================================
+
+Each check is exposed as its own ``check_*`` function returning a list of
+diagnostics, so the multi-pass analyzer in :mod:`repro.analysis.static`
+can run them individually (with shared program facts) while
+:func:`lint_program` remains the standalone composition of all six.
+
+Two deliberate behaviours, pinned by tests:
+
+* a predicate referenced *only* through negated body literals counts as
+  used — negation is a real dependency, not dead code
+  (:func:`check_unused` scans every literal polarity);
+* variables following the anonymous/underscore convention (``_``,
+  ``_X``) are intentionally single-use and never flagged as singletons.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..errors import SafetyError, StratificationError
-from .atom import BuiltinAtom
+from .atom import BuiltinAtom, Literal
 from .database import Database
 from .program import Program
 from .rule import Rule
@@ -63,8 +76,8 @@ def _singleton_variables(rule: Rule) -> List[Variable]:
     )
 
 
-def _goal_cone(program: Program) -> Optional[Set[str]]:
-    """Predicates the query goal transitively depends on."""
+def goal_cone(program: Program) -> Optional[Set[str]]:
+    """Predicates the query goal transitively depends on (None: no goal)."""
     if program.query is None:
         return None
     graph = program.dependency_graph()
@@ -79,27 +92,52 @@ def _goal_cone(program: Program) -> Optional[Set[str]]:
     return cone
 
 
-def lint_program(
-    program: Program, database: Optional[Database] = None
-) -> List[Diagnostic]:
-    """Run every check; returns diagnostics sorted errors-first."""
-    diagnostics: List[Diagnostic] = []
-    idb = program.idb_predicates()
+def referenced_predicates(program: Program) -> Set[str]:
+    """Every predicate referenced by a body literal — **both** polarities
+    — or by the query goal.
 
-    # Safety, per rule.
+    Negated literals are real dependencies (the stratified engine reads
+    the complement of the relation), so a predicate used only under
+    ``not`` must not be reported as unused.
+    """
+    referenced: Set[str] = set()
+    for rule in program.rules:
+        for element in rule.body:
+            if isinstance(element, Literal):
+                referenced.add(element.predicate)
+    if program.query is not None:
+        referenced.add(program.query.predicate)
+    return referenced
+
+
+# --- individual checks -----------------------------------------------------
+
+
+def check_rule_safety(program: Program) -> List[Diagnostic]:
+    """``unsafe``: range-restriction violations, one finding per rule."""
+    diagnostics: List[Diagnostic] = []
     for rule in program.rules:
         try:
             rule.check_safety()
         except SafetyError as error:
             diagnostics.append(Diagnostic("error", "unsafe", str(error), rule))
+    return diagnostics
 
-    # Stratifiability, whole program.
+
+def check_stratification(program: Program) -> List[Diagnostic]:
+    """``unstrat``: recursion through negation, whole program."""
     try:
         stratify(program)
     except StratificationError as error:
-        diagnostics.append(Diagnostic("error", "unstrat", str(error)))
+        return [Diagnostic("error", "unstrat", str(error))]
+    return []
 
-    # Undefined body predicates.
+
+def check_undefined(
+    program: Program, database: Optional[Database] = None
+) -> List[Diagnostic]:
+    """``undefined``: body predicates with no rules and no facts."""
+    diagnostics: List[Diagnostic] = []
     for predicate in sorted(program.edb_predicates()):
         if database is not None and database.has_relation(predicate):
             continue
@@ -113,36 +151,50 @@ def lint_program(
                 + ("" if database is None else " and no facts"),
             )
         )
+    return diagnostics
 
-    # Unused IDB predicates.
-    referenced: Set[str] = set()
-    for rule in program.rules:
-        referenced.update(rule.body_predicates())
-    if program.query is not None:
-        referenced.add(program.query.predicate)
-    for predicate in sorted(idb - referenced):
-        diagnostics.append(
-            Diagnostic(
-                "warning", "unused",
-                f"predicate {predicate!r} is defined but never used",
-            )
+
+def check_unused(program: Program) -> List[Diagnostic]:
+    """``unused``: IDB predicates never referenced anywhere.
+
+    A reference through a negated literal (or any literal polarity)
+    counts as a use; only predicates with *zero* references outside
+    their own definitions are flagged.
+    """
+    referenced = referenced_predicates(program)
+    return [
+        Diagnostic(
+            "warning", "unused",
+            f"predicate {predicate!r} is defined but never used",
         )
+        for predicate in sorted(program.idb_predicates() - referenced)
+    ]
 
-    # Rules outside the goal's dependency cone.
-    cone = _goal_cone(program)
-    if cone is not None:
-        for rule in program.rules:
-            if rule.head.predicate not in cone:
-                diagnostics.append(
-                    Diagnostic(
-                        "warning", "unreachable",
-                        f"rule for {rule.head.predicate!r} cannot contribute "
-                        "to the query goal",
-                        rule,
-                    )
-                )
 
-    # Singleton variables.
+def check_unreachable(program: Program) -> List[Diagnostic]:
+    """``unreachable``: rules outside the goal's dependency cone."""
+    cone = goal_cone(program)
+    if cone is None:
+        return []
+    return [
+        Diagnostic(
+            "warning", "unreachable",
+            f"rule for {rule.head.predicate!r} cannot contribute "
+            "to the query goal",
+            rule,
+        )
+        for rule in program.rules
+        if rule.head.predicate not in cone
+    ]
+
+
+def check_singletons(program: Program) -> List[Diagnostic]:
+    """``singleton``: variables occurring exactly once in a rule.
+
+    Underscore-prefixed names (``_``, ``_X``) follow the anonymous
+    variable convention and are skipped — they announce single use.
+    """
+    diagnostics: List[Diagnostic] = []
     for rule in program.rules:
         for variable in _singleton_variables(rule):
             diagnostics.append(
@@ -153,7 +205,24 @@ def lint_program(
                     rule,
                 )
             )
-
-    order = {level: i for i, level in enumerate(LEVELS)}
-    diagnostics.sort(key=lambda d: (order[d.level], d.code, str(d.rule)))
     return diagnostics
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Errors first, then by code and offending rule (stable, total)."""
+    order = {level: i for i, level in enumerate(LEVELS)}
+    return sorted(diagnostics, key=lambda d: (order[d.level], d.code, str(d.rule)))
+
+
+def lint_program(
+    program: Program, database: Optional[Database] = None
+) -> List[Diagnostic]:
+    """Run every check; returns diagnostics sorted errors-first."""
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(check_rule_safety(program))
+    diagnostics.extend(check_stratification(program))
+    diagnostics.extend(check_undefined(program, database))
+    diagnostics.extend(check_unused(program))
+    diagnostics.extend(check_unreachable(program))
+    diagnostics.extend(check_singletons(program))
+    return sort_diagnostics(diagnostics)

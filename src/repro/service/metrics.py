@@ -61,7 +61,14 @@ class BatchMetrics:
 class ServiceMetrics:
     """Lifetime totals for one :class:`SolverService`."""
 
-    __slots__ = ("batches", "goals", "retrievals", "compiles", "invalidations")
+    __slots__ = (
+        "batches",
+        "goals",
+        "retrievals",
+        "compiles",
+        "invalidations",
+        "fallbacks",
+    )
 
     def __init__(self):
         self.batches = 0
@@ -69,6 +76,7 @@ class ServiceMetrics:
         self.retrievals = 0
         self.compiles = 0
         self.invalidations = 0
+        self.fallbacks = 0
 
     def record_batch(self, goals: int, retrievals: int) -> None:
         self.batches += 1
@@ -82,6 +90,7 @@ class ServiceMetrics:
             "retrievals": self.retrievals,
             "compiles": self.compiles,
             "invalidations": self.invalidations,
+            "fallbacks": self.fallbacks,
         }
 
     def __repr__(self):

@@ -14,7 +14,11 @@ cached half:
   lazy hash indexes persist across batches — the first batch builds
   them, later batches reuse them;
 * memoized per-source magic-graph classifications (uncharged analysis,
-  used for adaptive method selection).
+  used for adaptive method selection);
+* the :class:`~repro.analysis.static.StaticReport` of the program it
+  was compiled from, and per-source counting-safety certificates so the
+  service can refuse (or fall back from) a certifiably divergent
+  counting plan *before* any fixpoint starts.
 
 Plans are immutable with respect to the database state they were
 compiled from; the owning :class:`SolverService` discards them when the
@@ -26,6 +30,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..analysis.static.safety import (
+    SafetyCertificate,
+    certify_relation,
+    certify_source,
+)
 from ..core.classification import Classification, classify_nodes
 from ..core.csl import CSLInstance, CSLQuery, Pair
 from ..datalog.relation import CostCounter, Relation
@@ -50,6 +59,7 @@ class CompiledPlan:
         fingerprint: str,
         database_fp: str = "",
         db_version: int = 0,
+        static_report=None,
     ):
         self.left = frozenset(left)
         self.exit = frozenset(exit_pairs)
@@ -58,6 +68,9 @@ class CompiledPlan:
         self.fingerprint = fingerprint
         self.database_fp = database_fp
         self.db_version = db_version
+        self.static_report = static_report
+        self._relation_certificate: Optional[SafetyCertificate] = None
+        self._source_certificates: Dict[object, SafetyCertificate] = {}
         # Shared relations: indexes built lazily on first use persist
         # for the lifetime of the plan.  The idle counter absorbs
         # charges outside any batch; ``attached`` swaps it out.
@@ -115,6 +128,37 @@ class CompiledPlan:
             self._classifications[source] = cached
         return cached
 
+    # --- static safety -------------------------------------------------
+
+    @property
+    def relation_certificate(self) -> SafetyCertificate:
+        """Whole-relation counting-safety certificate (lazy, cached).
+
+        ``safe`` here means safe from *every* source — one SCC pass
+        certifies the plan for all goals it will ever serve.  A cyclic
+        ``L`` downgrades to ``unknown`` and per-source certification
+        (:meth:`counting_certificate`) decides each goal.
+        """
+        if self._relation_certificate is None:
+            self._relation_certificate = certify_relation(self.left)
+        return self._relation_certificate
+
+    def counting_certificate(self, source) -> SafetyCertificate:
+        """Counting-safety certificate for one bound source (memoized).
+
+        Pure graph analysis over the plan's frozen pair sets — no
+        relation probes, no cost charges, and no fixpoint.
+        """
+        if self.relation_certificate.is_safe:
+            return self.relation_certificate
+        cached = self._source_certificates.get(source)
+        if cached is None:
+            if len(self._source_certificates) >= _CLASSIFICATION_MEMO_LIMIT:
+                self._source_certificates.clear()
+            cached = certify_source(self.left, source)
+            self._source_certificates[source] = cached
+        return cached
+
     # --- reporting ----------------------------------------------------
 
     def describe(self) -> Dict[str, object]:
@@ -126,6 +170,7 @@ class CompiledPlan:
             "e_pairs": len(self.exit),
             "r_pairs": len(self.right),
             "default_source": self.default_source,
+            "counting_safety": self.relation_certificate.verdict,
         }
 
     def __repr__(self):
@@ -145,7 +190,14 @@ def compile_program_plan(
     :meth:`CSLQuery.from_program` — derived ``L``/``E``/``R``
     conjunctions are evaluated here, once, rather than per goal.
     Raises :class:`~repro.errors.NotCSLError` outside the class.
+
+    The compiled plan carries the full static-analysis report of the
+    source program (lint, counting-safety certification, rewrite
+    verification, method admissibility); the already-materialized query
+    is handed to the analyzer so nothing is recognized twice.
     """
+    from ..analysis.static import run_static_analysis
+
     query = CSLQuery.from_program(program, database=database)
     return CompiledPlan(
         query.left,
@@ -155,11 +207,20 @@ def compile_program_plan(
         fingerprint=program_fingerprint(program),
         database_fp=database_fingerprint(database),
         db_version=db_version,
+        static_report=run_static_analysis(
+            program, database, csl_query=query
+        ),
     )
 
 
 def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
-    """Compile a plan directly from a :class:`CSLQuery` instance."""
+    """Compile a plan directly from a :class:`CSLQuery` instance.
+
+    With no Datalog source to lint, the attached report holds the
+    graph-level analyses only (safety certificate, admissibility).
+    """
+    from ..analysis.static import analyze_query
+
     return CompiledPlan(
         query.left,
         query.exit,
@@ -167,4 +228,5 @@ def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
         default_source=query.source,
         fingerprint=pairs_fingerprint(query.left, query.exit, query.right),
         db_version=db_version,
+        static_report=analyze_query(query),
     )

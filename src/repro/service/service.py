@@ -38,7 +38,7 @@ from ..core.multi_source import union_magic_set
 from ..datalog.database import Database
 from ..datalog.program import Program
 from ..datalog.relation import CostCounter
-from ..errors import EvaluationError
+from ..errors import EvaluationError, UnsafeQueryError
 from .cache import PlanCache
 from .fingerprint import database_fingerprint, target_fingerprint
 from .metrics import BatchMetrics, ServiceMetrics
@@ -86,16 +86,27 @@ class SolverService:
         database: Optional[Database] = None,
         plan_cache_size: int = 8,
         verify_database: bool = False,
+        unsafe_fallback: bool = False,
     ):
         """``verify_database`` re-digests the EDB on every cache hit and
         recompiles on mismatch — a paranoia mode for callers that keep a
         handle on the database and may mutate it behind the service's
         back (the version counter only sees mutations routed through
-        the service)."""
+        the service).
+
+        ``unsafe_fallback`` governs what happens when a batch requests
+        the counting method on a goal whose compiled plan is statically
+        certified counting-unsafe (cyclic magic graph): ``False``
+        (default) refuses with :class:`UnsafeQueryError` *before any
+        fixpoint starts*; ``True`` silently serves the batch with the
+        always-safe shared magic-sets plan instead, recording the
+        substitution in ``BatchResult.details['fallback']`` and the
+        ``fallbacks`` service metric."""
         self.database = database if database is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
         self.metrics = ServiceMetrics()
         self.verify_database = verify_database
+        self.unsafe_fallback = unsafe_fallback
         self._db_version = 0
 
     # --- database mutation (every write invalidates cached plans) ------
@@ -188,9 +199,12 @@ class SolverService:
         * ``"shared_magic"`` (default) — one union reachability sweep
           plus one shared ``P_M`` fixpoint for the whole batch; safe on
           every input and the amortized winner for large batches;
-        * ``"counting"`` — an independent counting pass per source
-          (raises :class:`UnsafeQueryError` on cyclic magic graphs);
-          the per-goal winner on small regular batches;
+        * ``"counting"`` — an independent counting pass per source;
+          the per-goal winner on small regular batches.  Goals whose
+          plan is statically certified counting-unsafe (cyclic magic
+          graph) are refused with :class:`UnsafeQueryError` before any
+          fixpoint starts — or served via shared magic instead when the
+          service was built with ``unsafe_fallback=True``;
         * ``"adaptive"`` — counting for a single-goal batch on a
           non-cyclic magic graph, shared magic otherwise.
         """
@@ -213,6 +227,32 @@ class SolverService:
         chosen = method
         if method == "adaptive":
             chosen = self._choose_method(plan, source_list)
+        fallback_details: Dict[str, object] = {}
+        if chosen == "counting":
+            # Static gate: the plan's certificates decide termination
+            # before any fixpoint starts.  The runtime repeated-frontier
+            # check in compute_counting_set stays as defense in depth,
+            # but a certified-unsafe goal never reaches it.
+            unsafe = [
+                source
+                for source in source_list
+                if plan.counting_certificate(source).is_unsafe
+            ]
+            if unsafe:
+                certificate = plan.counting_certificate(unsafe[0])
+                if not self.unsafe_fallback:
+                    raise UnsafeQueryError(
+                        "counting refused by static certification: "
+                        + certificate.describe()
+                    )
+                chosen = "shared_magic"
+                self.metrics.fallbacks += 1
+                fallback_details["fallback"] = {
+                    "from": "counting",
+                    "to": "shared_magic",
+                    "reason": certificate.describe(),
+                    "unsafe_sources": unsafe,
+                }
         counter = CostCounter()
         metrics = BatchMetrics(counter)
         with plan.attached(counter):
@@ -224,6 +264,7 @@ class SolverService:
                 answers, details = _execute_counting(
                     plan, source_list, counter, metrics
                 )
+        details.update(fallback_details)
         self.metrics.record_batch(len(source_list), counter.retrievals)
         return BatchResult(
             answers=answers,

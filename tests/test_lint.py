@@ -50,6 +50,15 @@ class TestWarnings:
         unused = [d for d in diagnostics if d.code == "unused"]
         assert any("orphan" in d.message for d in unused)
 
+    def test_negated_reference_counts_as_use(self):
+        # Regression pin: a predicate referenced only under negation is
+        # still referenced -- `unused` must scan both literal
+        # polarities, not just positive subgoals.
+        diagnostics = lint(
+            "p(X) :- e(X), not blocked(X). blocked(X) :- b(X). ?- p(Y)."
+        )
+        assert "unused" not in codes(diagnostics)
+
     def test_unreachable_rule(self):
         diagnostics = lint(
             "p(X) :- e(X). side(X) :- p(X). ?- p(Y)."
@@ -72,6 +81,16 @@ class TestInfo:
     def test_underscore_silences_singleton(self):
         diagnostics = lint("p(X) :- e(X, _y). ?- p(A).")
         assert "singleton" not in codes(diagnostics)
+
+    def test_underscore_convention_variants(self):
+        # Regression pin: both the bare anonymous `_` and any named
+        # `_Var` spelling opt out of the singleton check, while an
+        # ordinary variable in the same position is still reported.
+        assert "singleton" not in codes(lint("p(X) :- e(X, _). ?- p(A)."))
+        assert "singleton" not in codes(
+            lint("p(X) :- e(X, _IGNORED). ?- p(A).")
+        )
+        assert "singleton" in codes(lint("p(X) :- e(X, Once). ?- p(A)."))
 
     def test_errors_sort_first(self):
         diagnostics = lint("p(X, Y) :- q(X). r(X) :- q(X), s(Z, Z2).")

@@ -1,0 +1,75 @@
+"""Lint gate over the shipped example programs (CI-style check).
+
+Every ``examples/programs/*.dl`` file must pass ``repro lint`` at the
+default ``--fail-on error`` threshold.  This is the same gate a project
+embedding the analyzer would wire into CI, so it doubles as an
+end-to-end exercise of the CLI output formats.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+PROGRAMS = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples" / "programs").glob(
+        "*.dl"
+    )
+)
+
+
+def test_examples_exist():
+    assert len(PROGRAMS) >= 4
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.stem)
+def test_example_passes_error_gate(path, capsys):
+    assert main(["lint", str(path), "--fail-on", "error"]) == 0
+    err = capsys.readouterr().err
+    assert "counting safety:" in err
+
+
+def test_warning_gate_rejects_cyclic_example(capsys):
+    (cyclic,) = [p for p in PROGRAMS if p.stem == "flights_cyclic"]
+    assert main(["lint", str(cyclic), "--fail-on", "warning"]) == 1
+    captured = capsys.readouterr()
+    assert "counting-unsafe" in captured.out
+    assert "counting safety: unsafe" in captured.err
+
+
+def test_warning_gate_accepts_clean_example(capsys):
+    (clean,) = [p for p in PROGRAMS if p.stem == "ancestry_derived"]
+    assert main(["lint", str(clean), "--fail-on", "warning"]) == 0
+    assert "counting safety: safe" in capsys.readouterr().err
+
+
+def test_json_format_round_trips(capsys):
+    (cyclic,) = [p for p in PROGRAMS if p.stem == "flights_cyclic"]
+    main(["lint", str(cyclic), "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    assert document["counting_safety"]["verdict"] == "unsafe"
+    assert document["counting_safety"]["cycle"]
+    assert any(
+        d["code"] == "counting-unsafe" for d in document["diagnostics"]
+    )
+
+
+def test_sarif_format_round_trips(capsys):
+    (cyclic,) = [p for p in PROGRAMS if p.stem == "flights_cyclic"]
+    main(["lint", str(cyclic), "--format", "sarif"])
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    assert any(
+        r["ruleId"] == "counting-unsafe" for r in run["results"]
+    )
+    # The CLI threads the program path through as the artifact URI.
+    uris = {
+        loc["physicalLocation"]["artifactLocation"]["uri"]
+        for r in run["results"]
+        for loc in r.get("locations", [])
+        if "physicalLocation" in loc
+    }
+    assert str(cyclic) in uris

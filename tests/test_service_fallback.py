@@ -1,0 +1,133 @@
+"""Regression tests: the service's static counting gate.
+
+The acceptance property for the static analyzer is that a certified
+counting-unsafe goal never reaches a counting fixpoint: the service
+either refuses it (default) or serves it with the always-terminating
+shared magic plan (``unsafe_fallback=True``).  These tests prove the
+"never reaches" part by replacing the counting fixpoint with a bomb --
+if any divergence path were still reachable, the bomb would go off
+instead of the expected refusal/fallback.
+"""
+
+import pytest
+
+import repro.service.service as service_module
+from repro.analysis.static import StaticReport, Verdict
+from repro.core.csl import CSLQuery
+from repro.core.solver import fact2_answer
+from repro.errors import UnsafeQueryError
+from repro.service import SolverService
+
+
+def oracle(query, sources):
+    return {
+        source: fact2_answer(
+            CSLQuery(query.left, query.exit, query.right, source)
+        )
+        for source in sources
+    }
+
+
+@pytest.fixture
+def no_counting_fixpoint(monkeypatch):
+    """Make any counting fixpoint in the service layer fatal."""
+
+    def bomb(*args, **kwargs):
+        raise AssertionError(
+            "counting fixpoint started on a certified-unsafe goal"
+        )
+
+    monkeypatch.setattr(service_module, "compute_counting_set", bomb)
+
+
+class TestRefusal:
+    def test_unsafe_counting_refused_before_any_fixpoint(
+        self, cyclic_query, no_counting_fixpoint
+    ):
+        service = SolverService(cyclic_query.database())
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            service.solve_batch(cyclic_query, method="counting")
+        assert "static certification" in str(excinfo.value)
+        assert "unsafe" in str(excinfo.value)
+
+    def test_mixed_batch_gates_on_any_unsafe_source(
+        self, cyclic_query, no_counting_fixpoint
+    ):
+        # "d" alone is safe (no outgoing L arcs) but "a" reaches the
+        # cycle; one unsafe source gates the whole counting batch.
+        service = SolverService(cyclic_query.database())
+        with pytest.raises(UnsafeQueryError):
+            service.solve_batch(
+                cyclic_query, sources=["a", "d"], method="counting"
+            )
+
+
+class TestFallback:
+    def test_fallback_serves_shared_magic(
+        self, cyclic_query, no_counting_fixpoint
+    ):
+        service = SolverService(cyclic_query.database(), unsafe_fallback=True)
+        result = service.solve_batch(
+            cyclic_query, sources=["a", "d"], method="counting"
+        )
+        assert result.method == "shared_magic"
+        assert result.answers == oracle(cyclic_query, ["a", "d"])
+        fallback = result.details["fallback"]
+        assert fallback["from"] == "counting"
+        assert fallback["to"] == "shared_magic"
+        assert "unsafe" in fallback["reason"]
+        assert fallback["unsafe_sources"] == ["a"]
+        assert service.stats()["fallbacks"] == 1
+
+    def test_safe_source_still_uses_counting(self, cyclic_query):
+        # The fallback switch must not pessimize safe goals: source "d"
+        # never reaches the cycle, so counting proceeds normally.
+        service = SolverService(cyclic_query.database(), unsafe_fallback=True)
+        result = service.solve_batch(
+            cyclic_query, sources=["d"], method="counting"
+        )
+        assert result.method == "counting"
+        assert "fallback" not in result.details
+        assert result.answers == oracle(cyclic_query, ["d"])
+        assert service.stats()["fallbacks"] == 0
+
+    def test_safe_query_unaffected_by_gate(
+        self, samegen_query, no_counting_fixpoint
+    ):
+        # A regular (acyclic) query passes the gate; the bomb then
+        # proves the gate itself never runs a fixpoint to decide --
+        # so we stop before execution by checking the certificate only.
+        service = SolverService(samegen_query.database())
+        plan, _ = service._plan_for(samegen_query)
+        assert plan.counting_certificate(samegen_query.source).is_safe
+
+    def test_adaptive_on_cyclic_never_hits_the_gate(self, cyclic_query):
+        # Adaptive chooses shared magic for cyclic plans, so no
+        # fallback is recorded even with the switch on.
+        service = SolverService(cyclic_query.database(), unsafe_fallback=True)
+        result = service.solve_batch(cyclic_query, method="adaptive")
+        assert result.method == "shared_magic"
+        assert "fallback" not in result.details
+        assert service.stats()["fallbacks"] == 0
+
+
+class TestPlanReports:
+    def test_query_plan_carries_static_report(self, cyclic_query):
+        service = SolverService(cyclic_query.database())
+        plan, _ = service._plan_for(cyclic_query)
+        assert isinstance(plan.static_report, StaticReport)
+        assert plan.static_report.certificate.verdict == Verdict.UNSAFE
+        assert plan.static_report.graph_class == "cyclic"
+
+    def test_program_plan_carries_static_report(self, samegen_query):
+        program = samegen_query.to_program()
+        service = SolverService(samegen_query.database())
+        plan, _ = service._plan_for(program)
+        assert isinstance(plan.static_report, StaticReport)
+        assert plan.static_report.certificate.verdict == Verdict.SAFE
+
+    def test_describe_includes_counting_safety(self, cyclic_query):
+        service = SolverService(cyclic_query.database())
+        plan, _ = service._plan_for(cyclic_query)
+        assert plan.describe()["counting_safety"] == Verdict.UNKNOWN
+        assert plan.counting_certificate("a").verdict == Verdict.UNSAFE

@@ -4,17 +4,19 @@ The main subcommands, all operating on textual Datalog files::
 
     python -m repro solve   program.dl [--facts facts.dl] [--method auto]
     python -m repro batch   program.dl [--facts facts.dl] --sources a,b,c
+    python -m repro serve   program.dl [--facts facts.dl] [--port 7411]
     python -m repro analyze program.dl [--facts facts.dl]
     python -m repro rewrite program.dl [--kind magic|supplementary|counting|mc]
 
 ``solve`` answers the program's query goal (``?- p(a, Y).``) with any of
 the paper's methods; ``batch`` answers the same query shape for many
 bound constants through the plan-caching solver service, sharing the
-reachability work across sources; ``analyze`` prints the magic-graph
-diagnosis (node classes, statistics, reduced-set sizes per strategy,
-predicted costs); ``rewrite`` prints a rewritten program.  Facts may
-live in the program file itself (ground bodiless rules) or in a
-separate facts file.
+reachability work across sources; ``serve`` exposes that service over
+the NDJSON/TCP protocol with request coalescing (see ``docs/
+serving.md``); ``analyze`` prints the magic-graph diagnosis (node
+classes, statistics, reduced-set sizes per strategy, predicted costs);
+``rewrite`` prints a rewritten program.  Facts may live in the program
+file itself (ground bodiless rules) or in a separate facts file.
 """
 
 from __future__ import annotations
@@ -141,6 +143,27 @@ def cmd_batch(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve the program over NDJSON/TCP with request coalescing."""
+    from .server import SolverServer
+    from .service import SolverService
+
+    program, database = _load(args.program, args.facts)
+    service = SolverService(database, plan_cache_size=args.plan_cache_size)
+    server = SolverServer(
+        service,
+        program=program,
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
+        executor_workers=args.workers,
+    )
+    return server.run()
 
 
 def cmd_analyze(args) -> int:
@@ -372,6 +395,45 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["shared_magic", "counting", "adaptive"],
     )
     sub_batch.set_defaults(handler=cmd_batch)
+
+    sub_serve = subparsers.add_parser(
+        "serve",
+        help="serve the program over NDJSON/TCP with request coalescing "
+        "(GET /health and /metrics answer on the same port)",
+    )
+    add_common(sub_serve)
+    sub_serve.add_argument("--host", default="127.0.0.1")
+    sub_serve.add_argument(
+        "--port", type=int, default=7411,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    sub_serve.add_argument(
+        "--window-ms", type=float, default=5.0,
+        help="coalescing window: concurrent solves arriving within it "
+        "share one batch (default 5ms)",
+    )
+    sub_serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a window early once this many requests joined",
+    )
+    sub_serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission-control bound; overflow gets a structured "
+        "'overloaded' error",
+    )
+    sub_serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    sub_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="batch-execution worker threads",
+    )
+    sub_serve.add_argument(
+        "--plan-cache-size", type=int, default=8,
+        help="compiled-plan LRU capacity",
+    )
+    sub_serve.set_defaults(handler=cmd_serve)
 
     sub_analyze = subparsers.add_parser(
         "analyze", help="diagnose the magic graph and predict costs"

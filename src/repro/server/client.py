@@ -1,0 +1,326 @@
+"""Client libraries for the NDJSON serving protocol.
+
+Two clients over one wire format:
+
+* :class:`SolverClient` — synchronous, one blocking socket, one request
+  in flight at a time.  The right tool for scripts, shells, and tests
+  that drive the server from ordinary code;
+* :class:`AsyncSolverClient` — asyncio, pipelines any number of
+  concurrent requests on one connection and routes responses by ``id``.
+  Twenty ``solve()`` coroutines fired together arrive inside one
+  coalescing window and come back as one shared batch.
+
+Both raise the structured protocol errors
+(:class:`~repro.server.protocol.OverloadedError`,
+:class:`~repro.server.protocol.DeadlineExceededError`, ...) so callers
+implement backoff with ``except`` clauses, not string matching.
+
+``http_get`` / ``async_http_get`` fetch the operational endpoints
+(``/health``, ``/metrics``) that live on the same port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_answer_map,
+    decode_answers,
+    decode_value,
+    encode_frame,
+    encode_value,
+    error_from_payload,
+)
+
+
+class SolverClient:
+    """Synchronous client: one socket, one request in flight."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # --- transport ------------------------------------------------------
+
+    def request(self, op: str, params: Optional[Dict] = None):
+        """One round trip; returns ``result`` or raises the mapped error."""
+        request_id = next(self._ids)
+        frame = encode_frame(
+            {"id": request_id, "op": op, "params": params or {}}
+        )
+        self._file.write(frame)
+        self._file.flush()
+        while True:
+            line = self._file.readline(MAX_FRAME_BYTES)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line)
+            # A sync client has one request outstanding, but tolerate
+            # stray frames (e.g. a late response after a timeout).
+            if response.get("id") == request_id:
+                break
+        if response.get("ok"):
+            return response.get("result")
+        raise error_from_payload(response.get("error", {}))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SolverClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --- operations -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request("ping") == "pong"
+
+    def solve(
+        self,
+        source=None,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        program: Optional[str] = None,
+    ) -> FrozenSet:
+        """Answers for one bound goal; rides a coalesced batch server-side."""
+        result = self.request(
+            "solve", _solve_params(source, method, deadline_ms, program)
+        )
+        return decode_answers(result["answers"])
+
+    def solve_batch(
+        self,
+        sources: Iterable,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        program: Optional[str] = None,
+    ) -> Dict[object, FrozenSet]:
+        params = _solve_params(None, method, deadline_ms, program)
+        params["sources"] = [encode_value(source) for source in sources]
+        result = self.request("solve_batch", params)
+        return decode_answer_map(result["answers"])
+
+    def add_fact(self, name: str, *values) -> bool:
+        result = self.request(
+            "add_fact",
+            {"name": name, "values": [encode_value(v) for v in values]},
+        )
+        return bool(result["added"])
+
+    def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        rows = [[encode_value(v) for v in row] for row in tuples]
+        result = self.request("add_facts", {"name": name, "tuples": rows})
+        return int(result["added"])
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def __repr__(self):
+        return f"SolverClient({self.host}:{self.port})"
+
+
+class AsyncSolverClient:
+    """Asyncio client: pipelines concurrent requests on one connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncSolverClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    # --- transport ------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if response.get("ok"):
+                    future.set_result(response.get("result"))
+                else:
+                    future.set_exception(
+                        error_from_payload(response.get("error", {}))
+                    )
+        except Exception as exc:  # noqa: BLE001 - forwarded to waiters
+            error = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def request(self, op: str, params: Optional[Dict] = None):
+        if self._reader_task.done():
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(
+            encode_frame({"id": request_id, "op": op, "params": params or {}})
+        )
+        await self._writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncSolverClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # --- operations -----------------------------------------------------
+
+    async def ping(self) -> bool:
+        return await self.request("ping") == "pong"
+
+    async def solve(
+        self,
+        source=None,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        program: Optional[str] = None,
+    ) -> FrozenSet:
+        result = await self.request(
+            "solve", _solve_params(source, method, deadline_ms, program)
+        )
+        return decode_answers(result["answers"])
+
+    async def solve_batch(
+        self,
+        sources: Iterable,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        program: Optional[str] = None,
+    ) -> Dict[object, FrozenSet]:
+        params = _solve_params(None, method, deadline_ms, program)
+        params["sources"] = [encode_value(source) for source in sources]
+        result = await self.request("solve_batch", params)
+        return decode_answer_map(result["answers"])
+
+    async def add_fact(self, name: str, *values) -> bool:
+        result = await self.request(
+            "add_fact",
+            {"name": name, "values": [encode_value(v) for v in values]},
+        )
+        return bool(result["added"])
+
+    async def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        rows = [[encode_value(v) for v in row] for row in tuples]
+        result = await self.request(
+            "add_facts", {"name": name, "tuples": rows}
+        )
+        return int(result["added"])
+
+    async def stats(self) -> Dict[str, object]:
+        return await self.request("stats")
+
+
+def _solve_params(source, method, deadline_ms, program) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    if source is not None:
+        params["source"] = encode_value(source)
+    if method is not None:
+        params["method"] = method
+    if deadline_ms is not None:
+        params["deadline_ms"] = deadline_ms
+    if program is not None:
+        params["program"] = program
+    return params
+
+
+# --- the HTTP operational surface ------------------------------------------
+
+
+def _parse_http(data: bytes):
+    head, _sep, body = data.partition(b"\r\n\r\n")
+    try:
+        status = int(head.split(None, 2)[1])
+    except (IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed HTTP response: {head[:80]!r}") from exc
+    payload = json.loads(body) if body else None
+    return status, payload
+
+
+def http_get(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> Tuple[int, object]:
+    """Fetch ``/health`` or ``/metrics``; returns (status, parsed JSON)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        chunks: List[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return _parse_http(b"".join(chunks))
+
+
+async def async_http_get(
+    host: str, port: int, path: str
+) -> Tuple[int, object]:
+    """Asyncio twin of :func:`http_get` for use inside the event loop."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        data = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return _parse_http(data)

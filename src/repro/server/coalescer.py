@@ -1,0 +1,253 @@
+"""Request coalescing: micro-batch concurrent solves into shared batches.
+
+The paper's economics one level up: :class:`~repro.service.SolverService`
+already amortizes the reachability sweep and the ``P_M`` fixpoint across
+the sources of one batch, so *concurrent network clients* asking for
+sources of the same query shape should ride in one batch too.  The
+coalescer holds each arriving ``solve`` for at most one **window**
+(default 5 ms); every request for the same ``(program, method)`` group
+that lands inside the window joins the batch, and one
+``solve_batch`` call answers them all — N clients pay one shared sweep
+instead of N.
+
+Three serving guarantees live here, not in the transport:
+
+* **admission control** — at most ``max_pending`` requests may be
+  queued or executing; request N+1 is rejected immediately with
+  :class:`OverloadedError` (a structured ``overloaded`` response on the
+  wire), never queued unboundedly;
+* **deadlines** — a request with a deadline that expires while waiting
+  is dropped from its batch (its waiter gets
+  :class:`DeadlineExceededError`); a source wanted only by expired
+  requests is not executed at all.  Cancellation is cooperative at
+  batch boundaries: a batch already running is not interrupted;
+* **draining** — :meth:`drain` flushes every open window immediately,
+  awaits the in-flight batches, and rejects new arrivals with
+  :class:`ShuttingDownError`, which is exactly the graceful-shutdown
+  sequence the server needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from .protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ShuttingDownError,
+)
+
+#: ``execute(key, sources) -> {source: frozenset}`` — the coalescer is
+#: transport- and engine-agnostic; the server supplies the callable.
+ExecuteFn = Callable[[object, List], Awaitable[Dict[object, frozenset]]]
+
+
+class _Group:
+    """One open coalescing window: entries waiting for a flush."""
+
+    __slots__ = ("key", "entries", "timer")
+
+    def __init__(self, key):
+        self.key = key
+        self.entries: List[Tuple[object, asyncio.Future]] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class RequestCoalescer:
+    """Micro-batches concurrent requests per ``(program, method)`` group."""
+
+    def __init__(
+        self,
+        execute: ExecuteFn,
+        window: float = 0.005,
+        max_batch: int = 64,
+        max_pending: int = 256,
+    ):
+        if window < 0:
+            raise ValueError("coalescing window must be >= 0")
+        if max_batch < 1 or max_pending < 1:
+            raise ValueError("max_batch and max_pending must be >= 1")
+        self._execute = execute
+        self.window = window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self._groups: Dict[object, _Group] = {}
+        self._flushes: Set[asyncio.Task] = set()
+        self._draining = False
+        self.pending = 0
+        # lifetime counters, surfaced on /metrics
+        self.requests = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.largest_batch = 0
+        self.overloaded = 0
+        self.expired = 0
+
+    # --- admission ------------------------------------------------------
+
+    def _admit(self, slots: int) -> None:
+        if self._draining:
+            raise ShuttingDownError("server is draining; request rejected")
+        if self.pending + slots > self.max_pending:
+            self.overloaded += 1
+            raise OverloadedError(
+                f"pending queue full ({self.pending}/{self.max_pending}); "
+                "retry with backoff"
+            )
+
+    # --- the coalesced path --------------------------------------------
+
+    async def submit(self, key, source, deadline: Optional[float] = None):
+        """Queue one source under ``key``; returns its answer set.
+
+        ``deadline`` is seconds from now (None = no deadline).  The
+        request waits at most one window before its batch runs; it may
+        ride an earlier flush when the group hits ``max_batch``.
+        """
+        self._admit(1)
+        if deadline is not None and deadline <= 0:
+            self.expired += 1
+            raise DeadlineExceededError("deadline expired before admission")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(key)
+            self._groups[key] = group
+            group.timer = loop.call_later(self.window, self._flush, key)
+        group.entries.append((source, future))
+        self.requests += 1
+        self.pending += 1
+        if len(group.entries) >= self.max_batch:
+            self._flush(key)
+        try:
+            if deadline is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, deadline)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the future, so the flush skips this
+                # entry — cooperative cancellation at the batch boundary.
+                self.expired += 1
+                raise DeadlineExceededError(
+                    f"deadline of {deadline * 1000:.0f}ms exceeded"
+                ) from None
+        finally:
+            self.pending -= 1
+
+    # --- the explicit-batch path ---------------------------------------
+
+    async def submit_batch(
+        self, key, sources: List, deadline: Optional[float] = None
+    ) -> Dict[object, frozenset]:
+        """Run an explicit multi-source batch, bypassing the window but
+        sharing admission control and the execution path.
+
+        Each source takes one admission slot, so a huge explicit batch
+        cannot starve coalesced traffic past ``max_pending``.
+        """
+        slots = max(1, len(sources))
+        self._admit(slots)
+        if deadline is not None and deadline <= 0:
+            self.expired += 1
+            raise DeadlineExceededError("deadline expired before admission")
+        self.requests += slots
+        self.pending += slots
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(sources))
+        try:
+            task = asyncio.ensure_future(self._execute(key, list(sources)))
+            if deadline is None:
+                return await task
+            try:
+                return await asyncio.wait_for(asyncio.shield(task), deadline)
+            except asyncio.TimeoutError:
+                # The batch keeps running on its worker thread (it
+                # cannot be interrupted mid-fixpoint); consume its
+                # eventual result so nothing warns about it.
+                task.add_done_callback(_swallow_result)
+                self.expired += 1
+                raise DeadlineExceededError(
+                    f"deadline of {deadline * 1000:.0f}ms exceeded"
+                ) from None
+        finally:
+            self.pending -= slots
+
+    # --- flushing -------------------------------------------------------
+
+    def _flush(self, key) -> None:
+        """Close the window for ``key`` and start its batch."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        task = asyncio.ensure_future(self._run_batch(group))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _run_batch(self, group: _Group) -> None:
+        # Entries whose future is already done were cancelled by their
+        # deadline; drop them, and dedupe sources so M requests for one
+        # source cost one slot in the batch.
+        entries = [
+            (source, future)
+            for source, future in group.entries
+            if not future.done()
+        ]
+        if not entries:
+            return
+        sources = list(dict.fromkeys(source for source, _future in entries))
+        self.batches += 1
+        self.coalesced += len(entries)
+        self.largest_batch = max(self.largest_batch, len(sources))
+        try:
+            answers = await self._execute(group.key, sources)
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            for _source, future in entries:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for source, future in entries:
+            if not future.done():
+                future.set_result(answers.get(source, frozenset()))
+
+    # --- shutdown -------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Reject new arrivals, flush every open window, await batches."""
+        self._draining = True
+        for key in list(self._groups):
+            self._flush(key)
+        while self._flushes:
+            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+
+    # --- reporting ------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "window_ms": self.window * 1000.0,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+            "pending": self.pending,
+            "open_windows": len(self._groups),
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "largest_batch": self.largest_batch,
+            "overloaded": self.overloaded,
+            "expired": self.expired,
+        }
+
+    def __repr__(self):
+        return (
+            f"RequestCoalescer(window={self.window * 1000:.1f}ms, "
+            f"pending={self.pending}/{self.max_pending}, "
+            f"batches={self.batches})"
+        )
+
+
+def _swallow_result(task: asyncio.Task) -> None:
+    if not task.cancelled():
+        task.exception()

@@ -6,10 +6,16 @@ The cache is a plain ``OrderedDict`` in recency order.  Keys are
 the version, so stale plans can never be *hit* — but the service still
 calls :meth:`PlanCache.invalidate` explicitly on every mutation so the
 memory is released immediately rather than aging out of the LRU.
+
+Every public operation holds an internal lock: the network serving
+layer executes overlapping batches from worker threads while mutations
+arrive on others, and an unguarded ``move_to_end`` / eviction sweep is
+exactly the kind of race that corrupts an ``OrderedDict``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -22,6 +28,7 @@ class PlanCache:
             raise ValueError("plan cache needs room for at least one plan")
         self.max_size = max_size
         self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -29,22 +36,24 @@ class PlanCache:
 
     def get(self, key):
         """The cached plan for ``key``, or None (counted as hit/miss)."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key, plan) -> None:
         """Insert ``plan``, evicting the least recently used on overflow."""
-        if key in self._plans:
-            self._plans.move_to_end(key)
-        self._plans[key] = plan
-        while len(self._plans) > self.max_size:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+            self._plans[key] = plan
+            while len(self._plans) > self.max_size:
+                self._plans.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, program_fingerprint: Optional[str] = None) -> int:
         """Drop cached plans; returns how many were dropped.
@@ -52,39 +61,43 @@ class PlanCache:
         With no argument every plan goes (the database-mutation path);
         with a program fingerprint only that program's plans go.
         """
-        if program_fingerprint is None:
-            dropped = len(self._plans)
-            self._plans.clear()
-        else:
-            stale = [
-                key for key in self._plans if key[0] == program_fingerprint
-            ]
-            for key in stale:
-                del self._plans[key]
-            dropped = len(stale)
-        if dropped:
-            self.invalidations += dropped
-        return dropped
+        with self._lock:
+            if program_fingerprint is None:
+                dropped = len(self._plans)
+                self._plans.clear()
+            else:
+                stale = [
+                    key for key in self._plans if key[0] == program_fingerprint
+                ]
+                for key in stale:
+                    del self._plans[key]
+                dropped = len(stale)
+            if dropped:
+                self.invalidations += dropped
+            return dropped
 
     def stats(self) -> Dict[str, int]:
         """A plain-dict summary, symmetric with ``CostCounter.snapshot``."""
-        return {
-            "plans": len(self._plans),
-            "max_size": self.max_size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "plans": len(self._plans),
+                "max_size": self.max_size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def __repr__(self):
         return (
-            f"PlanCache(plans={len(self._plans)}/{self.max_size}, "
+            f"PlanCache(plans={len(self)}/{self.max_size}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -4,12 +4,18 @@ Built on :meth:`CostCounter.snapshot`: a :class:`BatchMetrics` takes a
 snapshot at each phase boundary (``compile``, ``reachability``,
 ``fixpoint``, ...) and stores the *delta*, so a batch report decomposes
 the paper's single cost unit — tuple retrievals — into the stages of
-the compile/execute split.  :class:`ServiceMetrics` accumulates batch
-totals over the lifetime of a :class:`SolverService`.
+the compile/execute split.  Each phase also records its wall-clock
+duration, because the network serving layer pays for time, not only
+for retrievals.  :class:`ServiceMetrics` accumulates batch totals over
+the lifetime of a :class:`SolverService`, including a batch-latency
+histogram (:class:`LatencyHistogram`) surfaced on the server's
+``/metrics`` endpoint.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from typing import Dict, List, Tuple
 
 from ..datalog.relation import CostCounter
@@ -25,33 +31,110 @@ def _diff(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
     return delta
 
 
+class LatencyHistogram:
+    """Streaming latency percentiles over a bounded sample reservoir.
+
+    Observations are kept in a ring buffer of the most recent
+    ``capacity`` samples (the serving steady state is what matters for
+    p50/p95/p99 — ancient latencies only dilute the signal), while
+    ``count``/``total``/``max`` run over the full lifetime.  Percentiles
+    use the nearest-rank method on a sorted copy of the reservoir;
+    ``observe`` is O(1) so the hot path never sorts.
+    """
+
+    __slots__ = ("_samples", "count", "total", "max")
+
+    def __init__(self, capacity: int = 2048):
+        self._samples: deque = deque(maxlen=capacity)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 < q <= 100) in seconds, 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.percentile(50) * 1000.0,
+            "p95_ms": self.percentile(95) * 1000.0,
+            "p99_ms": self.percentile(99) * 1000.0,
+            "max_ms": self.max * 1000.0,
+        }
+
+    def __repr__(self):
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"p50={self.percentile(50) * 1000.0:.2f}ms, "
+            f"p99={self.percentile(99) * 1000.0:.2f}ms)"
+        )
+
+
 class BatchMetrics:
-    """Phase-by-phase retrieval accounting for one batch execution."""
+    """Phase-by-phase retrieval and wall-clock accounting for one batch."""
 
     def __init__(self, counter: CostCounter):
         self.counter = counter
-        self.phases: List[Tuple[str, Dict[str, int]]] = []
+        self.phases: List[Tuple[str, Dict[str, int], float]] = []
         self._last = counter.snapshot()
+        self._last_time = time.perf_counter()
 
     def mark(self, phase: str) -> Dict[str, int]:
         """Close the current phase under ``phase``; returns its delta."""
         current = self.counter.snapshot()
+        now = time.perf_counter()
         delta = _diff(self._last, current)
-        self.phases.append((phase, delta))
+        self.phases.append((phase, delta, now - self._last_time))
         self._last = current
+        self._last_time = now
         return delta
 
     def phase_retrievals(self) -> Dict[str, int]:
         """``{phase: retrievals}`` for every recorded phase."""
         return {
-            phase: delta.get("retrievals", 0) for phase, delta in self.phases
+            phase: delta.get("retrievals", 0)
+            for phase, delta, _duration in self.phases
+        }
+
+    def phase_durations_ms(self) -> Dict[str, float]:
+        """``{phase: wall-clock milliseconds}`` for every recorded phase."""
+        return {
+            phase: duration * 1000.0
+            for phase, _delta, duration in self.phases
         }
 
     def summary(self, goals: int = 0) -> Dict[str, object]:
-        """A flat report: totals, per-phase retrievals, per-goal average."""
+        """A flat report: totals, per-phase retrievals and durations,
+        per-goal average.  The retrieval-only keys (``phase:<name>``)
+        are unchanged from before durations existed; wall-clock numbers
+        ride alongside as ``duration_ms:<name>`` plus a ``duration_ms``
+        total."""
         report: Dict[str, object] = dict(self.counter.snapshot())
         for phase, retrievals in self.phase_retrievals().items():
             report[f"phase:{phase}"] = retrievals
+        total_ms = 0.0
+        for phase, duration_ms in self.phase_durations_ms().items():
+            report[f"duration_ms:{phase}"] = duration_ms
+            total_ms += duration_ms
+        report["duration_ms"] = total_ms
         if goals:
             report["goals"] = goals
             report["retrievals_per_goal"] = self.counter.retrievals / goals
@@ -68,6 +151,7 @@ class ServiceMetrics:
         "compiles",
         "invalidations",
         "fallbacks",
+        "batch_latency",
     )
 
     def __init__(self):
@@ -77,14 +161,19 @@ class ServiceMetrics:
         self.compiles = 0
         self.invalidations = 0
         self.fallbacks = 0
+        self.batch_latency = LatencyHistogram()
 
-    def record_batch(self, goals: int, retrievals: int) -> None:
+    def record_batch(
+        self, goals: int, retrievals: int, duration_s: float = 0.0
+    ) -> None:
         self.batches += 1
         self.goals += goals
         self.retrievals += retrievals
+        if duration_s:
+            self.batch_latency.observe(duration_s)
 
-    def snapshot(self) -> Dict[str, int]:
-        return {
+    def snapshot(self) -> Dict[str, object]:
+        report: Dict[str, object] = {
             "batches": self.batches,
             "goals": self.goals,
             "retrievals": self.retrievals,
@@ -92,6 +181,9 @@ class ServiceMetrics:
             "invalidations": self.invalidations,
             "fallbacks": self.fallbacks,
         }
+        for key, value in self.batch_latency.summary().items():
+            report[f"batch_{key}"] = value
+        return report
 
     def __repr__(self):
         return (

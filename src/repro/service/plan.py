@@ -27,6 +27,7 @@ database mutates.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -79,6 +80,7 @@ class CompiledPlan:
         self.exit_relation = Relation("e", 2, self.exit, self._idle_counter)
         self.right_relation = Relation("r", 2, self.right, self._idle_counter)
         self._classifications: Dict[object, Classification] = {}
+        self._exec_lock = threading.Lock()
 
     # --- execution-side views -----------------------------------------
 
@@ -88,17 +90,24 @@ class CompiledPlan:
 
         Plans are shared across batches, so the cost counter is a
         per-execution attachment rather than a construction argument.
-        Single-threaded by design (as is the whole engine layer).
+        The engine layer itself is single-threaded, but the serving
+        layer may execute overlapping batches against one cached plan
+        from different worker threads — the per-plan lock serializes
+        them so the counter swap can never interleave and charge one
+        batch's probes to another's counter.
         """
-        relations = (self.left_relation, self.exit_relation, self.right_relation)
-        previous = [relation.counter for relation in relations]
-        for relation in relations:
-            relation.counter = counter
-        try:
-            yield self
-        finally:
-            for relation, prior in zip(relations, previous):
-                relation.counter = prior
+        with self._exec_lock:
+            relations = (
+                self.left_relation, self.exit_relation, self.right_relation
+            )
+            previous = [relation.counter for relation in relations]
+            for relation in relations:
+                relation.counter = counter
+            try:
+                yield self
+            finally:
+                for relation, prior in zip(relations, previous):
+                    relation.counter = prior
 
     def instance(self, source, counter: Optional[CostCounter] = None) -> CSLInstance:
         """A :class:`CSLInstance` over the *shared* plan relations.

@@ -19,10 +19,21 @@ Every database mutation goes through the service (``add_fact`` /
 ``add_facts`` / ``add_atom``): it bumps the database version and
 explicitly invalidates the plan cache, so a served answer can never be
 computed from stale compiled artifacts.
+
+The service is safe to share between threads — the network serving
+layer executes overlapping batches from a worker pool while mutations
+arrive from other connections.  A service-wide lock makes the
+version-bump + invalidate sequence and the cache lookup/compile path
+atomic, and :meth:`solve_batch` re-checks the plan's version at
+execute time (after acquiring the plan's execution lock): a mutation
+that lands between the cache lookup and the start of execution forces
+a recompile instead of answering from the invalidated plan.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
@@ -108,6 +119,9 @@ class SolverService:
         self.verify_database = verify_database
         self.unsafe_fallback = unsafe_fallback
         self._db_version = 0
+        # Reentrant: a verify_database mismatch inside _plan_for calls
+        # _mutated while already holding the lock.
+        self._lock = threading.RLock()
 
     # --- database mutation (every write invalidates cached plans) ------
 
@@ -117,34 +131,39 @@ class SolverService:
 
     def add_fact(self, name: str, *values) -> bool:
         """Insert one fact; invalidates cached plans when it is new."""
-        added = self.database.add_fact(name, *values)
-        if added:
-            self._mutated()
-        return added
+        with self._lock:
+            added = self.database.add_fact(name, *values)
+            if added:
+                self._mutated()
+            return added
 
     def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
         """Bulk insert; invalidates cached plans when anything was new."""
-        added = self.database.add_facts(name, tuples)
-        if added:
-            self._mutated()
-        return added
+        with self._lock:
+            added = self.database.add_facts(name, tuples)
+            if added:
+                self._mutated()
+            return added
 
     def add_atom(self, atom) -> bool:
-        added = self.database.add_atom(atom)
-        if added:
-            self._mutated()
-        return added
+        with self._lock:
+            added = self.database.add_atom(atom)
+            if added:
+                self._mutated()
+            return added
 
     def invalidate_plans(self) -> int:
         """Explicitly drop every cached plan (e.g. after out-of-band
         database edits the service could not observe)."""
-        self._db_version += 1
-        return self.plan_cache.invalidate()
+        with self._lock:
+            self._db_version += 1
+            return self.plan_cache.invalidate()
 
     def _mutated(self) -> None:
-        self._db_version += 1
-        self.plan_cache.invalidate()
-        self.metrics.invalidations += 1
+        with self._lock:
+            self._db_version += 1
+            self.plan_cache.invalidate()
+            self.metrics.invalidations += 1
 
     # --- compilation ----------------------------------------------------
 
@@ -157,27 +176,31 @@ class SolverService:
         return plan
 
     def _plan_for(self, target: PlanTarget) -> Tuple[CompiledPlan, bool]:
-        key = self._plan_key(target)
-        plan = self.plan_cache.get(key)
-        if plan is not None and self.verify_database:
-            if database_fingerprint(self.database) != plan.database_fp:
-                # Out-of-band edit: the content digest moved without a
-                # version bump.  Drop every plan and recompile.
-                self._mutated()
-                key = (key[0], self._db_version)
-                plan = None
-        if plan is not None:
-            return plan, True
-        if isinstance(target, CSLQuery):
-            plan = compile_query_plan(target, db_version=self._db_version)
-            plan.database_fp = database_fingerprint(self.database)
-        else:
-            plan = compile_program_plan(
-                target, self.database, db_version=self._db_version
-            )
-        self.plan_cache.put(key, plan)
-        self.metrics.compiles += 1
-        return plan, False
+        # The whole lookup/compile/insert sequence is atomic: two
+        # threads racing a miss would otherwise compile the same plan
+        # twice and interleave with a concurrent version bump.
+        with self._lock:
+            key = self._plan_key(target)
+            plan = self.plan_cache.get(key)
+            if plan is not None and self.verify_database:
+                if database_fingerprint(self.database) != plan.database_fp:
+                    # Out-of-band edit: the content digest moved without
+                    # a version bump.  Drop every plan and recompile.
+                    self._mutated()
+                    key = (key[0], self._db_version)
+                    plan = None
+            if plan is not None:
+                return plan, True
+            if isinstance(target, CSLQuery):
+                plan = compile_query_plan(target, db_version=self._db_version)
+                plan.database_fp = database_fingerprint(self.database)
+            else:
+                plan = compile_program_plan(
+                    target, self.database, db_version=self._db_version
+                )
+            self.plan_cache.put(key, plan)
+            self.metrics.compiles += 1
+            return plan, False
 
     # --- serving --------------------------------------------------------
 
@@ -213,59 +236,78 @@ class SolverService:
                 f"unknown batch method {method!r}; expected one of "
                 f"{', '.join(BATCH_METHODS)}"
             )
-        plan, cache_hit = self._plan_for(target)
-        if sources is None:
-            source = _target_source(target)
-            # plan.default_source is only a last resort for anchor-less
-            # targets; a cached plan may have been compiled from a goal
-            # with a different bound constant.
-            source_list: List = [
-                source if source is not None else plan.default_source
-            ]
-        else:
-            source_list = list(sources)
-        chosen = method
-        if method == "adaptive":
-            chosen = self._choose_method(plan, source_list)
-        fallback_details: Dict[str, object] = {}
-        if chosen == "counting":
-            # Static gate: the plan's certificates decide termination
-            # before any fixpoint starts.  The runtime repeated-frontier
-            # check in compute_counting_set stays as defense in depth,
-            # but a certified-unsafe goal never reaches it.
-            unsafe = [
-                source
-                for source in source_list
-                if plan.counting_certificate(source).is_unsafe
-            ]
-            if unsafe:
-                certificate = plan.counting_certificate(unsafe[0])
-                if not self.unsafe_fallback:
-                    raise UnsafeQueryError(
-                        "counting refused by static certification: "
-                        + certificate.describe()
-                    )
-                chosen = "shared_magic"
-                self.metrics.fallbacks += 1
-                fallback_details["fallback"] = {
-                    "from": "counting",
-                    "to": "shared_magic",
-                    "reason": certificate.describe(),
-                    "unsafe_sources": unsafe,
-                }
-        counter = CostCounter()
-        metrics = BatchMetrics(counter)
-        with plan.attached(counter):
-            if chosen == "shared_magic":
-                answers, details = _execute_shared_magic(
-                    plan, source_list, counter, metrics
-                )
+        started = time.perf_counter()
+        for _attempt in range(8):
+            plan, cache_hit = self._plan_for(target)
+            if sources is None:
+                source = _target_source(target)
+                # plan.default_source is only a last resort for
+                # anchor-less targets; a cached plan may have been
+                # compiled from a goal with a different bound constant.
+                source_list: List = [
+                    source if source is not None else plan.default_source
+                ]
             else:
-                answers, details = _execute_counting(
-                    plan, source_list, counter, metrics
-                )
+                source_list = list(sources)
+            chosen = method
+            if method == "adaptive":
+                chosen = self._choose_method(plan, source_list)
+            fallback_details: Dict[str, object] = {}
+            if chosen == "counting":
+                # Static gate: the plan's certificates decide termination
+                # before any fixpoint starts.  The runtime repeated-frontier
+                # check in compute_counting_set stays as defense in depth,
+                # but a certified-unsafe goal never reaches it.
+                unsafe = [
+                    source
+                    for source in source_list
+                    if plan.counting_certificate(source).is_unsafe
+                ]
+                if unsafe:
+                    certificate = plan.counting_certificate(unsafe[0])
+                    if not self.unsafe_fallback:
+                        raise UnsafeQueryError(
+                            "counting refused by static certification: "
+                            + certificate.describe()
+                        )
+                    chosen = "shared_magic"
+                    self.metrics.fallbacks += 1
+                    fallback_details["fallback"] = {
+                        "from": "counting",
+                        "to": "shared_magic",
+                        "reason": certificate.describe(),
+                        "unsafe_sources": unsafe,
+                    }
+            counter = CostCounter()
+            metrics = BatchMetrics(counter)
+            with plan.attached(counter):
+                # Execute-time version check: a concurrent mutation may
+                # have invalidated this plan between the cache lookup
+                # and here (the plan's execution lock was possibly held
+                # by another batch while the write landed).  A stale
+                # plan is never executed — recompile and retry.
+                if plan.db_version != self._db_version:
+                    continue
+                if chosen == "shared_magic":
+                    answers, details = _execute_shared_magic(
+                        plan, source_list, counter, metrics
+                    )
+                else:
+                    answers, details = _execute_counting(
+                        plan, source_list, counter, metrics
+                    )
+            break
+        else:
+            raise EvaluationError(
+                "batch starved: the database was mutated concurrently on "
+                "every execution attempt"
+            )
         details.update(fallback_details)
-        self.metrics.record_batch(len(source_list), counter.retrievals)
+        self.metrics.record_batch(
+            len(source_list),
+            counter.retrievals,
+            time.perf_counter() - started,
+        )
         return BatchResult(
             answers=answers,
             method=chosen,

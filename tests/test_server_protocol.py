@@ -1,0 +1,314 @@
+"""Unit tests for the wire protocol, the coalescer, and latency metrics."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import EvaluationError, UnsafeQueryError
+from repro.server import RequestCoalescer
+from repro.server.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    ServerError,
+    ShuttingDownError,
+    decode_answer_map,
+    decode_answers,
+    decode_request,
+    decode_value,
+    encode_answer_map,
+    encode_answers,
+    encode_frame,
+    encode_value,
+    error_for_exception,
+    error_from_payload,
+    error_response,
+    ok_response,
+)
+from repro.service.metrics import LatencyHistogram
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"id": 3, "op": "ping", "params": {}})
+        assert frame.endswith(b"\n")
+        request = decode_request(frame)
+        assert request["op"] == "ping"
+        assert request["id"] == 3
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"this is not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"[1, 2, 3]\n")
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"id": 1}\n')
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(b'{"op": "bogus"}\n')
+        assert "bogus" in str(excinfo.value)
+
+    def test_rejects_non_dict_params(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op": "ping", "params": [1]}\n')
+
+    def test_response_shapes(self):
+        ok = ok_response(7, {"answers": []})
+        assert ok == {"id": 7, "ok": True, "result": {"answers": []}}
+        err = error_response(7, "overloaded", "queue full")
+        assert err["ok"] is False
+        assert err["error"]["code"] == "overloaded"
+
+
+class TestValueEncoding:
+    def test_scalars_round_trip(self):
+        for value in ("ann", 42, 3.5, None, True):
+            assert decode_value(encode_value(value)) == value
+
+    def test_tuples_become_arrays_and_back(self):
+        value = ("a", 1, ("nested", 2))
+        encoded = encode_value(value)
+        assert encoded == ["a", 1, ["nested", 2]]
+        assert decode_value(encoded) == value
+
+    def test_answers_round_trip_sorted(self):
+        answers = frozenset({"b", "a", 3})
+        encoded = encode_answers(answers)
+        assert encoded == sorted(encoded, key=repr)
+        assert decode_answers(encoded) == answers
+
+    def test_answer_map_keeps_non_string_sources(self):
+        answers = {1: frozenset({"x"}), ("a", "b"): frozenset({2, 3})}
+        decoded = decode_answer_map(encode_answer_map(answers))
+        assert decoded == answers
+
+
+class TestErrorMapping:
+    def test_payload_rehydrates_to_classes(self):
+        for code, cls in (
+            ("overloaded", OverloadedError),
+            ("deadline_exceeded", DeadlineExceededError),
+            ("shutting_down", ShuttingDownError),
+            ("bad_request", ProtocolError),
+        ):
+            error = error_from_payload({"code": code, "message": "m"})
+            assert isinstance(error, cls)
+            assert error.code == code
+
+    def test_unknown_code_keeps_code(self):
+        error = error_from_payload({"code": "weird", "message": "m"})
+        assert isinstance(error, ServerError)
+        assert error.code == "weird"
+
+    def test_exception_mapping(self):
+        assert error_for_exception(OverloadedError("x"))[0] == "overloaded"
+        assert error_for_exception(UnsafeQueryError("x"))[0] == "unsafe_query"
+        assert error_for_exception(EvaluationError("x"))[0] == "bad_request"
+        assert error_for_exception(RuntimeError("x"))[0] == "internal"
+
+
+async def _echo_execute(key, sources):
+    return {source: frozenset({f"{source}!"}) for source in sources}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestCoalescer:
+    def test_concurrent_submits_share_one_batch(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, window=0.05)
+            results = await asyncio.gather(
+                *(coalescer.submit("k", s) for s in ["a", "b", "c", "a", "b"])
+            )
+            assert results == [
+                frozenset({"a!"}),
+                frozenset({"b!"}),
+                frozenset({"c!"}),
+                frozenset({"a!"}),
+                frozenset({"b!"}),
+            ]
+            assert coalescer.batches == 1
+            assert coalescer.coalesced == 5
+            # duplicate sources dedupe inside the batch
+            assert coalescer.largest_batch == 3
+            assert coalescer.pending == 0
+
+        run(main())
+
+    def test_groups_do_not_mix(self):
+        async def main():
+            seen = []
+
+            async def execute(key, sources):
+                seen.append((key, tuple(sources)))
+                return {s: frozenset({key}) for s in sources}
+
+            coalescer = RequestCoalescer(execute, window=0.05)
+            one, two = await asyncio.gather(
+                coalescer.submit(("p1", "m"), "a"),
+                coalescer.submit(("p2", "m"), "a"),
+            )
+            assert one == frozenset({("p1", "m")})
+            assert two == frozenset({("p2", "m")})
+            assert coalescer.batches == 2
+            assert sorted(key for key, _ in seen) == [("p1", "m"), ("p2", "m")]
+
+        run(main())
+
+    def test_max_batch_flushes_before_window(self):
+        async def main():
+            coalescer = RequestCoalescer(
+                _echo_execute, window=30.0, max_batch=3
+            )
+            started = time.monotonic()
+            await asyncio.gather(
+                *(coalescer.submit("k", s) for s in ["a", "b", "c"])
+            )
+            assert time.monotonic() - started < 5.0
+            assert coalescer.batches == 1
+
+        run(main())
+
+    def test_overflow_rejected_not_queued(self):
+        async def main():
+            coalescer = RequestCoalescer(
+                _echo_execute, window=0.2, max_pending=2
+            )
+            results = await asyncio.gather(
+                *(coalescer.submit("k", s) for s in ["a", "b", "c", "d", "e"]),
+                return_exceptions=True,
+            )
+            rejected = [r for r in results if isinstance(r, OverloadedError)]
+            served = [r for r in results if isinstance(r, frozenset)]
+            assert len(rejected) == 3
+            assert len(served) == 2
+            assert coalescer.overloaded == 3
+
+        run(main())
+
+    def test_expired_deadline_rejected_at_admission(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, window=0.01)
+            with pytest.raises(DeadlineExceededError):
+                await coalescer.submit("k", "a", deadline=0)
+            with pytest.raises(DeadlineExceededError):
+                await coalescer.submit("k", "a", deadline=-1)
+            assert coalescer.expired == 2
+            assert coalescer.pending == 0
+
+        run(main())
+
+    def test_deadline_expires_while_waiting(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, window=30.0)
+            with pytest.raises(DeadlineExceededError):
+                await coalescer.submit("k", "a", deadline=0.05)
+            # The lone waiter expired, so the drain flush has nothing to
+            # execute: a source wanted only by dead requests never runs.
+            await coalescer.drain()
+            assert coalescer.batches == 0
+            assert coalescer.expired == 1
+
+        run(main())
+
+    def test_execute_failure_reaches_every_waiter(self):
+        async def explode(key, sources):
+            raise EvaluationError("boom")
+
+        async def main():
+            coalescer = RequestCoalescer(explode, window=0.02)
+            results = await asyncio.gather(
+                coalescer.submit("k", "a"),
+                coalescer.submit("k", "b"),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, EvaluationError) for r in results)
+            assert coalescer.pending == 0
+
+        run(main())
+
+    def test_drain_flushes_open_windows_immediately(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, window=30.0)
+            tasks = [
+                asyncio.ensure_future(coalescer.submit("k", s))
+                for s in ["a", "b"]
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            started = time.monotonic()
+            await coalescer.drain()
+            results = await asyncio.gather(*tasks)
+            assert time.monotonic() - started < 5.0
+            assert results == [frozenset({"a!"}), frozenset({"b!"})]
+            with pytest.raises(ShuttingDownError):
+                await coalescer.submit("k", "c")
+
+        run(main())
+
+    def test_submit_batch_shares_admission_control(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, max_pending=4)
+            answers = await coalescer.submit_batch("k", ["a", "b"])
+            assert answers == {
+                "a": frozenset({"a!"}),
+                "b": frozenset({"b!"}),
+            }
+            with pytest.raises(OverloadedError):
+                await coalescer.submit_batch("k", ["a", "b", "c", "d", "e"])
+
+        run(main())
+
+    def test_stats_shape(self):
+        async def main():
+            coalescer = RequestCoalescer(_echo_execute, window=0.01)
+            await coalescer.submit("k", "a")
+            stats = coalescer.stats()
+            assert stats["requests"] == 1
+            assert stats["batches"] == 1
+            assert stats["pending"] == 0
+            assert stats["window_ms"] == pytest.approx(10.0)
+
+        run(main())
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            RequestCoalescer(_echo_execute, window=-1)
+        with pytest.raises(ValueError):
+            RequestCoalescer(_echo_execute, max_batch=0)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_nearest_rank(self):
+        histogram = LatencyHistogram()
+        for ms in range(1, 101):
+            histogram.observe(ms / 1000.0)
+        assert histogram.percentile(50) == pytest.approx(0.050)
+        assert histogram.percentile(95) == pytest.approx(0.095)
+        assert histogram.percentile(99) == pytest.approx(0.099)
+        assert histogram.count == 100
+        assert histogram.max == pytest.approx(0.100)
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(99) == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p99_ms"] == 0.0
+
+    def test_reservoir_keeps_recent_samples(self):
+        histogram = LatencyHistogram(capacity=10)
+        for _ in range(50):
+            histogram.observe(1.0)
+        for _ in range(10):
+            histogram.observe(0.001)
+        # Lifetime counters see everything; percentiles see the window.
+        assert histogram.count == 60
+        assert histogram.percentile(99) == pytest.approx(0.001)

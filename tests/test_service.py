@@ -152,6 +152,26 @@ class TestBatchCorrectness:
         assert result.metrics["goals"] == 2
         assert result.metrics["retrievals"] == result.cost.retrievals
 
+    def test_batch_metrics_expose_wall_clock(self, samegen_query):
+        result = SolverService().solve_batch(samegen_query, ["d", "e"])
+        assert result.metrics["duration_ms:reachability"] >= 0.0
+        assert result.metrics["duration_ms:fixpoint"] >= 0.0
+        assert result.metrics["duration_ms"] == pytest.approx(
+            result.metrics["duration_ms:reachability"]
+            + result.metrics["duration_ms:fixpoint"]
+        )
+
+    def test_service_snapshot_reports_latency_percentiles(self, samegen_query):
+        service = SolverService()
+        for sources in (["d"], ["e", "b"], ["d", "e", "b"]):
+            service.solve_batch(samegen_query, sources)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["batch_count"] == 3
+        assert snapshot["batch_p50_ms"] > 0
+        assert snapshot["batch_p99_ms"] >= snapshot["batch_p50_ms"]
+        assert snapshot["batch_max_ms"] >= snapshot["batch_p99_ms"]
+        assert snapshot["batch_mean_ms"] > 0
+
 
 class TestPlanCache:
     def test_hit_after_miss_reuses_plan(self, samegen_query):

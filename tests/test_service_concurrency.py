@@ -1,0 +1,210 @@
+"""Concurrency regression tests for the service layer.
+
+The serving subsystem executes overlapping batches from a worker pool
+while mutations arrive from other connections, so the service and its
+plan cache must tolerate: a mutation landing *between* the cache lookup
+and the start of execution (the stale-plan window), writers racing
+readers, and raw cache traffic from many threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.csl import CSLQuery
+from repro.core.solver import fact2_answer
+from repro.service import PlanCache, SolverService
+
+from .test_service import FACTS, sg_database, sg_program
+
+
+def oracle(service, source):
+    query = CSLQuery.from_program(
+        sg_program(source), database=service.database
+    )
+    return fact2_answer(
+        CSLQuery(query.left, query.exit, query.right, source)
+    )
+
+
+class TestStalePlanRegression:
+    def test_mutation_between_lookup_and_execute_forces_recompile(self):
+        """A batch must never be answered from a plan invalidated after
+        the cache lookup but before execution started.
+
+        The mutation is injected deterministically: the first cache hit
+        triggers a write (version bump + invalidate) *after* the plan
+        is handed back, exactly the window a concurrent writer hits.
+        ``solve_batch`` re-checks the plan version at execute time and
+        must retry on the fresh plan.
+        """
+        service = SolverService(sg_database())
+        program = sg_program("d")
+        warm = service.solve_batch(program, ["d"])
+        assert warm.answers["d"] == frozenset({"y2"})
+
+        real_get = service.plan_cache.get
+        mutated = threading.Event()
+
+        def racing_get(key):
+            plan = real_get(key)
+            if plan is not None and not mutated.is_set():
+                mutated.set()
+                # Reentrant on the service lock: same thread, so this
+                # mirrors a writer that won the race for the window.
+                assert service.add_fact("flat", "d", "d1") is True
+            return plan
+
+        service.plan_cache.get = racing_get
+        try:
+            result = service.solve_batch(program, ["d"])
+        finally:
+            service.plan_cache.get = real_get
+
+        assert mutated.is_set()
+        # The hit plan was stale; the retry recompiled (a miss) and the
+        # answer reflects the post-mutation database.
+        assert result.cache_hit is False
+        assert result.plan.db_version == service.db_version
+        assert result.answers["d"] == frozenset({"y2", "d1"})
+        assert result.answers["d"] == oracle(service, "d")
+
+    def test_every_attempt_starved_raises(self):
+        """If a writer invalidates the plan on *every* attempt the batch
+        fails loudly instead of looping forever or serving stale data."""
+        service = SolverService(sg_database())
+        program = sg_program("d")
+        service.solve_batch(program, ["d"])
+
+        real_plan_for = service._plan_for
+        extra = iter(range(10_000))
+
+        def always_racing_plan_for(target):
+            plan, hit = real_plan_for(target)
+            # Land the write after compilation, inside the stale window,
+            # on every single attempt.
+            service.add_fact("flat", "starver", f"s{next(extra)}")
+            return plan, hit
+
+        service._plan_for = always_racing_plan_for
+        try:
+            with pytest.raises(Exception) as excinfo:
+                service.solve_batch(program, ["d"])
+        finally:
+            del service._plan_for
+        assert "starved" in str(excinfo.value)
+
+
+class TestThreadedStress:
+    def test_readers_see_monotonic_answers_under_writes(self):
+        """Four reader threads solve while a writer inserts facts.
+
+        Inserts only grow the exit set, so every served answer set must
+        sit between the initial oracle and the final oracle — anything
+        outside that sandwich means a batch mixed relation states or
+        ran on an invalidated plan.
+        """
+        service = SolverService(sg_database(), plan_cache_size=4)
+        program = sg_program("d")
+        initial = oracle(service, "d")
+        new_facts = [("d", f"w{i}") for i in range(20)]
+        final = initial | {value for _, value in new_facts}
+
+        errors = []
+        observed = []
+        start = threading.Barrier(5)
+
+        def writer():
+            start.wait()
+            for name_value in new_facts:
+                service.add_fact("flat", *name_value)
+
+        def reader():
+            start.wait()
+            try:
+                for _ in range(15):
+                    result = service.solve_batch(program, ["d"])
+                    observed.append(result.answers["d"])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        assert not errors, errors
+        assert len(observed) == 60
+        for answers in observed:
+            assert initial <= answers <= final, answers
+        # After the dust settles a fresh batch sees every write.
+        assert service.solve_batch(program, ["d"]).answers["d"] == final
+        assert service.db_version == len(new_facts)
+
+    def test_concurrent_batches_have_isolated_counters(self):
+        """Overlapping executions on the same cached plan must not bleed
+        retrieval charges into each other (the plan's execution lock
+        serializes the counter swap)."""
+        service = SolverService(sg_database())
+        program = sg_program("a")
+        baseline = service.solve_batch(program, ["a"]).retrievals
+        results = []
+        start = threading.Barrier(4)
+
+        def worker():
+            start.wait()
+            for _ in range(10):
+                results.append(service.solve_batch(program, ["a"]))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        assert len(results) == 40
+        for result in results:
+            assert result.answers["a"] == frozenset({"a1", "y2"})
+            assert result.retrievals == baseline
+
+
+class TestPlanCacheThreadSafety:
+    def test_hammered_cache_stays_consistent(self):
+        cache = PlanCache(max_size=8)
+        errors = []
+        start = threading.Barrier(6)
+
+        def worker(seed):
+            start.wait()
+            try:
+                for i in range(300):
+                    key = (f"fp{(seed * 7 + i) % 12}", i % 3)
+                    if i % 11 == 0:
+                        cache.invalidate()
+                    elif cache.get(key) is None:
+                        cache.put(key, f"plan-{seed}-{i}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+        assert not errors, errors
+        assert len(cache) <= 8
+        stats = cache.stats()
+        # Every iteration either invalidated (i % 11 == 0: 28 of 300)
+        # or issued exactly one get — counters must not tear.
+        assert stats["hits"] + stats["misses"] == 6 * 272
+        assert stats["plans"] == len(cache)

@@ -1,0 +1,66 @@
+"""Extension experiment — the concurrency gate is cheap enough for CI.
+
+The race detector's value proposition mirrors the Datalog analyzer's:
+certification happens before anything runs, at a cost that must stay
+negligible next to the test suite it gates.  This module wall-clocks
+``run_concurrency_analysis`` over the full shipped tree (the exact CI
+invocation) and over the seeded-violation corpus, and registers a table
+in ``benchmarks/results/concurrency_analysis.txt``.
+
+Marked ``slow``: deselected by default; run with
+``pytest benchmarks/test_concurrency_analysis.py -m slow``.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis.concurrency import run_concurrency_analysis
+
+from .conftest import add_report
+
+pytestmark = pytest.mark.slow
+
+REPO = pathlib.Path(__file__).parent.parent
+TARGETS = {
+    "src/repro (CI gate)": REPO / "src" / "repro",
+    "serving stack only": REPO / "src" / "repro" / "service",
+    "violation corpus": REPO / "tests" / "data" / "concurrency_corpus",
+}
+
+
+def _time_analysis(path):
+    started = time.perf_counter()
+    report = run_concurrency_analysis([str(path)])
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def test_self_analysis_wall_clock():
+    rows = []
+    for label, path in TARGETS.items():
+        report, elapsed = _time_analysis(path)
+        counts = report.counts()
+        rows.append(
+            f"{label:<24} {len(report.files):>5} files "
+            f"{report.guarded_attributes:>4} guarded "
+            f"{counts['error']:>3} errors "
+            f"{elapsed * 1000:>8.1f} ms"
+        )
+    full_report, full_elapsed = _time_analysis(TARGETS["src/repro (CI gate)"])
+    # The gate must stay interactive: the whole tree in well under the
+    # time of even one engine test module.
+    assert full_elapsed < 10.0
+    assert not full_report.has_errors
+    add_report(
+        "concurrency_analysis",
+        "Concurrency gate wall-clock (AST analysis, no imports)\n"
+        + "\n".join(rows),
+    )
+
+
+def test_analysis_scales_linearly_enough(benchmark):
+    corpus = TARGETS["violation corpus"]
+    report = benchmark(lambda: run_concurrency_analysis([str(corpus)]))
+    assert report.counts()["error"] > 0

@@ -1,0 +1,50 @@
+"""Runtime-side markers for the concurrency analyzer's annotations.
+
+Two equivalent ways to declare that an attribute is protected by a
+lock; the analyzer (:mod:`repro.analysis.concurrency`) reads both from
+the AST and never imports the annotated module:
+
+* a trailing comment on the attribute's initializing assignment::
+
+      self._plans = OrderedDict()  # guarded-by: _lock
+
+* a :data:`GuardedBy` annotation (useful where a comment would be
+  awkward, e.g. class-level declarations)::
+
+      self._plans: GuardedBy["_lock"] = OrderedDict()
+
+The guard name is the lock attribute on the *same* object
+(``self._lock`` above).  The special guard ``@loop`` declares
+*event-loop confinement* instead of lock protection: the attribute is
+only ever touched from the asyncio event loop, so it needs no lock —
+and the analyzer flags any access from code dispatched to a worker
+thread (``run_in_executor``, ``Executor.submit``, ``threading.Thread``).
+
+``GuardedBy`` is deliberately inert at runtime: subscripting returns
+the marker itself, so annotated code imports nothing heavier than this
+module and static type checkers treat the annotation as ``Any``-like.
+"""
+
+from __future__ import annotations
+
+#: The guard name declaring event-loop confinement instead of a lock.
+LOOP_GUARD = "@loop"
+
+#: The trailing-comment marker the analyzer scans for.
+GUARD_COMMENT = "# guarded-by:"
+
+#: The suppression marker: a diagnostic on a line carrying this comment
+#: is dropped (append a reason: ``# race-ok: benign snapshot read``).
+SUPPRESS_COMMENT = "# race-ok"
+
+
+class GuardedBy:
+    """Typing-style marker: ``GuardedBy["_lock"]`` or ``GuardedBy["@loop"]``.
+
+    The first subscript argument names the guarding lock attribute (or
+    ``@loop`` for event-loop confinement); an optional second argument
+    carries the value type for human readers and type checkers.
+    """
+
+    def __class_getitem__(cls, item):
+        return cls

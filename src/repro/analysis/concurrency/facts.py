@@ -1,0 +1,177 @@
+"""Memoized cross-module facts shared by the concurrency passes.
+
+The per-module extraction (:mod:`.model`) is local; the interesting
+properties — which locks a method acquires *transitively*, which locks
+a ``*_locked`` helper requires, which class an attribute holds — need
+the whole analyzed file set.  :class:`CodebaseFacts` owns that global
+view, mirroring the memoized-``ProgramFacts`` design of the Datalog
+analyzer: each derived table is computed once, on first use, and every
+pass reads the same instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .model import ClassSummary, FunctionSummary, ModuleModel
+
+#: (class name, method name) — the unit of interprocedural analysis.
+MethodKey = Tuple[str, str]
+
+#: "ClassName.attr" — a lock's identity in the acquisition graph.
+LockToken = str
+
+
+class CodebaseFacts:
+    """Lazily-derived global facts over one set of module models."""
+
+    def __init__(self, modules: List[ModuleModel]):
+        self.modules = modules
+        self._classes: Optional[Dict[str, Tuple[ModuleModel, ClassSummary]]] = None
+        self._helper_requirements: Dict[
+            Tuple[str, str], Dict[str, FrozenSet[str]]
+        ] = {}
+        self._method_acquires: Optional[
+            Dict[MethodKey, Set[Tuple[LockToken, bool]]]
+        ] = None
+
+    # --- the class table ------------------------------------------------
+
+    @property
+    def classes(self) -> Dict[str, Tuple[ModuleModel, ClassSummary]]:
+        """Every analyzed class by name (later modules shadow earlier)."""
+        if self._classes is None:
+            table: Dict[str, Tuple[ModuleModel, ClassSummary]] = {}
+            for module in self.modules:
+                for name, cls in module.classes.items():
+                    table[name] = (module, cls)
+            self._classes = table
+        return self._classes
+
+    def lock_token(
+        self, cls: ClassSummary, lock_name: str
+    ) -> Optional[Tuple[LockToken, bool]]:
+        """``(token, reentrant)`` for a held-set entry naming a
+        threading lock of ``cls``; None for locals and asyncio locks."""
+        if lock_name.startswith("local:"):
+            return None
+        info = cls.lock_attrs.get(lock_name)
+        if info is not None and info.kind != "threading":
+            return None
+        reentrant = info.reentrant if info is not None else False
+        return f"{cls.name}.{lock_name}", reentrant
+
+    # --- guarded-by: helper lock requirements ---------------------------
+
+    def helper_requirements(
+        self, module: ModuleModel, cls: ClassSummary
+    ) -> Dict[str, FrozenSet[str]]:
+        """Locks each ``*_locked`` helper of ``cls`` assumes held.
+
+        A helper requires the union of the guards of every guarded
+        attribute it accesses, plus (fixpoint) the requirements of
+        every ``*_locked`` helper it calls.
+        """
+        key = (module.path, cls.name)
+        cached = self._helper_requirements.get(key)
+        if cached is not None:
+            return cached
+        helpers = {
+            name for name in cls.methods if name.endswith("_locked")
+        }
+        direct: Dict[str, Set[str]] = {}
+        callees: Dict[str, Set[str]] = {}
+        for name in helpers:
+            method = cls.methods[name]
+            needs: Set[str] = set()
+            for access in method.accesses:
+                guard = cls.guards.get(access.attr)
+                if guard is not None and not guard.startswith("@"):
+                    needs.add(guard)
+            direct[name] = needs
+            callees[name] = {
+                call.chain[1]
+                for call in method.calls
+                if call.chain is not None
+                and len(call.chain) == 2
+                and call.chain[0] == "self"
+                and call.chain[1] in helpers
+            }
+        changed = True
+        while changed:
+            changed = False
+            for name in helpers:
+                before = len(direct[name])
+                for callee in callees[name]:
+                    direct[name] |= direct[callee]
+                if len(direct[name]) != before:
+                    changed = True
+        result = {name: frozenset(needs) for name, needs in direct.items()}
+        self._helper_requirements[key] = result
+        return result
+
+    # --- lock-order: transitive acquisitions ----------------------------
+
+    def resolve_call(
+        self, cls: Optional[ClassSummary], chain: Optional[Tuple[str, ...]]
+    ) -> Optional[MethodKey]:
+        """The analyzed method a call chain lands on, if resolvable.
+
+        ``self.m()`` resolves within ``cls``; ``self.attr.m()`` resolves
+        through ``cls.attr_types`` when the attribute's class is in the
+        analyzed set.  Anything else is outside the model.
+        """
+        if chain is None or cls is None:
+            return None
+        if len(chain) == 2 and chain[0] == "self":
+            if chain[1] in cls.methods:
+                return (cls.name, chain[1])
+            return None
+        if len(chain) == 3 and chain[0] == "self":
+            attr_class = cls.attr_types.get(chain[1])
+            if attr_class is not None and attr_class in self.classes:
+                _module, target = self.classes[attr_class]
+                if chain[2] in target.methods:
+                    return (attr_class, chain[2])
+        return None
+
+    @property
+    def method_acquires(
+        self,
+    ) -> Dict[MethodKey, Set[Tuple[LockToken, bool]]]:
+        """Threading locks each method may acquire, transitively.
+
+        Computed as a fixpoint over the resolvable call graph: a
+        method's set is its direct ``with``-acquisitions plus the sets
+        of every analyzed method it calls.
+        """
+        if self._method_acquires is not None:
+            return self._method_acquires
+        direct: Dict[MethodKey, Set[Tuple[LockToken, bool]]] = {}
+        callees: Dict[MethodKey, Set[MethodKey]] = {}
+        for _module, cls in self.classes.values():
+            for method_name, method in cls.methods.items():
+                key = (cls.name, method_name)
+                acquired: Set[Tuple[LockToken, bool]] = set()
+                for enter in method.lock_enters:
+                    token = self.lock_token(cls, enter.name)
+                    if token is not None:
+                        acquired.add(token)
+                direct[key] = acquired
+                callees[key] = {
+                    resolved
+                    for call in method.calls
+                    if (resolved := self.resolve_call(cls, call.chain))
+                    is not None
+                }
+        changed = True
+        while changed:
+            changed = False
+            for key, callee_keys in callees.items():
+                before = len(direct[key])
+                for callee in callee_keys:
+                    direct[key] |= direct.get(callee, set())
+                if len(direct[key]) != before:
+                    changed = True
+        self._method_acquires = direct
+        return direct

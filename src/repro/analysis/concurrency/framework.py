@@ -1,0 +1,286 @@
+"""The concurrency analyzer's registry, report, and runner.
+
+Mirrors :mod:`repro.analysis.static.framework` one level up the stack:
+a :class:`ConcurrencyPass` is a named function from shared
+:class:`~repro.analysis.concurrency.facts.CodebaseFacts` to
+:class:`CodeDiagnostic` findings, the module-level registry holds the
+default pipeline in execution order, and :func:`run_concurrency_analysis`
+drives every registered pass over a set of Python files, folding the
+results into one :class:`ConcurrencyReport` the CLI renders as text,
+JSON, or SARIF.
+
+Findings land on real file/line coordinates (unlike Datalog rules,
+Python code has provenance), so the SARIF output carries
+``physicalLocation`` regions and a line carrying ``# race-ok`` — the
+suppression comment — drops every diagnostic anchored to it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ...datalog.lint import LEVELS
+from ..sarif import (
+    physical_location,
+    rule_descriptors,
+    sarif_level,
+    sarif_log,
+)
+from .facts import CodebaseFacts
+from .model import ModuleModel, build_module_model
+
+#: Every rule the pipeline can emit, for SARIF reporting descriptors.
+RULE_METADATA: Dict[str, str] = {
+    "parse-error": "A file could not be parsed; it was not analyzed.",
+    "unguarded-read": (
+        "A guarded attribute is read without holding its declared lock."
+    ),
+    "unguarded-write": (
+        "A guarded attribute is written without holding its declared lock."
+    ),
+    "unguarded-call": (
+        "A *_locked helper is called without the lock(s) it assumes held."
+    ),
+    "loop-confined-escape": (
+        "An event-loop-confined attribute is touched from code "
+        "dispatched to a worker thread."
+    ),
+    "unstructured-acquire": (
+        "A lock is acquired or released outside a with statement; the "
+        "guarded-by analysis assumes structured acquisition."
+    ),
+    "lock-order-cycle": (
+        "The lock-acquisition graph contains a cycle; two threads "
+        "taking the locks in opposite orders can deadlock."
+    ),
+    "relock": (
+        "A non-reentrant lock may be re-acquired while already held, "
+        "which self-deadlocks."
+    ),
+    "blocking-in-async": (
+        "A blocking call (sync lock acquire, time.sleep, blocking I/O) "
+        "runs inside an async def body and stalls the event loop."
+    ),
+    "await-under-lock": (
+        "An await suspends while a sync (threading) lock is held, "
+        "holding it across arbitrary scheduler interleavings."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CodeDiagnostic:
+    """One finding anchored to a file/line in the analyzed tree."""
+
+    level: str
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def __str__(self):
+        return (
+            f"{self.path}:{self.line}: {self.level}[{self.code}]: "
+            f"{self.message}"
+        )
+
+
+PassFunction = Callable[[CodebaseFacts], List[CodeDiagnostic]]
+
+
+@dataclass(frozen=True)
+class ConcurrencyPass:
+    """One registered pass: a name, a description, and its function."""
+
+    name: str
+    description: str
+    run: PassFunction
+
+
+_REGISTRY: Dict[str, ConcurrencyPass] = {}
+
+
+def register_concurrency_pass(name: str, description: str):
+    """Decorator: add a pass to the default pipeline, in call order."""
+
+    def decorate(function: PassFunction) -> PassFunction:
+        _REGISTRY[name] = ConcurrencyPass(name, description, function)
+        return function
+
+    return decorate
+
+
+def registered_concurrency_passes() -> List[ConcurrencyPass]:
+    """The default pipeline, in registration (execution) order."""
+    return list(_REGISTRY.values())
+
+
+@dataclass
+class ConcurrencyReport:
+    """Everything one analysis run learned about a Python file set."""
+
+    files: List[str]
+    diagnostics: List[CodeDiagnostic]
+    passes_run: List[str]
+    suppressed: int = 0
+    guarded_attributes: int = 0
+    lock_edges: List[str] = field(default_factory=list)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.level == "error" for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {level: 0 for level in LEVELS}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.level] += 1
+        return tally
+
+    def exceeds(self, fail_on: str) -> bool:
+        """True when any diagnostic is at or above ``fail_on`` severity."""
+        threshold = LEVELS.index(fail_on)
+        return any(
+            LEVELS.index(d.level) <= threshold for d in self.diagnostics
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-dict rendering (the CLI's ``--format json``)."""
+        return {
+            "files": list(self.files),
+            "passes": list(self.passes_run),
+            "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "guarded_attributes": self.guarded_attributes,
+            "lock_edges": list(self.lock_edges),
+            "diagnostics": [
+                {
+                    "level": d.level,
+                    "code": d.code,
+                    "message": d.message,
+                    "path": d.path,
+                    "line": d.line,
+                    "col": d.col,
+                }
+                for d in self.diagnostics
+            ],
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """One SARIF 2.1.0 ``sarifLog`` with per-line physical locations."""
+        codes = sorted({d.code for d in self.diagnostics})
+        rule_index = {code: i for i, code in enumerate(codes)}
+        results = [
+            {
+                "ruleId": d.code,
+                "ruleIndex": rule_index[d.code],
+                "level": sarif_level(d.level),
+                "message": {"text": d.message},
+                "locations": [
+                    {"physicalLocation": physical_location(d.path, d.line)}
+                ],
+            }
+            for d in self.diagnostics
+        ]
+        return sarif_log(
+            "repro-concurrency-analyzer",
+            results,
+            rule_descriptors(codes, RULE_METADATA),
+            information_uri="https://dl.acm.org/doi/10.1145/38713.38725",
+            properties={
+                "analyzedFiles": len(self.files),
+                "guardedAttributes": self.guarded_attributes,
+                "suppressed": self.suppressed,
+            },
+        )
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            found.append(path)
+    return sorted(dict.fromkeys(found))
+
+
+def run_concurrency_analysis(
+    paths: Iterable[str],
+    passes: Optional[Iterable[str]] = None,
+) -> ConcurrencyReport:
+    """Run the (selected) pipeline over every ``.py`` file in ``paths``.
+
+    ``passes`` restricts the pipeline to the named subset, preserving
+    registration order; unknown names raise ``KeyError`` so typos fail
+    loudly rather than silently skipping a check.
+    """
+    files = iter_python_files(paths)
+    modules: List[ModuleModel] = []
+    parse_failures: List[CodeDiagnostic] = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            modules.append(build_module_model(path, source))
+        except SyntaxError as error:
+            parse_failures.append(
+                CodeDiagnostic(
+                    "error",
+                    "parse-error",
+                    f"could not parse: {error.msg}",
+                    path,
+                    error.lineno or 1,
+                )
+            )
+    facts = CodebaseFacts(modules)
+    if passes is None:
+        selected = registered_concurrency_passes()
+    else:
+        wanted = set(passes)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(
+                f"unknown concurrency pass(es): {sorted(unknown)}; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        selected = [
+            p for p in registered_concurrency_passes() if p.name in wanted
+        ]
+    diagnostics: List[CodeDiagnostic] = list(parse_failures)
+    for analysis_pass in selected:
+        diagnostics.extend(analysis_pass.run(facts))
+    # Suppression: a ``# race-ok`` comment on the finding's line wins.
+    suppressed_lines = {
+        module.path: module.suppressed for module in modules
+    }
+    kept = [
+        d
+        for d in diagnostics
+        if d.line not in suppressed_lines.get(d.path, frozenset())
+    ]
+    kept.sort(key=lambda d: (d.path, d.line, LEVELS.index(d.level), d.code))
+    guarded = sum(
+        len(cls.guards)
+        for module in modules
+        for cls in module.classes.values()
+    )
+    from .lockorder import lock_graph_edges
+
+    edges = lock_graph_edges(facts)
+    return ConcurrencyReport(
+        files=files,
+        diagnostics=kept,
+        passes_run=[p.name for p in selected],
+        suppressed=len(diagnostics) - len(kept),
+        guarded_attributes=guarded,
+        lock_edges=sorted(
+            f"{a} -> {b}" for (a, b) in edges
+        ),
+    )

@@ -1,0 +1,602 @@
+"""AST extraction: one parsed Python module -> concurrency facts.
+
+This is the concurrency analyzer's analogue of
+:class:`repro.analysis.static.facts.ProgramFacts` one level down: a
+:func:`build_module_model` call turns source text into a
+:class:`ModuleModel` — classes with their declared guards and lock
+attributes, and per-function summaries of everything the passes need
+(attribute accesses with the lexically-held lock set, lock
+acquisitions, call sites, ``await`` points, bare ``acquire()`` calls).
+The passes (:mod:`.guards`, :mod:`.lockorder`, :mod:`.hygiene`) are
+pure functions over these models; nothing here imports the analyzed
+code.
+
+Lock discipline is modeled *structurally*: a lock is "held" inside the
+body of a ``with self._lock:`` statement (the analyzer assumes — and
+the ``structured-acquisition`` pass enforces — that locks are only
+taken via context managers).  Two interprocedural conventions extend
+the lexical rule:
+
+* ``*_locked``-suffixed private helpers are analyzed assuming their
+  class's locks are held; the guard pass instead checks every *call*
+  to such a helper against the locks the helper (transitively)
+  requires;
+* functions dispatched to worker threads (``loop.run_in_executor``,
+  ``Executor.submit``, ``threading.Thread(target=...)``) are marked
+  *escaped*: they run off the event loop with no lexically-held locks,
+  which is what the ``@loop`` confinement check keys on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .annotations import GUARD_COMMENT, SUPPRESS_COMMENT
+
+#: threading constructors -> reentrant?
+_THREADING_LOCKS = {
+    "Lock": False,
+    "RLock": True,
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+}
+_ASYNCIO_LOCKS = {"Lock", "Semaphore", "BoundedSemaphore", "Condition"}
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """What kind of lock an attribute (or local variable) holds."""
+
+    kind: str  # "threading" | "asyncio"
+    reentrant: bool = False
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read or write of ``self.<attr>`` inside a function body."""
+
+    attr: str
+    line: int
+    col: int
+    is_write: bool
+    held: FrozenSet[str]  # lock names lexically held at the access
+    escaped: bool  # inside code dispatched to a worker thread
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call, with its dotted-name chain when statically resolvable."""
+
+    chain: Optional[Tuple[str, ...]]  # e.g. ("self", "plan_cache", "get")
+    line: int
+    col: int
+    held: FrozenSet[str]
+    in_async: bool
+    escaped: bool
+
+
+@dataclass(frozen=True)
+class LockEnter:
+    """One ``with``-statement acquisition of a recognized lock."""
+
+    name: str  # self lock attr, or "local:<var>" for function locals
+    kind: str  # "threading" | "asyncio"
+    reentrant: bool
+    line: int
+    held_before: FrozenSet[str]
+    is_async_with: bool
+    in_async: bool
+
+
+@dataclass(frozen=True)
+class AwaitPoint:
+    """One ``await`` expression and the sync locks held across it."""
+
+    line: int
+    held_sync: FrozenSet[str]  # threading-kind lock names held
+
+
+@dataclass(frozen=True)
+class RawAcquire:
+    """A bare ``.acquire()`` / ``.release()`` call on a recognized lock."""
+
+    target: str  # lock name, same convention as LockEnter.name
+    kind: str
+    method: str  # "acquire" | "release"
+    line: int
+    in_async: bool
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the passes need to know about one function body."""
+
+    name: str
+    qualname: str
+    line: int
+    is_async: bool
+    accesses: List[Access] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    lock_enters: List[LockEnter] = field(default_factory=list)
+    awaits: List[AwaitPoint] = field(default_factory=list)
+    raw_acquires: List[RawAcquire] = field(default_factory=list)
+
+
+@dataclass
+class ClassSummary:
+    """Declared guards, lock attributes, and methods of one class."""
+
+    name: str
+    line: int
+    guards: Dict[str, str] = field(default_factory=dict)  # attr -> lock|@loop
+    guard_lines: Dict[str, int] = field(default_factory=dict)
+    lock_attrs: Dict[str, LockInfo] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)  # attr -> class
+    methods: Dict[str, FunctionSummary] = field(default_factory=dict)
+    escaped_methods: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleModel:
+    """One parsed module, ready for the concurrency passes."""
+
+    path: str
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    suppressed: FrozenSet[int] = frozenset()
+
+
+def name_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for anything non-dotted."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _guard_from_annotation(annotation: ast.AST) -> Optional[str]:
+    """The guard name from a ``GuardedBy[...]`` annotation, if any."""
+    node = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: parse the inner expression.
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = node.value
+    base_name = base.attr if isinstance(base, ast.Attribute) else (
+        base.id if isinstance(base, ast.Name) else None
+    )
+    if base_name != "GuardedBy":
+        return None
+    inner = node.slice
+    if isinstance(inner, ast.Tuple) and inner.elts:
+        inner = inner.elts[0]
+    if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+        return inner.value
+    return None
+
+
+def _type_from_annotation(annotation: ast.AST) -> Optional[str]:
+    """A plain class-name annotation (``K`` or ``"K"``), if any."""
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        text = annotation.value.strip()
+        return text if text.isidentifier() else None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    return None
+
+
+class _ModuleBuilder:
+    """Drives extraction over one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.lock_ctors: Dict[str, LockInfo] = {}  # from-import bindings
+        self._scan_imports()
+
+    # --- module-level scaffolding --------------------------------------
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "threading":
+                    for alias in node.names:
+                        if alias.name in _THREADING_LOCKS:
+                            self.lock_ctors[alias.asname or alias.name] = (
+                                LockInfo(
+                                    "threading",
+                                    _THREADING_LOCKS[alias.name],
+                                )
+                            )
+                elif node.module == "asyncio":
+                    for alias in node.names:
+                        if alias.name in _ASYNCIO_LOCKS:
+                            self.lock_ctors[alias.asname or alias.name] = (
+                                LockInfo("asyncio")
+                            )
+
+    def _suppressed_lines(self) -> FrozenSet[int]:
+        return frozenset(
+            i + 1
+            for i, line in enumerate(self.lines)
+            if SUPPRESS_COMMENT in line
+        )
+
+    def _guard_comment(self, line: int) -> Optional[str]:
+        """The ``# guarded-by: <name>`` guard on source line ``line``."""
+        if not 1 <= line <= len(self.lines):
+            return None
+        text = self.lines[line - 1]
+        marker = text.find(GUARD_COMMENT)
+        if marker < 0:
+            return None
+        guard = text[marker + len(GUARD_COMMENT):].strip()
+        # Allow trailing prose after the guard name.
+        guard = guard.split()[0] if guard else ""
+        return guard or None
+
+    def lock_ctor_info(self, value: ast.AST) -> Optional[LockInfo]:
+        """LockInfo when ``value`` is a recognized lock constructor call."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            if func.value.id == "threading" and func.attr in _THREADING_LOCKS:
+                return LockInfo("threading", _THREADING_LOCKS[func.attr])
+            if func.value.id == "asyncio" and func.attr in _ASYNCIO_LOCKS:
+                return LockInfo("asyncio")
+        if isinstance(func, ast.Name):
+            return self.lock_ctors.get(func.id)
+        return None
+
+    # --- the build ------------------------------------------------------
+
+    def build(self) -> ModuleModel:
+        model = ModuleModel(
+            path=self.path, suppressed=self._suppressed_lines()
+        )
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                model.classes[node.name] = self._build_class(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = self._build_function(node, node.name, None)
+                model.functions[node.name] = summary
+        return model
+
+    def _build_class(self, node: ast.ClassDef) -> ClassSummary:
+        cls = ClassSummary(name=node.name, line=node.lineno)
+        # Class-level annotated declarations: ``x: GuardedBy["_lock"]``.
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                guard = _guard_from_annotation(statement.annotation)
+                if guard is not None:
+                    cls.guards[statement.target.id] = guard
+                    cls.guard_lines[statement.target.id] = statement.lineno
+        # First sweep: declarations (guards, lock attrs, attribute types)
+        # from every method body, so ``__init__`` order does not matter.
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_declarations(cls, statement)
+        # Second sweep: per-method behavior summaries.
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = self._build_function(
+                    statement, f"{node.name}.{statement.name}", cls
+                )
+                cls.methods[statement.name] = summary
+        return cls
+
+    def _collect_declarations(
+        self, cls: ClassSummary, method: ast.AST
+    ) -> None:
+        for node in ast.walk(method):
+            target = None
+            value = None
+            annotation = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation = node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            comment_guard = self._guard_comment(node.lineno)
+            if comment_guard is not None:
+                cls.guards[attr] = comment_guard
+                cls.guard_lines[attr] = node.lineno
+            if annotation is not None:
+                annotation_guard = _guard_from_annotation(annotation)
+                if annotation_guard is not None:
+                    cls.guards[attr] = annotation_guard
+                    cls.guard_lines[attr] = node.lineno
+                else:
+                    typed = _type_from_annotation(annotation)
+                    if typed is not None:
+                        cls.attr_types.setdefault(attr, typed)
+            if value is not None:
+                lock = self.lock_ctor_info(value)
+                if lock is not None:
+                    cls.lock_attrs[attr] = lock
+                elif isinstance(value, ast.Call) and isinstance(
+                    value.func, ast.Name
+                ):
+                    cls.attr_types.setdefault(attr, value.func.id)
+
+    def _build_function(
+        self, node: ast.AST, qualname: str, cls: Optional[ClassSummary]
+    ) -> FunctionSummary:
+        summary = FunctionSummary(
+            name=node.name,
+            qualname=qualname,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        visitor = _FunctionVisitor(self, summary, cls)
+        for statement in node.body:
+            visitor.visit(statement)
+        return summary
+
+
+class _FunctionVisitor:
+    """Walks one function body tracking held locks and dispatch escapes."""
+
+    def __init__(
+        self,
+        builder: _ModuleBuilder,
+        summary: FunctionSummary,
+        cls: Optional[ClassSummary],
+    ):
+        self.builder = builder
+        self.summary = summary
+        self.cls = cls
+        self.held: List[str] = []  # acquisition order
+        self.in_async = summary.is_async
+        self.escaped = False
+        self.local_locks: Dict[str, LockInfo] = {}
+
+    # --- lock bookkeeping ----------------------------------------------
+
+    def _held(self) -> FrozenSet[str]:
+        return frozenset(self.held)
+
+    def _held_sync(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name in self.held
+            if self._lock_info(name) is None
+            or self._lock_info(name).kind == "threading"
+        )
+
+    def _lock_info(self, name: str) -> Optional[LockInfo]:
+        if name.startswith("local:"):
+            return self.local_locks.get(name[len("local:"):])
+        if self.cls is not None:
+            return self.cls.lock_attrs.get(name)
+        return None
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        """The held-set token for a lock expression, or None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls is not None
+        ):
+            attr = expr.attr
+            if attr in self.cls.lock_attrs or attr in set(
+                self.cls.guards.values()
+            ):
+                return attr
+            return None
+        if isinstance(expr, ast.Name) and expr.id in self.local_locks:
+            return f"local:{expr.id}"
+        return None
+
+    # --- traversal ------------------------------------------------------
+
+    def visit(self, node: ast.AST) -> None:
+        method = getattr(self, f"_visit_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        else:
+            self._generic(node)
+
+    def _generic(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def _visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            lock = self.builder.lock_ctor_info(node.value)
+            if lock is not None:
+                self.local_locks[node.targets[0].id] = lock
+        self._generic(node)
+
+    def _visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            self.summary.accesses.append(
+                Access(
+                    attr=node.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    held=self._held(),
+                    escaped=self.escaped,
+                )
+            )
+        self._generic(node)
+
+    def _with(self, node: ast.AST, is_async: bool) -> None:
+        entered: List[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            name = self._lock_name(item.context_expr)
+            if name is None:
+                continue
+            info = self._lock_info(name) or LockInfo("threading")
+            self.summary.lock_enters.append(
+                LockEnter(
+                    name=name,
+                    kind=info.kind,
+                    reentrant=info.reentrant,
+                    line=item.context_expr.lineno,
+                    held_before=self._held(),
+                    is_async_with=is_async,
+                    in_async=self.in_async,
+                )
+            )
+            self.held.append(name)
+            entered.append(name)
+        for statement in node.body:
+            self.visit(statement)
+        for _name in entered:
+            self.held.pop()
+
+    def _visit_With(self, node: ast.With) -> None:
+        self._with(node, is_async=False)
+
+    def _visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node, is_async=True)
+
+    def _visit_Await(self, node: ast.Await) -> None:
+        self.summary.awaits.append(
+            AwaitPoint(line=node.lineno, held_sync=self._held_sync())
+        )
+        self._generic(node)
+
+    def _visit_Call(self, node: ast.Call) -> None:
+        chain = name_chain(node.func)
+        self.summary.calls.append(
+            CallSite(
+                chain=chain,
+                line=node.lineno,
+                col=node.col_offset,
+                held=self._held(),
+                in_async=self.in_async,
+                escaped=self.escaped,
+            )
+        )
+        # Bare acquire()/release() on a recognized lock.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("acquire", "release")
+        ):
+            name = self._lock_name(node.func.value)
+            if name is not None:
+                info = self._lock_info(name) or LockInfo("threading")
+                self.summary.raw_acquires.append(
+                    RawAcquire(
+                        target=name,
+                        kind=info.kind,
+                        method=node.func.attr,
+                        line=node.lineno,
+                        in_async=self.in_async,
+                    )
+                )
+        # Thread-dispatch sites: the dispatched callable escapes the
+        # event loop and every lexically-held lock.
+        dispatched = self._dispatched_callable(node, chain)
+        for child in ast.iter_child_nodes(node):
+            if child is node.func:
+                self.visit(child)
+                continue
+            if child is dispatched:
+                self._visit_escaped(child)
+            else:
+                self.visit(child)
+
+    def _dispatched_callable(
+        self, node: ast.Call, chain: Optional[Tuple[str, ...]]
+    ) -> Optional[ast.AST]:
+        if chain is None:
+            return None
+        tail = chain[-1]
+        if tail == "run_in_executor" and len(node.args) >= 2:
+            return node.args[1]
+        if tail == "submit" and node.args:
+            return node.args[0]
+        if tail == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+        return None
+
+    def _visit_escaped(self, node: ast.AST) -> None:
+        """Visit a callable that will run on a worker thread."""
+        target_chain = name_chain(node)
+        if (
+            target_chain is not None
+            and len(target_chain) == 2
+            and target_chain[0] == "self"
+            and self.cls is not None
+        ):
+            self.cls.escaped_methods.add(target_chain[1])
+            return
+        if isinstance(
+            node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            self._nested(node, escaped=True)
+        else:
+            self.visit(node)
+
+    def _nested(self, node: ast.AST, escaped: bool) -> None:
+        """Descend into a nested callable: fresh held set, maybe escaped.
+
+        The nested body executes later (callback, thread, lambda), so
+        no lexically-enclosing lock can be assumed held, and it only
+        counts as event-loop code when it is itself ``async def``.
+        """
+        saved = (self.held, self.in_async, self.escaped)
+        self.held = []
+        self.in_async = isinstance(node, ast.AsyncFunctionDef)
+        self.escaped = self.escaped or escaped
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for statement in body:
+            self.visit(statement)
+        self.held, self.in_async, self.escaped = saved
+
+    def _visit_Lambda(self, node: ast.Lambda) -> None:
+        self._nested(node, escaped=False)
+
+    def _visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node, escaped=False)
+
+    def _visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node, escaped=False)
+
+
+def build_module_model(path: str, source: str) -> ModuleModel:
+    """Parse ``source`` and extract its concurrency facts.
+
+    Raises :class:`SyntaxError` on unparseable input; the framework
+    turns that into a ``parse-error`` diagnostic rather than crashing
+    the run.
+    """
+    tree = ast.parse(source, filename=path)
+    return _ModuleBuilder(path, source, tree).build()

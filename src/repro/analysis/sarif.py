@@ -1,0 +1,82 @@
+"""Shared SARIF 2.1.0 emission for every analyzer in the repo.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+the lingua franca CI systems ingest for static-analysis findings.  Two
+producers share this module: the Datalog program analyzer
+(:mod:`repro.analysis.static`) and the Python concurrency analyzer
+(:mod:`repro.analysis.concurrency`).  Each supplies its own tool name,
+rule-metadata table, and result list; the ``sarifLog`` skeleton, the
+reporting-descriptor table, and the severity mapping live here once.
+
+Level mapping follows the SARIF ``result.level`` enumeration:
+``error`` -> ``error``, ``warning`` -> ``warning``, ``info`` ->
+``note``.  Both producers are validated against the same vendored
+schema subset (``tests/data/sarif-2.1.0-subset.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity -> SARIF ``result.level``.
+LEVEL_MAP = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def sarif_level(level: str) -> str:
+    """The SARIF ``result.level`` for a repo diagnostic severity."""
+    return LEVEL_MAP[level]
+
+
+def rule_descriptors(
+    codes: Iterable[str], metadata: Mapping[str, str]
+) -> List[Dict[str, object]]:
+    """Reporting descriptors for ``codes``, described via ``metadata``."""
+    return [
+        {
+            "id": code,
+            "shortDescription": {"text": metadata.get(code, code)},
+        }
+        for code in codes
+    ]
+
+
+def physical_location(
+    uri: str, line: Optional[int] = None
+) -> Dict[str, object]:
+    """A SARIF ``physicalLocation`` for ``uri`` (1-based ``line``)."""
+    location: Dict[str, object] = {"artifactLocation": {"uri": uri}}
+    if line is not None:
+        location["region"] = {"startLine": line}
+    return location
+
+
+def sarif_log(
+    driver_name: str,
+    results: List[Dict[str, object]],
+    rules: List[Dict[str, object]],
+    information_uri: Optional[str] = None,
+    version: str = "1.0.0",
+    properties: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One complete SARIF 2.1.0 ``sarifLog`` document with a single run."""
+    driver: Dict[str, object] = {
+        "name": driver_name,
+        "version": version,
+        "rules": rules,
+    }
+    if information_uri is not None:
+        driver["informationUri"] = information_uri
+    run: Dict[str, object] = {"tool": {"driver": driver}, "results": results}
+    if properties:
+        run["properties"] = properties
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

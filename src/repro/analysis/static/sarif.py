@@ -1,27 +1,33 @@
 """SARIF 2.1.0 rendering of a :class:`StaticReport`.
 
-SARIF (Static Analysis Results Interchange Format, OASIS standard) is
-the lingua franca CI systems ingest for static-analysis findings; the
-``lint --format sarif`` CLI path emits one ``sarifLog`` with a single
-run.  Level mapping follows the SARIF ``result.level`` enumeration:
-``error`` -> ``error``, ``warning`` -> ``warning``, ``info`` ->
-``note``.  Datalog rules carry no file/line provenance (programs are
-parsed from whole files or strings), so each result anchors to a
-*logical* location — the offending rule's text — plus, when the CLI
-knows it, the program file as an ``artifactLocation``.
+The ``sarifLog`` skeleton, rule-descriptor table, and level mapping are
+shared with the concurrency analyzer via :mod:`repro.analysis.sarif`;
+this module contributes the Datalog-specific pieces — the rule-metadata
+table and the location convention.  Datalog rules carry no file/line
+provenance (programs are parsed from whole files or strings), so each
+result anchors to a *logical* location — the offending rule's text —
+plus, when the CLI knows it, the program file as an
+``artifactLocation``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA_URI = (
-    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
-    "Schemata/sarif-schema-2.1.0.json"
+from ..sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    rule_descriptors,
+    sarif_level,
+    sarif_log,
 )
 
-_LEVEL_MAP = {"error": "error", "warning": "warning", "info": "note"}
+__all__ = [
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "RULE_METADATA",
+    "report_to_sarif",
+]
 
 # Rule metadata: every diagnostic code the pipeline can emit.
 RULE_METADATA: Dict[str, str] = {
@@ -49,18 +55,6 @@ RULE_METADATA: Dict[str, str] = {
 }
 
 
-def _rule_descriptors(codes: List[str]) -> List[Dict[str, object]]:
-    return [
-        {
-            "id": code,
-            "shortDescription": {
-                "text": RULE_METADATA.get(code, code)
-            },
-        }
-        for code in codes
-    ]
-
-
 def report_to_sarif(
     report, artifact_uri: Optional[str] = None
 ) -> Dict[str, object]:
@@ -72,7 +66,7 @@ def report_to_sarif(
         result: Dict[str, object] = {
             "ruleId": diagnostic.code,
             "ruleIndex": rule_index[diagnostic.code],
-            "level": _LEVEL_MAP[diagnostic.level],
+            "level": sarif_level(diagnostic.level),
             "message": {"text": diagnostic.message},
         }
         location: Dict[str, object] = {}
@@ -90,19 +84,6 @@ def report_to_sarif(
         if location:
             result["locations"] = [location]
         results.append(result)
-    run: Dict[str, object] = {
-        "tool": {
-            "driver": {
-                "name": "repro-static-analyzer",
-                "informationUri": (
-                    "https://dl.acm.org/doi/10.1145/38713.38725"
-                ),
-                "version": "1.0.0",
-                "rules": _rule_descriptors(codes),
-            }
-        },
-        "results": results,
-    }
     properties: Dict[str, object] = {}
     if report.certificate is not None:
         properties["countingSafety"] = report.certificate.verdict
@@ -111,10 +92,10 @@ def report_to_sarif(
         properties["magicGraphClass"] = report.graph_class
     if report.recommended_method is not None:
         properties["recommendedMethod"] = report.recommended_method
-    if properties:
-        run["properties"] = properties
-    return {
-        "$schema": SARIF_SCHEMA_URI,
-        "version": SARIF_VERSION,
-        "runs": [run],
-    }
+    return sarif_log(
+        "repro-static-analyzer",
+        results,
+        rule_descriptors(codes, RULE_METADATA),
+        information_uri="https://dl.acm.org/doi/10.1145/38713.38725",
+        properties=properties or None,
+    )

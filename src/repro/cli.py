@@ -333,6 +333,31 @@ def cmd_lint(args) -> int:
     return 1 if report.exceeds(args.fail_on) else 0
 
 
+def cmd_lint_py(args) -> int:
+    import json
+
+    from .analysis.concurrency import run_concurrency_analysis
+
+    report = run_concurrency_analysis(args.paths)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2, sort_keys=True))
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic)
+    counts = report.counts()
+    print(
+        f"-- {len(report.files)} file(s), "
+        f"{report.guarded_attributes} guarded attribute(s), "
+        f"{len(report.diagnostics)} finding(s), "
+        f"{counts['error']} error(s), "
+        f"{report.suppressed} suppressed",
+        file=sys.stderr,
+    )
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def cmd_explain(args) -> int:
     from .datalog.parser import parse_atom
     from .datalog.provenance import evaluate_with_provenance
@@ -481,6 +506,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that forces a non-zero exit code",
     )
     sub_lint.set_defaults(handler=cmd_lint)
+
+    sub_lint_py = subparsers.add_parser(
+        "lint-py",
+        help="concurrency race detector for this repo's Python sources",
+    )
+    sub_lint_py.add_argument(
+        "paths", nargs="+",
+        help="Python files or directories to analyze (e.g. src/repro)",
+    )
+    sub_lint_py.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format (sarif emits a SARIF 2.1.0 log for CI)",
+    )
+    sub_lint_py.add_argument(
+        "--fail-on", dest="fail_on", default="error",
+        choices=["error", "warning"],
+        help="lowest severity that forces a non-zero exit code",
+    )
+    sub_lint_py.set_defaults(handler=cmd_lint_py)
 
     sub_repl = subparsers.add_parser(
         "repl", help="interactive deductive-database shell"

@@ -72,17 +72,19 @@ class RequestCoalescer:
         self.window = window
         self.max_batch = max_batch
         self.max_pending = max_pending
-        self._groups: Dict[object, _Group] = {}
-        self._flushes: Set[asyncio.Task] = set()
-        self._draining = False
-        self.pending = 0
-        # lifetime counters, surfaced on /metrics
-        self.requests = 0
-        self.batches = 0
-        self.coalesced = 0
-        self.largest_batch = 0
-        self.overloaded = 0
-        self.expired = 0
+        self._groups: Dict[object, _Group] = {}  # guarded-by: @loop
+        self._flushes: Set[asyncio.Task] = set()  # guarded-by: @loop
+        self._draining = False  # guarded-by: @loop
+        self.pending = 0  # guarded-by: @loop
+        # Lifetime counters, surfaced on /metrics.  Everything above and
+        # below is event-loop-confined: the coalescer is called only
+        # from coroutines and loop callbacks, never from worker threads.
+        self.requests = 0  # guarded-by: @loop
+        self.batches = 0  # guarded-by: @loop
+        self.coalesced = 0  # guarded-by: @loop
+        self.largest_batch = 0  # guarded-by: @loop
+        self.overloaded = 0  # guarded-by: @loop
+        self.expired = 0  # guarded-by: @loop
 
     # --- admission ------------------------------------------------------
 

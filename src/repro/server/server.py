@@ -90,8 +90,8 @@ class SolverServer:
             max_batch=max_batch,
             max_pending=max_pending,
         )
-        self._programs: Dict[str, Program] = {}
-        self._default_key: Optional[str] = None
+        self._programs: Dict[str, Program] = {}  # guarded-by: @loop
+        self._default_key: Optional[str] = None  # guarded-by: @loop
         if program is not None:
             self._default_key = target_fingerprint(program)
             self._programs[self._default_key] = program
@@ -99,18 +99,21 @@ class SolverServer:
             max_workers=executor_workers, thread_name_prefix="repro-batch"
         )
         self._server: Optional[asyncio.AbstractServer] = None
-        self._conn_tasks: Set[asyncio.Task] = set()
-        self._writers: Set[asyncio.StreamWriter] = set()
-        self._inflight_frames = 0
-        self._stopping = False
-        # lifetime counters, surfaced on /metrics
+        self._conn_tasks: Set[asyncio.Task] = set()  # guarded-by: @loop
+        self._writers: Set[asyncio.StreamWriter] = set()  # guarded-by: @loop
+        self._inflight_frames = 0  # guarded-by: @loop
+        self._stopping = False  # guarded-by: @loop
+        # Lifetime counters, surfaced on /metrics.  All of them are
+        # event-loop-confined (mutated only from coroutines), so they
+        # need no lock; request_latency has its own because the summary
+        # may be read from other threads via metrics_snapshot callers.
         self.request_latency = LatencyHistogram()
-        self.connections = 0
-        self.http_requests = 0
-        self.requests = 0
-        self.responses = 0
-        self.errors = 0
-        self.error_codes: Dict[str, int] = {}
+        self.connections = 0  # guarded-by: @loop
+        self.http_requests = 0  # guarded-by: @loop
+        self.requests = 0  # guarded-by: @loop
+        self.responses = 0  # guarded-by: @loop
+        self.errors = 0  # guarded-by: @loop
+        self.error_codes: Dict[str, int] = {}  # guarded-by: @loop
 
     # --- lifecycle ------------------------------------------------------
 

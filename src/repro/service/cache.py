@@ -27,12 +27,12 @@ class PlanCache:
         if max_size < 1:
             raise ValueError("plan cache needs room for at least one plan")
         self.max_size = max_size
-        self._plans: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self._plans: OrderedDict = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
 
     def get(self, key):
         """The cached plan for ``key``, or None (counted as hit/miss)."""
@@ -97,7 +97,9 @@ class PlanCache:
             return key in self._plans
 
     def __repr__(self):
+        with self._lock:
+            plans, hits, misses = len(self._plans), self.hits, self.misses
         return (
-            f"PlanCache(plans={len(self)}/{self.max_size}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"PlanCache(plans={plans}/{self.max_size}, "
+            f"hits={hits}, misses={misses})"
         )

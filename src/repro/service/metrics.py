@@ -10,13 +10,20 @@ for retrievals.  :class:`ServiceMetrics` accumulates batch totals over
 the lifetime of a :class:`SolverService`, including a batch-latency
 histogram (:class:`LatencyHistogram`) surfaced on the server's
 ``/metrics`` endpoint.
+
+Thread-safety: :class:`ServiceMetrics` and :class:`LatencyHistogram`
+are shared across the server's worker threads, so each guards its
+mutable state with a private lock (the ``guarded-by`` annotations are
+checked by ``repro lint-py``).  :class:`BatchMetrics` is per-batch and
+single-threaded by construction, so it carries no lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..datalog.relation import CostCounter
 
@@ -31,6 +38,14 @@ def _diff(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
     return delta
 
 
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of an already-sorted sample, 0.0 when empty."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
 class LatencyHistogram:
     """Streaming latency percentiles over a bounded sample reservoir.
 
@@ -42,49 +57,61 @@ class LatencyHistogram:
     ``observe`` is O(1) so the hot path never sorts.
     """
 
-    __slots__ = ("_samples", "count", "total", "max")
+    __slots__ = ("_lock", "_samples", "count", "total", "max")
 
     def __init__(self, capacity: int = 2048):
-        self._samples: deque = deque(maxlen=capacity)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=capacity)  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.max = 0.0  # guarded-by: _lock
 
     def observe(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0 < q <= 100) in seconds, 0.0 when empty."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
-        return ordered[rank]
+        with self._lock:
+            ordered = sorted(self._samples)
+        return _nearest_rank(ordered, q)
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, float]:
-        """Flat ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``."""
+        """Flat ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``.
+
+        One consistent snapshot is taken under the lock; the percentile
+        sorting happens outside it (the lock is not reentrant, so this
+        must not call :meth:`percentile` while holding it).
+        """
+        with self._lock:
+            count = self.count
+            total = self.total
+            maximum = self.max
+            ordered = sorted(self._samples)
         return {
-            "count": self.count,
-            "mean_ms": self.mean * 1000.0,
-            "p50_ms": self.percentile(50) * 1000.0,
-            "p95_ms": self.percentile(95) * 1000.0,
-            "p99_ms": self.percentile(99) * 1000.0,
-            "max_ms": self.max * 1000.0,
+            "count": count,
+            "mean_ms": (total / count if count else 0.0) * 1000.0,
+            "p50_ms": _nearest_rank(ordered, 50) * 1000.0,
+            "p95_ms": _nearest_rank(ordered, 95) * 1000.0,
+            "p99_ms": _nearest_rank(ordered, 99) * 1000.0,
+            "max_ms": maximum * 1000.0,
         }
 
     def __repr__(self):
+        stats = self.summary()
         return (
-            f"LatencyHistogram(count={self.count}, "
-            f"p50={self.percentile(50) * 1000.0:.2f}ms, "
-            f"p99={self.percentile(99) * 1000.0:.2f}ms)"
+            f"LatencyHistogram(count={stats['count']}, "
+            f"p50={stats['p50_ms']:.2f}ms, "
+            f"p99={stats['p99_ms']:.2f}ms)"
         )
 
 
@@ -142,9 +169,16 @@ class BatchMetrics:
 
 
 class ServiceMetrics:
-    """Lifetime totals for one :class:`SolverService`."""
+    """Lifetime totals for one :class:`SolverService`.
+
+    Counter mutations go through the ``record_*`` methods so every
+    update happens under ``_lock``; ``batch_latency`` has its own lock
+    and is observed *outside* this one, keeping the lock-acquisition
+    graph free of a ServiceMetrics -> LatencyHistogram edge.
+    """
 
     __slots__ = (
+        "_lock",
         "batches",
         "goals",
         "retrievals",
@@ -155,38 +189,55 @@ class ServiceMetrics:
     )
 
     def __init__(self):
-        self.batches = 0
-        self.goals = 0
-        self.retrievals = 0
-        self.compiles = 0
-        self.invalidations = 0
-        self.fallbacks = 0
+        self._lock = threading.Lock()
+        self.batches = 0  # guarded-by: _lock
+        self.goals = 0  # guarded-by: _lock
+        self.retrievals = 0  # guarded-by: _lock
+        self.compiles = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
+        self.fallbacks = 0  # guarded-by: _lock
         self.batch_latency = LatencyHistogram()
 
     def record_batch(
         self, goals: int, retrievals: int, duration_s: float = 0.0
     ) -> None:
-        self.batches += 1
-        self.goals += goals
-        self.retrievals += retrievals
+        with self._lock:
+            self.batches += 1
+            self.goals += goals
+            self.retrievals += retrievals
         if duration_s:
             self.batch_latency.observe(duration_s)
 
+    def record_compile(self, count: int = 1) -> None:
+        with self._lock:
+            self.compiles += count
+
+    def record_invalidation(self, count: int = 1) -> None:
+        with self._lock:
+            self.invalidations += count
+
+    def record_fallback(self, count: int = 1) -> None:
+        with self._lock:
+            self.fallbacks += count
+
     def snapshot(self) -> Dict[str, object]:
-        report: Dict[str, object] = {
-            "batches": self.batches,
-            "goals": self.goals,
-            "retrievals": self.retrievals,
-            "compiles": self.compiles,
-            "invalidations": self.invalidations,
-            "fallbacks": self.fallbacks,
-        }
+        with self._lock:
+            report: Dict[str, object] = {
+                "batches": self.batches,
+                "goals": self.goals,
+                "retrievals": self.retrievals,
+                "compiles": self.compiles,
+                "invalidations": self.invalidations,
+                "fallbacks": self.fallbacks,
+            }
         for key, value in self.batch_latency.summary().items():
             report[f"batch_{key}"] = value
         return report
 
     def __repr__(self):
+        with self._lock:
+            batches, goals, retrievals = self.batches, self.goals, self.retrievals
         return (
-            f"ServiceMetrics(batches={self.batches}, goals={self.goals}, "
-            f"retrievals={self.retrievals})"
+            f"ServiceMetrics(batches={batches}, goals={goals}, "
+            f"retrievals={retrievals})"
         )

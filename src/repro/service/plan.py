@@ -70,8 +70,11 @@ class CompiledPlan:
         self.database_fp = database_fp
         self.db_version = db_version
         self.static_report = static_report
-        self._relation_certificate: Optional[SafetyCertificate] = None
-        self._source_certificates: Dict[object, SafetyCertificate] = {}
+        # The memo caches are filled lazily from whichever worker thread
+        # first asks; _memo_lock keeps fill/evict/read atomic.
+        self._memo_lock = threading.Lock()
+        self._relation_certificate: Optional[SafetyCertificate] = None  # guarded-by: _memo_lock
+        self._source_certificates: Dict[object, SafetyCertificate] = {}  # guarded-by: _memo_lock
         # Shared relations: indexes built lazily on first use persist
         # for the lifetime of the plan.  The idle counter absorbs
         # charges outside any batch; ``attached`` swaps it out.
@@ -79,7 +82,7 @@ class CompiledPlan:
         self.left_relation = Relation("l", 2, self.left, self._idle_counter)
         self.exit_relation = Relation("e", 2, self.exit, self._idle_counter)
         self.right_relation = Relation("r", 2, self.right, self._idle_counter)
-        self._classifications: Dict[object, Classification] = {}
+        self._classifications: Dict[object, Classification] = {}  # guarded-by: _memo_lock
         self._exec_lock = threading.Lock()
 
     # --- execution-side views -----------------------------------------
@@ -129,13 +132,14 @@ class CompiledPlan:
 
     def classification_for(self, source) -> Classification:
         """Memoized magic-graph classification from ``source`` (uncharged)."""
-        cached = self._classifications.get(source)
-        if cached is None:
-            if len(self._classifications) >= _CLASSIFICATION_MEMO_LIMIT:
-                self._classifications.clear()
-            cached = classify_nodes(self.query_for(source))
-            self._classifications[source] = cached
-        return cached
+        with self._memo_lock:
+            cached = self._classifications.get(source)
+            if cached is None:
+                if len(self._classifications) >= _CLASSIFICATION_MEMO_LIMIT:
+                    self._classifications.clear()
+                cached = classify_nodes(self.query_for(source))
+                self._classifications[source] = cached
+            return cached
 
     # --- static safety -------------------------------------------------
 
@@ -148,9 +152,10 @@ class CompiledPlan:
         ``L`` downgrades to ``unknown`` and per-source certification
         (:meth:`counting_certificate`) decides each goal.
         """
-        if self._relation_certificate is None:
-            self._relation_certificate = certify_relation(self.left)
-        return self._relation_certificate
+        with self._memo_lock:
+            if self._relation_certificate is None:
+                self._relation_certificate = certify_relation(self.left)
+            return self._relation_certificate
 
     def counting_certificate(self, source) -> SafetyCertificate:
         """Counting-safety certificate for one bound source (memoized).
@@ -158,15 +163,20 @@ class CompiledPlan:
         Pure graph analysis over the plan's frozen pair sets — no
         relation probes, no cost charges, and no fixpoint.
         """
-        if self.relation_certificate.is_safe:
-            return self.relation_certificate
-        cached = self._source_certificates.get(source)
-        if cached is None:
-            if len(self._source_certificates) >= _CLASSIFICATION_MEMO_LIMIT:
-                self._source_certificates.clear()
-            cached = certify_source(self.left, source)
-            self._source_certificates[source] = cached
-        return cached
+        # Read the whole-relation certificate via its property *before*
+        # taking _memo_lock — the property acquires the same
+        # non-reentrant lock, so nesting it here would self-deadlock.
+        relation_cert = self.relation_certificate
+        if relation_cert.is_safe:
+            return relation_cert
+        with self._memo_lock:
+            cached = self._source_certificates.get(source)
+            if cached is None:
+                if len(self._source_certificates) >= _CLASSIFICATION_MEMO_LIMIT:
+                    self._source_certificates.clear()
+                cached = certify_source(self.left, source)
+                self._source_certificates[source] = cached
+            return cached
 
     # --- reporting ----------------------------------------------------
 

@@ -118,16 +118,17 @@ class SolverService:
         self.metrics = ServiceMetrics()
         self.verify_database = verify_database
         self.unsafe_fallback = unsafe_fallback
-        self._db_version = 0
         # Reentrant: a verify_database mismatch inside _plan_for calls
         # _mutated while already holding the lock.
         self._lock = threading.RLock()
+        self._db_version = 0  # guarded-by: _lock
 
     # --- database mutation (every write invalidates cached plans) ------
 
     @property
     def db_version(self) -> int:
-        return self._db_version
+        with self._lock:
+            return self._db_version
 
     def add_fact(self, name: str, *values) -> bool:
         """Insert one fact; invalidates cached plans when it is new."""
@@ -163,11 +164,11 @@ class SolverService:
         with self._lock:
             self._db_version += 1
             self.plan_cache.invalidate()
-            self.metrics.invalidations += 1
+            self.metrics.record_invalidation()
 
     # --- compilation ----------------------------------------------------
 
-    def _plan_key(self, target: PlanTarget):
+    def _plan_key_locked(self, target: PlanTarget):
         return (target_fingerprint(target), self._db_version)
 
     def compile(self, target: PlanTarget) -> CompiledPlan:
@@ -180,7 +181,7 @@ class SolverService:
         # threads racing a miss would otherwise compile the same plan
         # twice and interleave with a concurrent version bump.
         with self._lock:
-            key = self._plan_key(target)
+            key = self._plan_key_locked(target)
             plan = self.plan_cache.get(key)
             if plan is not None and self.verify_database:
                 if database_fingerprint(self.database) != plan.database_fp:
@@ -199,7 +200,7 @@ class SolverService:
                     target, self.database, db_version=self._db_version
                 )
             self.plan_cache.put(key, plan)
-            self.metrics.compiles += 1
+            self.metrics.record_compile()
             return plan, False
 
     # --- serving --------------------------------------------------------
@@ -286,7 +287,9 @@ class SolverService:
                 # and here (the plan's execution lock was possibly held
                 # by another batch while the write landed).  A stale
                 # plan is never executed — recompile and retry.
-                if plan.db_version != self._db_version:
+                # Deliberately unlocked peek: a stale read costs one
+                # extra retry, and _plan_for re-checks under the lock.
+                if plan.db_version != self._db_version:  # race-ok: benign stale read
                     continue
                 if chosen == "shared_magic":
                     answers, details = _execute_shared_magic(
@@ -356,16 +359,20 @@ class SolverService:
 
     def stats(self) -> Dict[str, object]:
         """Service totals plus plan-cache counters, as one flat dict."""
-        report: Dict[str, object] = {"db_version": self._db_version}
+        with self._lock:
+            report: Dict[str, object] = {"db_version": self._db_version}
         report.update(self.metrics.snapshot())
         for key, value in self.plan_cache.stats().items():
             report[f"cache:{key}"] = value
         return report
 
     def __repr__(self):
+        with self._lock:
+            version = self._db_version
         return (
-            f"SolverService(db_version={self._db_version}, "
-            f"batches={self.metrics.batches}, cache={self.plan_cache!r})"
+            f"SolverService(db_version={version}, "
+            f"batches={self.metrics.snapshot()['batches']}, "
+            f"cache={self.plan_cache!r})"
         )
 
 

@@ -1,0 +1,17 @@
+"""Seeded violation: blocking calls inside an async def body.
+
+time.sleep stalls the whole event loop; so does a synchronous
+subprocess call.  Expected: blocking-in-async at both call sites,
+and nothing for the awaited asyncio.sleep.
+"""
+
+import asyncio
+import subprocess
+import time
+
+
+async def handler(request):
+    time.sleep(0.1)  # BLOCKS the event loop
+    subprocess.run(["true"])  # BLOCKS the event loop
+    await asyncio.sleep(0)
+    return request

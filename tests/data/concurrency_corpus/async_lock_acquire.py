@@ -1,0 +1,23 @@
+"""Seeded violation: taking a threading lock inside a coroutine.
+
+Both the sync `with self._lock:` and the raw `.acquire()` block the
+event loop while waiting for the lock.  Expected: blocking-in-async
+for each (plus unstructured-acquire for the raw pair).
+"""
+
+import threading
+
+
+class AsyncCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    async def bump(self):
+        with self._lock:  # BLOCKS the event loop
+            self.count += 1
+
+    async def bump_raw(self):
+        self._lock.acquire()  # BLOCKS the event loop, and unstructured
+        self.count += 1
+        self._lock.release()

@@ -1,0 +1,21 @@
+"""Seeded violation: awaiting while holding a synchronous lock.
+
+The coroutine suspends with the threading lock held; any thread (or
+other task resumed on a worker thread) trying to take the lock stalls
+for an unbounded time.  Expected: await-under-lock at the await line.
+"""
+
+import asyncio
+import threading
+
+
+class Bridge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}  # guarded-by: _lock
+
+    async def refresh(self, key):
+        with self._lock:
+            self.state[key] = None
+            await asyncio.sleep(0.01)  # HOLDS _lock across suspension
+            self.state[key] = "ready"

@@ -1,0 +1,59 @@
+"""Well-disciplined module: the analyzer must report nothing here.
+
+Exercises every feature in its safe form — guard comments, the
+GuardedBy marker, a *_locked helper, an RLock re-entry, a consistent
+lock order, asyncio locks in coroutines, and executor dispatch of a
+self-contained method.
+"""
+
+import asyncio
+import threading
+
+from repro.analysis.concurrency import GuardedBy
+
+
+class SafeStore:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._order_lock = threading.Lock()
+        self._data = {}  # guarded-by: _lock
+        self._log: GuardedBy["_order_lock"] = []
+
+    def _put_locked(self, key, value):
+        self._data[key] = value
+
+    def put(self, key, value):
+        with self._lock:
+            self._put_locked(key, value)
+
+    def size(self):
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._data), self.size()  # fine: RLock re-entry
+
+    def audited_put(self, key, value):
+        with self._lock:
+            self._put_locked(key, value)
+            with self._order_lock:
+                self._log.append(key)
+
+
+class SafeAsync:
+    def __init__(self):
+        self._alock = asyncio.Lock()
+        self.state = {}  # guarded-by: _alock
+
+    async def update(self, key, value):
+        async with self._alock:
+            self.state[key] = value
+            await asyncio.sleep(0)
+
+    def compute(self):
+        return 42
+
+    async def offload(self):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.compute)

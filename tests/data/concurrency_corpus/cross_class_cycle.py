@@ -1,0 +1,42 @@
+"""Seeded deadlock: a lock cycle across two classes.
+
+Scheduler.kick holds Scheduler._lock and calls Worker.report, which
+takes Worker._lock; Worker.flush holds Worker._lock and calls back
+into Scheduler.note, which takes Scheduler._lock.  The acquisition
+graph has the cycle Scheduler._lock -> Worker._lock ->
+Scheduler._lock.  Expected: lock-order-cycle naming both locks.
+"""
+
+import threading
+
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []  # guarded-by: _lock
+        self.worker = Worker(self)
+
+    def kick(self):
+        with self._lock:
+            self.pending.append("kick")
+            self.worker.report()
+
+    def note(self, item):
+        with self._lock:
+            self.pending.append(item)
+
+
+class Worker:
+    def __init__(self, scheduler):
+        self._lock = threading.Lock()
+        self.done = 0  # guarded-by: _lock
+        self.scheduler: Scheduler = scheduler
+
+    def report(self):
+        with self._lock:
+            self.done += 1
+
+    def flush(self):
+        with self._lock:
+            self.done = 0
+            self.scheduler.note("flushed")

@@ -1,0 +1,19 @@
+"""Seeded violation: access after the with-block releases the lock.
+
+The write inside the with-block is fine; the read after it has
+escaped the critical section.  Expected: unguarded-read at the
+`return self._value` line only.
+"""
+
+import threading
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = None  # guarded-by: _lock
+
+    def swap(self, value):
+        with self._lock:
+            self._value = value
+        return self._value  # RACE: lock already released

@@ -1,0 +1,28 @@
+"""Seeded deadlock: two locks taken in opposite orders.
+
+transfer_out takes _accounts then _audit; transfer_in takes _audit
+then _accounts.  Two threads running one each can deadlock.
+Expected: lock-order-cycle naming Ledger._accounts and Ledger._audit.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+        self.balances = {}  # guarded-by: _accounts
+        self.journal = []  # guarded-by: _audit
+
+    def transfer_out(self, key, amount):
+        with self._accounts:
+            self.balances[key] = self.balances.get(key, 0) - amount
+            with self._audit:
+                self.journal.append(("out", key, amount))
+
+    def transfer_in(self, key, amount):
+        with self._audit:
+            self.journal.append(("in", key, amount))
+            with self._accounts:
+                self.balances[key] = self.balances.get(key, 0) + amount

@@ -1,0 +1,21 @@
+"""Seeded violation: loop-confined state touched from a worker thread.
+
+`_sessions` is annotated `# guarded-by: @loop`, meaning it must only
+be touched from event-loop callbacks.  The lambda handed to
+run_in_executor runs on an executor thread, so its mutation of
+`_sessions` races with the loop.  Expected: loop-confined-escape.
+"""
+
+import asyncio
+
+
+class Gateway:
+    def __init__(self):
+        self._sessions = {}  # guarded-by: @loop
+
+    async def open_session(self, key):
+        self._sessions[key] = "open"  # fine: runs on the loop
+
+    async def close_all(self):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self._sessions.clear())  # ESCAPE

@@ -1,0 +1,22 @@
+"""Seeded self-deadlock: re-acquiring a non-reentrant lock.
+
+snapshot() holds _lock and calls size(), which acquires _lock again;
+threading.Lock is not reentrant, so the thread deadlocks on itself.
+Expected: relock at the `self.size()` call inside snapshot().
+"""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}  # guarded-by: _lock
+
+    def size(self):
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._data), self.size()  # DEADLOCK: relock

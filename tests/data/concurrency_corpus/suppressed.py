@@ -1,0 +1,21 @@
+"""Deliberate race with a suppression comment.
+
+The unlocked read of `approx_count` is an intentional racy fast-path;
+the `# race-ok` marker keeps the analyzer quiet.  Expected: zero
+diagnostics from this module.
+"""
+
+import threading
+
+
+class Sampler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.approx_count = 0  # guarded-by: _lock
+
+    def record(self):
+        with self._lock:
+            self.approx_count += 1
+
+    def roughly(self):
+        return self.approx_count  # race-ok: stale reads are acceptable here

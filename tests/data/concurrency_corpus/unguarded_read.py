@@ -1,0 +1,22 @@
+"""Seeded violation: read of a guarded attribute without the lock.
+
+Uses the GuardedBy[...] marker form of the annotation.
+Expected: unguarded-read at the `return len(self._items)` line.
+"""
+
+import threading
+
+from repro.analysis.concurrency import GuardedBy
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items: GuardedBy["_lock"] = {}
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def size(self):
+        return len(self._items)  # RACE: no lock held

@@ -1,0 +1,19 @@
+"""Seeded violation: write to a guarded attribute without the lock.
+
+Expected: unguarded-write at the `self.count = ...` line in bump().
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count = self.count + 1  # RACE: no lock held
+
+    def bump_safely(self):
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,25 @@
+"""Seeded violation: a *_locked helper called without its lock held.
+
+`_bump_locked` assumes `_lock` is held (and is itself clean); the
+public `bump_fast` calls it outside any critical section.
+Expected: unguarded-call at the `self._bump_locked()` line in
+bump_fast(); no finding inside the helper or in bump().
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # guarded-by: _lock
+
+    def _bump_locked(self, amount=1):
+        self.total += amount  # fine: helper assumes the lock
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def bump_fast(self):
+        self._bump_locked()  # RACE: lock not held

@@ -1,0 +1,19 @@
+"""Seeded violation: Lock.acquire() without try/finally discipline.
+
+If the work between acquire() and release() raises, the lock is never
+released.  Expected: unstructured-acquire warnings at the acquire()
+and release() call sites.
+"""
+
+import threading
+
+
+class Legacy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def update(self, value):
+        self._lock.acquire()  # LEAK-PRONE: not a with-block
+        self.value = value
+        self._lock.release()

@@ -112,24 +112,33 @@ class CSLQuery:
             seminaive_evaluate(support, scratch)
 
         def conjunction_pairs(elements, from_terms, to_terms) -> Set[Pair]:
-            """Evaluate a conjunction and project (from-part, to-part)."""
-            from ..datalog.evaluation import _FactSource, _evaluate_body
+            """Evaluate a conjunction and project (from-part, to-part).
 
-            source_view = _FactSource(scratch, {})
+            The conjunction is lowered once into a join kernel
+            (:mod:`repro.datalog.engine`) and executed flat — the same
+            machinery the semi-naive engine uses, so materialization
+            rides the compiled hot path too.
+            """
+            from ..datalog.engine import materialize_conjunction
+
+            from_terms = tuple(from_terms)
+            to_terms = tuple(to_terms)
+            try:
+                rows = materialize_conjunction(
+                    elements, from_terms + to_terms, scratch
+                )
+            except ValueError as exc:
+                # An unbound projection term surfaces from the kernel as
+                # the head-grounding ValueError; in CSL recognition that
+                # means the program is outside the class.
+                raise NotCSLError(
+                    f"unbound term while materializing conjunct: {exc}"
+                ) from exc
+            split = len(from_terms)
             pairs: Set[Pair] = set()
-            for theta in _evaluate_body(list(elements), {}, source_view):
-                def value_of(term):
-                    if term.is_constant:
-                        return term.value
-                    bound = theta.get(term)
-                    if bound is None:
-                        raise NotCSLError(
-                            f"unbound term {term} while materializing conjunct"
-                        )
-                    return bound.value
-
-                from_values = tuple(value_of(t) for t in from_terms)
-                to_values = tuple(value_of(t) for t in to_terms)
+            for row in rows:
+                from_values = row[:split]
+                to_values = row[split:]
                 pairs.add(
                     (
                         from_values[0] if len(from_values) == 1 else from_values,

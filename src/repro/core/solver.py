@@ -132,17 +132,24 @@ def naive_answer(query: CSLQuery, counter=None) -> AnswerResult:
     )
 
 
-def seminaive_answer(query: CSLQuery, counter=None) -> AnswerResult:
-    """Second oracle: semi-naive evaluation of the original program."""
+def seminaive_answer(
+    query: CSLQuery, counter=None, engine: str = "seminaive"
+) -> AnswerResult:
+    """Second oracle: semi-naive evaluation of the original program.
+
+    ``engine`` is forwarded to :func:`repro.datalog.answer_tuples`:
+    ``"seminaive"`` (the compiled default), or explicitly ``"compiled"``
+    / ``"interpreted"`` for differential engine testing.
+    """
     from ..datalog.evaluation import answer_tuples
     from ..datalog.relation import CostCounter
 
     program = query.to_program()
     database = query.database(counter if counter is not None else CostCounter())
-    tuples = answer_tuples(program, database, engine="seminaive")
+    tuples = answer_tuples(program, database, engine=engine)
     return AnswerResult(
         answers=frozenset(value for (value,) in tuples),
-        method="seminaive",
+        method="seminaive" if engine == "seminaive" else f"seminaive_{engine}",
         cost=database.counter,
         details={"p_facts": len(database.facts("p"))},
     )

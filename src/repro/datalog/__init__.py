@@ -13,8 +13,11 @@ from .adornment import adorn_program, adornment_from_goal
 from .builtins import arithmetic, comparison
 from .counting_rewrite import counting_rewrite
 from .database import Database
+from .engine import CompiledProgram, JoinKernel, compile_program, compile_rule
 from .evaluation import (
+    DEFAULT_ENGINE,
     DEFAULT_MAX_ITERATIONS,
+    SEMINAIVE_ENGINES,
     answer_tuples,
     naive_evaluate,
     seminaive_evaluate,
@@ -43,11 +46,15 @@ from .term import Constant, Variable, make_term
 __all__ = [
     "Atom",
     "BuiltinAtom",
+    "CompiledProgram",
     "Constant",
     "CostCounter",
     "Database",
+    "DEFAULT_ENGINE",
     "DEFAULT_MAX_ITERATIONS",
     "Diagnostic",
+    "JoinKernel",
+    "SEMINAIVE_ENGINES",
     "LinearRecursion",
     "Literal",
     "ProofNode",
@@ -65,6 +72,8 @@ __all__ = [
     "arithmetic",
     "atom",
     "comparison",
+    "compile_program",
+    "compile_rule",
     "counting_rewrite",
     "eliminate_dead_rules",
     "evaluate_with_provenance",

@@ -1,0 +1,786 @@
+"""Compiled join-kernel execution engine for the semi-naive fixpoint.
+
+The interpreter in :mod:`repro.datalog.evaluation` evaluates rule bodies
+tuple-at-a-time through recursive generators: every matched tuple copies
+a substitution dict (:func:`~repro.datalog.unify.match_tuple`), rebuilds
+the remaining-element list, and re-picks the next body element.  All of
+that work is redundant — the element the scheduler picks depends only on
+*which* variables are bound, never on their values, so the whole join
+order of a rule is a static property.  This module exploits that: each
+rule body is lowered **once** per (program, stratum) into a
+:class:`JoinKernel` — a flat chain of closures over a fixed register
+array.  Index patterns, constant tests, intra-literal equality checks
+and head construction are all precomputed; executing the kernel is a
+bare nested loop whose only per-tuple work is writing tuple fields into
+register slots.
+
+Two planning modes choose the join order:
+
+* ``"mirror"`` (default) — statically replay the interpreter's own
+  scheduling (:func:`~repro.datalog.evaluation._ready_element_index`),
+  including the semi-naive delta pinning of ``_PinnedFirstSource``.
+  Because the kernels read EDB/IDB state exclusively through the
+  charged storage primitives — :meth:`Relation.probe` (which *is*
+  :meth:`Relation.lookup` with the pattern parsed at compile time
+  instead of per call) and :meth:`Relation.contains` — a mirror-planned
+  kernel issues *bit-for-bit the same probe sequence* as the
+  interpreter: answers **and** :class:`CostCounter` snapshots are
+  identical.  The paper's retrieval-cost accounting survives the
+  compilation untouched.
+* ``"cost"`` — order each body once with the cost-based planner
+  (:mod:`repro.datalog.planner` statistics from the database the
+  program is compiled against).  Same answers, possibly fewer
+  retrievals; costs are then those of the *chosen* plan, so only use it
+  where the paper's cost model is not being measured against the
+  interpreter's join order.
+
+The semi-naive fixpoint driver (:meth:`CompiledProgram.run`) mirrors the
+interpreted driver round for round — same round-0 pass, same per-round
+delta relations (named ``Δ<pred>`` and charged to the same counter),
+same confirmation pass — so the two engines are interchangeable
+oracles.  The delta flush uses :meth:`Relation.add_new`, the bulk
+insertion path that maintains every lazy index in one pass.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EvaluationError, UnsafeQueryError
+from .atom import Atom, BuiltinAtom, Literal
+from .builtins import evaluate_builtin, output_variables
+from .database import Database
+from .evaluation import (
+    DEFAULT_MAX_ITERATIONS,
+    _arity_map,
+    _ready_element_index,
+)
+from .planner import order_body_elements, relation_sizes
+from .program import Program
+from .relation import Relation
+from .rule import Rule
+from .term import Constant, Variable
+
+PLAN_MIRROR = "mirror"
+PLAN_COST = "cost"
+PLAN_MODES = (PLAN_MIRROR, PLAN_COST)
+
+
+class _UnsafeTail:
+    """Marker for a body suffix the scheduler could not make evaluable.
+
+    The interpreter raises :class:`EvaluationError` when (and only when)
+    evaluation actually *reaches* the stuck suffix; compiling the raise
+    into the chain preserves that behaviour exactly — a rule whose outer
+    joins produce no bindings never trips it.
+    """
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements):
+        self.elements = tuple(elements)
+
+
+def _static_schedule(elements: Sequence, bound: Set[Variable]) -> List:
+    """Replay the interpreter's per-binding scheduling, statically.
+
+    ``_ready_element_index`` inspects only the *set* of bound variables.
+    A positive literal always binds all its variables, an ``is`` builtin
+    always binds its (statically known) target, and nothing else binds
+    anything — so the interpreter's "dynamic" order is a pure function
+    of the element list, computable once at compile time.
+    """
+    remaining = list(elements)
+    ordered: List = []
+    bound = set(bound)
+    while remaining:
+        index = _ready_element_index(remaining, bound)
+        if index < 0:
+            ordered.append(_UnsafeTail(remaining))
+            break
+        element = remaining.pop(index)
+        ordered.append(element)
+        if isinstance(element, BuiltinAtom):
+            bound |= output_variables(element)
+        elif not element.negated:
+            bound.update(element.variables())
+    return ordered
+
+
+class JoinKernel:
+    """One rule body compiled to a closure chain over a register file.
+
+    ``relations`` lists the ``(predicate, arity)`` pair of every
+    relation-consuming op in chain order; :meth:`execute` takes the
+    resolved :class:`Relation` objects in that order (the semi-naive
+    driver substitutes a delta relation at ``delta_index``) and appends
+    derived head tuples to ``out``.
+    """
+
+    __slots__ = ("rule", "order", "relations", "delta_index", "num_slots", "_entry")
+
+    def __init__(self, rule, order, relations, delta_index, num_slots, entry):
+        self.rule = rule
+        self.order = order
+        self.relations = relations
+        self.delta_index = delta_index
+        self.num_slots = num_slots
+        self._entry = entry
+
+    def execute(self, relations: Sequence[Relation], out: List[Tuple]) -> None:
+        """Run the kernel against resolved relations, appending to ``out``."""
+        self._entry([None] * self.num_slots, relations, out)
+
+    def run(self, database: Database) -> List[Tuple]:
+        """Convenience: resolve relations from ``database`` and execute."""
+        relations = [
+            database.relation_or_empty(predicate, arity)
+            for predicate, arity in self.relations
+        ]
+        out: List[Tuple] = []
+        self.execute(relations, out)
+        return out
+
+    def __repr__(self):
+        return (
+            f"JoinKernel({self.rule.head}, ops={len(self.order)}, "
+            f"slots={self.num_slots})"
+        )
+
+
+def _atom_template(terms, slots, bound):
+    """Split atom terms into a constant template plus slot fill lists."""
+    template = [None] * len(terms)
+    fills = []  # (position, slot): bound variable -> pattern/tuple position
+    for position, term in enumerate(terms):
+        if term.is_constant:
+            template[position] = term.value
+        elif term in bound:
+            fills.append((position, slots[term]))
+    return template, fills
+
+
+def compile_kernel(
+    rule: Rule,
+    elements: Sequence,
+    pinned_predicate: Optional[str] = None,
+) -> JoinKernel:
+    """Lower one scheduled body into a :class:`JoinKernel`.
+
+    ``elements`` must already be in execution order (see
+    :func:`_static_schedule`); ``pinned_predicate`` marks the predicate
+    whose *first* relation-consuming occurrence reads the semi-naive
+    delta — the static equivalent of the interpreter's
+    ``_PinnedFirstSource``.
+    """
+    slots: Dict[Variable, int] = {}
+    bound: Set[Variable] = set()
+    rel_specs: List[Tuple[str, int]] = []
+    delta_index: Optional[int] = None
+    ops: List[Tuple] = []
+    stuck = False
+
+    for element in elements:
+        if isinstance(element, _UnsafeTail):
+            ops.append(("unsafe", element.elements))
+            stuck = True
+            break
+        if isinstance(element, BuiltinAtom):
+            in_pairs = tuple(
+                (v, slots[v]) for v in element.variables() if v in bound
+            )
+            out_pairs = []
+            for v in output_variables(element):
+                if v not in bound:
+                    slot = slots.setdefault(v, len(slots))
+                    out_pairs.append((v, slot))
+                    bound.add(v)
+            ops.append(("builtin", element, in_pairs, tuple(out_pairs)))
+            continue
+
+        arity = len(element.terms)
+        template, fills = _atom_template(element.terms, slots, bound)
+        rel_index = len(rel_specs)
+        rel_specs.append((element.predicate, arity))
+        if (
+            pinned_predicate is not None
+            and delta_index is None
+            and element.predicate == pinned_predicate
+        ):
+            delta_index = rel_index
+
+        if element.negated:
+            ops.append(("negcheck", rel_index, template, tuple(fills)))
+            continue
+
+        binds = []  # (position, slot): tuple position -> fresh register
+        checks = []  # (position, slot): intra-literal repeated variable
+        seen_here: Set[Variable] = set()
+        for position, term in enumerate(element.terms):
+            if term.is_constant or term in bound:
+                continue
+            if term in seen_here:
+                checks.append((position, slots[term]))
+            else:
+                slot = slots.setdefault(term, len(slots))
+                binds.append((position, slot))
+                seen_here.add(term)
+        bound.update(seen_here)
+        # Precompute the probe plan: the (positions, key) pair that
+        # Relation.lookup would derive from the pattern on every call,
+        # derived here once.  ``key_fills`` maps register slots into the
+        # key positions that carry join values at run time.
+        fill_map = dict(fills)
+        positions = []
+        key_template = []
+        key_fills = []
+        for position, value in enumerate(template):
+            if value is not None:
+                positions.append(position)
+                key_template.append(value)
+            elif position in fill_map:
+                positions.append(position)
+                key_template.append(None)
+                key_fills.append((len(key_template) - 1, fill_map[position]))
+        ops.append(
+            (
+                "scan",
+                rel_index,
+                tuple(positions),
+                key_template,
+                tuple(key_fills),
+                tuple(binds),
+                tuple(checks),
+            )
+        )
+
+    if not stuck:
+        missing = [
+            t for t in rule.head.terms if t.is_variable and t not in bound
+        ]
+        if missing:
+            ops.append(("unbound_head", missing[0], rule.head))
+        else:
+            template, fills = _atom_template(rule.head.terms, slots, bound)
+            ops.append(("emit", template, tuple(fills)))
+
+    entry = _build_chain(ops)
+    return JoinKernel(
+        rule, tuple(elements), tuple(rel_specs), delta_index, len(slots), entry
+    )
+
+
+def _build_chain(ops: List[Tuple]):
+    """Fold the op list (innermost last) into one closure chain."""
+    step = None
+    for op in reversed(ops):
+        kind = op[0]
+        if kind == "emit":
+            _, template, fills = op
+            if fills:
+
+                def step(regs, rels, out, _t=template, _f=fills):
+                    row = _t.copy()
+                    for position, slot in _f:
+                        row[position] = regs[slot]
+                    out.append(tuple(row))
+
+            else:
+                constant_row = tuple(template)
+
+                def step(regs, rels, out, _row=constant_row):
+                    out.append(_row)
+
+        elif kind == "scan":
+            _, rel_index, positions, key_template, key_fills, binds, checks = op
+            static_key = None if key_fills else tuple(key_template)
+            whole_key_filled = len(key_fills) == len(key_template)
+            if not checks and len(binds) == 1 and static_key is not None:
+                # Constant probe pattern, one fresh variable: the
+                # innermost loop of a linear join, e.g. scanning a delta.
+                (b_pos, b_slot) = binds[0]
+
+                def step(
+                    regs, rels, out,
+                    _ri=rel_index, _pos=positions, _key=static_key,
+                    _bp=b_pos, _bs=b_slot, _next=step,
+                ):
+                    for tup in rels[_ri].probe(_pos, _key):
+                        regs[_bs] = tup[_bp]
+                        _next(regs, rels, out)
+
+            elif (
+                not checks
+                and len(binds) == 1
+                and whole_key_filled
+                and len(key_fills) == 1
+            ):
+                # One join column from a register, one fresh variable:
+                # the canonical hash-join step (edge(X, Y) with X bound).
+                (_ki, f_slot) = key_fills[0]
+                (b_pos, b_slot) = binds[0]
+
+                def step(
+                    regs, rels, out,
+                    _ri=rel_index, _pos=positions, _fs=f_slot,
+                    _bp=b_pos, _bs=b_slot, _next=step,
+                ):
+                    for tup in rels[_ri].probe(_pos, (regs[_fs],)):
+                        regs[_bs] = tup[_bp]
+                        _next(regs, rels, out)
+
+            elif not checks and len(binds) == 1 and whole_key_filled:
+                fill_slots = tuple(slot for _ki, slot in key_fills)
+                (b_pos, b_slot) = binds[0]
+
+                def step(
+                    regs, rels, out,
+                    _ri=rel_index, _pos=positions, _fs=fill_slots,
+                    _bp=b_pos, _bs=b_slot, _next=step,
+                ):
+                    key = tuple(regs[s] for s in _fs)
+                    for tup in rels[_ri].probe(_pos, key):
+                        regs[_bs] = tup[_bp]
+                        _next(regs, rels, out)
+
+            else:
+
+                def step(
+                    regs, rels, out,
+                    _ri=rel_index, _pos=positions, _kt=key_template,
+                    _kf=key_fills, _b=binds, _c=checks, _sk=static_key,
+                    _next=step,
+                ):
+                    if _sk is None:
+                        key_row = _kt.copy()
+                        for key_index, slot in _kf:
+                            key_row[key_index] = regs[slot]
+                        key = tuple(key_row)
+                    else:
+                        key = _sk
+                    if _c:
+                        for tup in rels[_ri].probe(_pos, key):
+                            for position, slot in _b:
+                                regs[slot] = tup[position]
+                            for position, slot in _c:
+                                if tup[position] != regs[slot]:
+                                    break
+                            else:
+                                _next(regs, rels, out)
+                    else:
+                        for tup in rels[_ri].probe(_pos, key):
+                            for position, slot in _b:
+                                regs[slot] = tup[position]
+                            _next(regs, rels, out)
+
+        elif kind == "negcheck":
+            _, rel_index, template, fills = op
+            constant_pattern = None if fills else tuple(template)
+
+            def step(
+                regs, rels, out,
+                _ri=rel_index, _t=template, _f=fills,
+                _cp=constant_pattern, _next=step,
+            ):
+                if _cp is None:
+                    row = _t.copy()
+                    for position, slot in _f:
+                        row[position] = regs[slot]
+                    pattern = tuple(row)
+                else:
+                    pattern = _cp
+                if not rels[_ri].contains(pattern):
+                    _next(regs, rels, out)
+
+        elif kind == "builtin":
+            _, builtin, in_pairs, out_pairs = op
+
+            def step(
+                regs, rels, out,
+                _bi=builtin, _in=in_pairs, _out=out_pairs, _next=step,
+            ):
+                theta = {v: Constant(regs[slot]) for v, slot in _in}
+                for extended in evaluate_builtin(_bi, theta):
+                    for v, slot in _out:
+                        regs[slot] = extended[v].value
+                    _next(regs, rels, out)
+
+        elif kind == "unbound_head":
+            _, term, head = op
+
+            def step(regs, rels, out, _term=term, _head=head):
+                raise ValueError(
+                    f"unbound variable {_term} instantiating {_head}"
+                )
+
+        elif kind == "unsafe":
+            _, elements = op
+
+            def step(regs, rels, out, _elements=elements):
+                raise EvaluationError(
+                    "no evaluable body element; rule is unsafe: "
+                    + ", ".join(str(e) for e in _elements)
+                )
+
+        else:  # pragma: no cover - compiler invariant
+            raise EvaluationError(f"unknown kernel op {kind!r}")
+    return step
+
+
+def compile_rule(
+    rule: Rule,
+    plan: str = PLAN_MIRROR,
+    sizes: Optional[Dict[str, int]] = None,
+) -> JoinKernel:
+    """Compile a standalone rule body (no delta differentiation)."""
+    ordered = _plan_order(rule.body, plan, sizes)
+    return compile_kernel(rule, _static_schedule(ordered, set()))
+
+
+def _plan_order(elements, plan: str, sizes: Optional[Dict[str, int]]):
+    if plan == PLAN_MIRROR:
+        return list(elements)
+    return order_body_elements(elements, sizes or {})
+
+
+class CompiledRule:
+    """One rule's kernels: the base kernel plus per-position delta variants.
+
+    ``delta_variants`` holds ``(delta_predicate, kernel)`` per positive
+    occurrence of a stratum predicate, in body-position order — the same
+    order the interpreted driver differentiates them in.
+    """
+
+    __slots__ = ("rule", "base", "delta_variants")
+
+    def __init__(self, rule: Rule, base: JoinKernel, delta_variants):
+        self.rule = rule
+        self.base = base
+        self.delta_variants = tuple(delta_variants)
+
+    def __repr__(self):
+        return (
+            f"CompiledRule({self.rule.head}, "
+            f"deltas={len(self.delta_variants)})"
+        )
+
+
+class CompiledStratum:
+    """The compiled rules of one stratum, split like the interpreter."""
+
+    __slots__ = ("predicates", "rules", "recursive_rules")
+
+    def __init__(self, predicates, rules, recursive_rules):
+        self.predicates = frozenset(predicates)
+        self.rules = tuple(rules)
+        self.recursive_rules = tuple(recursive_rules)
+
+
+class CompiledProgram:
+    """A program lowered to join kernels, once per (program, stratum).
+
+    Construction performs the whole compile phase: safety checking,
+    stratification, join-order planning, and kernel lowering for every
+    rule plus every semi-naive delta variant.  The result is immutable
+    and reusable across databases (``"mirror"`` plan) or tied to the
+    statistics of the database it was planned against (``"cost"`` plan);
+    :meth:`run` executes the semi-naive fixpoint against any database.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        plan: str = PLAN_MIRROR,
+    ):
+        if plan not in PLAN_MODES:
+            raise ValueError(
+                f"unknown plan mode {plan!r}; expected one of {PLAN_MODES}"
+            )
+        started = time.perf_counter()
+        program.check_safety()
+        self.program = program
+        self.plan = plan
+        self.rules_signature = tuple(program.rules)
+        self.arities = _arity_map(program)
+        sizes = (
+            relation_sizes(database)
+            if (plan == PLAN_COST and database is not None)
+            else None
+        )
+        self.strata: List[CompiledStratum] = []
+        kernel_count = 0
+        from .stratify import stratify
+
+        for stratum in stratify(program):
+            stratum_rules = [
+                r for r in program.rules if r.head.predicate in stratum
+            ]
+            compiled_rules = []
+            recursive_rules = []
+            for rule in stratum_rules:
+                ordered = _plan_order(rule.body, plan, sizes)
+                base = compile_kernel(rule, _static_schedule(ordered, set()))
+                kernel_count += 1
+                recursive_positions = [
+                    i
+                    for i, e in enumerate(rule.body)
+                    if isinstance(e, Literal)
+                    and not e.negated
+                    and e.predicate in stratum
+                ]
+                variants = []
+                for position in recursive_positions:
+                    body = list(rule.body)
+                    pinned = body[position]
+                    if plan == PLAN_MIRROR:
+                        # The interpreted driver swaps the delta
+                        # occurrence to the front and lets the scheduler
+                        # run on the swapped list; replay exactly that.
+                        body[0], body[position] = body[position], body[0]
+                        ordered_body = body
+                    else:
+                        rest = body[:position] + body[position + 1 :]
+                        ordered_body = [pinned] + order_body_elements(
+                            rest,
+                            sizes or {},
+                            bound=set(pinned.variables()),
+                        )
+                    kernel = compile_kernel(
+                        rule,
+                        _static_schedule(ordered_body, set()),
+                        pinned_predicate=pinned.predicate,
+                    )
+                    kernel_count += 1
+                    variants.append((pinned.predicate, kernel))
+                compiled = CompiledRule(rule, base, variants)
+                compiled_rules.append(compiled)
+                if variants:
+                    recursive_rules.append(compiled)
+            self.strata.append(
+                CompiledStratum(stratum, compiled_rules, recursive_rules)
+            )
+        self.kernel_count = kernel_count
+        self.compile_seconds = time.perf_counter() - started
+
+    # --- execution ----------------------------------------------------
+
+    def _resolve(self, kernel: JoinKernel, database: Database, delta=None):
+        relations = []
+        delta_index = kernel.delta_index
+        for index, (predicate, arity) in enumerate(kernel.relations):
+            if delta is not None and index == delta_index:
+                relations.append(delta)
+            else:
+                relations.append(database.relation_or_empty(predicate, arity))
+        return relations
+
+    def run(
+        self,
+        database: Database,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ) -> Database:
+        """Semi-naive fixpoint over the compiled kernels.
+
+        Mirrors the interpreted driver round for round: derived facts
+        land in ``database`` in place and the database is returned for
+        chaining.
+        """
+        arities = self.arities
+        for stratum in self.strata:
+            for compiled in stratum.rules:
+                head = compiled.rule.head
+                database.relation_or_empty(head.predicate, head.arity)
+
+            deltas: Dict[str, Set[Tuple]] = {
+                p: set() for p in stratum.predicates
+            }
+
+            # Round 0: every rule once against the current database.
+            for compiled in stratum.rules:
+                head = compiled.rule.head
+                head_relation = database.relation_or_empty(
+                    head.predicate, head.arity
+                )
+                out: List[Tuple] = []
+                compiled.base.execute(
+                    self._resolve(compiled.base, database), out
+                )
+                for tup in out:
+                    if head_relation.add(tup):
+                        deltas[head.predicate].add(tup)
+
+            iterations = 0
+            while any(deltas.values()):
+                iterations += 1
+                if iterations > max_iterations:
+                    raise UnsafeQueryError(
+                        f"seminaive fixpoint exceeded {max_iterations} "
+                        f"iterations on stratum {sorted(stratum.predicates)}"
+                    )
+                delta_relations: Dict[str, Relation] = {}
+                for predicate, tuples in deltas.items():
+                    if not tuples:
+                        continue
+                    delta_relations[predicate] = Relation(
+                        f"Δ{predicate}",
+                        arities.get(predicate, len(next(iter(tuples)))),
+                        tuples,
+                        counter=database.counter,
+                    )
+                next_deltas: Dict[str, Set[Tuple]] = {
+                    p: set() for p in stratum.predicates
+                }
+                for compiled in stratum.recursive_rules:
+                    head = compiled.rule.head
+                    head_relation = database.relation_or_empty(
+                        head.predicate, head.arity
+                    )
+                    bucket = next_deltas[head.predicate]
+                    for delta_predicate, kernel in compiled.delta_variants:
+                        delta = delta_relations.get(delta_predicate)
+                        if delta is None:
+                            continue
+                        out = []
+                        kernel.execute(
+                            self._resolve(kernel, database, delta), out
+                        )
+                        for tup in out:
+                            if tup not in head_relation and tup not in bucket:
+                                bucket.add(tup)
+                for predicate, tuples in next_deltas.items():
+                    if not tuples:
+                        continue
+                    relation = database.relation_or_empty(
+                        predicate, arities.get(predicate, len(next(iter(tuples))))
+                    )
+                    # Bulk flush: one dedupe pass against the stored
+                    # tuples, every lazy index extended in one sweep.
+                    next_deltas[predicate] = set(relation.add_new(tuples))
+                deltas = next_deltas
+        return database
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan,
+            "strata": len(self.strata),
+            "kernels": self.kernel_count,
+            "compile_ms": self.compile_seconds * 1000.0,
+        }
+
+    def __repr__(self):
+        return (
+            f"CompiledProgram(plan={self.plan!r}, "
+            f"strata={len(self.strata)}, kernels={self.kernel_count})"
+        )
+
+
+class _KernelCache:
+    """Process-wide memo of mirror-planned compiled programs.
+
+    Keyed by program identity (mirror plans are database-independent,
+    so one compilation serves every run of the same program object);
+    entries are revalidated against the program's current rule tuple so
+    in-place mutation — ``Program.add_rule`` — can never serve stale
+    kernels.  Shared across threads: the service layer compiles from
+    worker threads, so every read/insert happens under ``_lock``.
+
+    Eviction is lazy — a dead program's entry is dropped when its id is
+    revisited or when the size limit clears the table.  Deliberately no
+    ``weakref.ref`` finalizer callback: the GC may run one at any
+    allocation point, including while this thread already holds the
+    non-reentrant ``_lock``, which self-deadlocks.
+    """
+
+    _LIMIT = 128
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: Dict[int, Tuple] = {}  # guarded-by: _lock
+
+    def get(self, program: Program) -> Optional[CompiledProgram]:
+        with self._lock:
+            entry = self._entries.get(id(program))
+            if entry is None:
+                return None
+            ref, compiled = entry
+            if ref() is not program:
+                # The id was recycled by a dead program; drop the entry.
+                del self._entries[id(program)]
+                return None
+        if compiled.rules_signature != tuple(program.rules):
+            with self._lock:
+                self._entries.pop(id(program), None)
+            return None
+        return compiled
+
+    def put(self, program: Program, compiled: CompiledProgram) -> None:
+        with self._lock:
+            if len(self._entries) >= self._LIMIT:
+                self._entries.clear()
+            self._entries[id(program)] = (weakref.ref(program), compiled)
+
+
+_kernel_cache = _KernelCache()
+
+
+def compile_program(
+    program: Program,
+    database: Optional[Database] = None,
+    plan: str = PLAN_MIRROR,
+) -> CompiledProgram:
+    """Compile ``program`` to join kernels, memoizing mirror plans.
+
+    Mirror-planned kernels are independent of any database, so repeated
+    fixpoints over the same :class:`Program` object (incremental
+    maintenance, batch serving, test oracles) pay for lowering once.
+    Cost-planned kernels embed the statistics of ``database`` and are
+    compiled fresh each call — cache them at the call site (the service
+    layer stores them on its :class:`~repro.service.plan.CompiledPlan`).
+    """
+    if plan == PLAN_MIRROR:
+        cached = _kernel_cache.get(program)
+        if cached is not None:
+            return cached
+    compiled = CompiledProgram(program, database=database, plan=plan)
+    if plan == PLAN_MIRROR:
+        _kernel_cache.put(program, compiled)
+    return compiled
+
+
+def compiled_seminaive_evaluate(
+    program: Program,
+    database: Database,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    plan: str = PLAN_MIRROR,
+    compiled: Optional[CompiledProgram] = None,
+) -> Database:
+    """Entry point used by :func:`repro.datalog.evaluation.seminaive_evaluate`.
+
+    ``compiled`` lets callers that already hold kernels (the serving
+    layer) skip the cache lookup entirely.
+    """
+    if compiled is None:
+        compiled = compile_program(program, database=database, plan=plan)
+    return compiled.run(database, max_iterations)
+
+
+def materialize_conjunction(
+    elements: Sequence,
+    head_terms: Sequence,
+    database: Database,
+    plan: str = PLAN_MIRROR,
+) -> List[Tuple]:
+    """Evaluate one conjunctive body and project ``head_terms`` rows.
+
+    Used by the CSL materializer: builds a synthetic single-use rule
+    whose head carries the projection, compiles it, and runs it against
+    ``database``.  Raises :class:`ValueError` (unbound projection term)
+    exactly where the interpreted path would fail to ground the term.
+    """
+    head = Atom("$conjunction", tuple(head_terms))
+    kernel = compile_rule(Rule(head, tuple(elements)), plan=plan)
+    return kernel.run(database)

@@ -11,6 +11,17 @@ database.  Two strategies are provided:
   within each recursive stratum, only rule instantiations that use at
   least one *new* fact (the delta) are re-derived.
 
+:func:`seminaive_evaluate` runs on one of two engines.  The default,
+``engine="compiled"``, lowers each rule once into a slot-based join
+kernel (:mod:`repro.datalog.engine`) and executes flat closure chains;
+``engine="interpreted"`` is the original tuple-at-a-time interpreter in
+this module, retained as the differential oracle next to
+:func:`naive_evaluate`.  In the compiled engine's default ``"mirror"``
+plan the two produce identical answers *and* identical
+:class:`~repro.datalog.relation.CostCounter` snapshots — the kernels
+replay the interpreter's join order and read state through the same
+charged :meth:`Relation.lookup`/:meth:`Relation.contains` primitives.
+
 Both accept ``max_iterations``: recursive programs over cyclic data can
 genuinely diverge when values grow without bound (this is exactly how
 the counting method loses safety — Section 2 of the paper), and the
@@ -24,7 +35,7 @@ so that tests run as soon as their variables are bound (never before).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import EvaluationError, UnsafeQueryError
 from .atom import BuiltinAtom, Literal
@@ -37,6 +48,13 @@ from .stratify import stratify
 from .unify import ground_atom_tuple, lookup_pattern, match_tuple
 
 DEFAULT_MAX_ITERATIONS = 100_000
+
+# Engine selection for seminaive_evaluate.  "compiled" lowers rules to
+# join kernels once per program (repro.datalog.engine); "interpreted" is
+# the recursive-generator evaluator below, kept as the differential
+# oracle.
+DEFAULT_ENGINE = "compiled"
+SEMINAIVE_ENGINES = ("compiled", "interpreted")
 
 
 class _FactSource:
@@ -180,6 +198,8 @@ def seminaive_evaluate(
     program: Program,
     database: Database,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    engine: Optional[str] = None,
+    plan: Optional[str] = None,
 ) -> Database:
     """Semi-naive (differential) bottom-up fixpoint.
 
@@ -187,7 +207,27 @@ def seminaive_evaluate(
     stratum run once; recursive rules are differentiated — for each
     occurrence of a stratum predicate, a delta version of the rule joins
     that occurrence against the facts new in the previous round.
+
+    ``engine`` selects ``"compiled"`` (default: join kernels from
+    :mod:`repro.datalog.engine`) or ``"interpreted"`` (this module's
+    tuple-at-a-time evaluator, the differential oracle).  ``plan`` is
+    forwarded to the compiled engine: ``"mirror"`` (default) replays the
+    interpreter's join order for bit-for-bit cost parity, ``"cost"``
+    orders bodies once with the planner's statistics.
     """
+    engine = engine or DEFAULT_ENGINE
+    if engine == "compiled":
+        from .engine import compiled_seminaive_evaluate
+
+        return compiled_seminaive_evaluate(
+            program, database, max_iterations, plan=plan or "mirror"
+        )
+    if engine != "interpreted":
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {SEMINAIVE_ENGINES}"
+        )
+    if plan is not None:
+        raise ValueError("plan selection requires engine='compiled'")
     program.check_safety()
     arities = _arity_map(program)
     strata = stratify(program)
@@ -317,9 +357,11 @@ def answer_tuples(
 ) -> Set[Tuple]:
     """Evaluate ``program`` and return the tuples matching its query goal.
 
-    ``engine`` is ``"naive"`` or ``"seminaive"``.  The goal may contain
-    constants (selections) and variables (projected out positions keep
-    their order).
+    ``engine`` is ``"naive"``, ``"seminaive"`` (the default compiled
+    semi-naive engine), or explicitly ``"compiled"`` / ``"interpreted"``
+    to pick a semi-naive engine.  The goal may contain constants
+    (selections) and variables (projected out positions keep their
+    order).
     """
     if program.query is None:
         raise EvaluationError("program has no query goal")
@@ -327,6 +369,8 @@ def answer_tuples(
         naive_evaluate(program, database, max_iterations)
     elif engine == "seminaive":
         seminaive_evaluate(program, database, max_iterations)
+    elif engine in SEMINAIVE_ENGINES:
+        seminaive_evaluate(program, database, max_iterations, engine=engine)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     goal = program.query

@@ -46,10 +46,20 @@ def _estimated_output(literal: Literal, bound: Set[Variable], sizes: Dict[str, i
     return max(1.0, size * (1.0 - selectivity))
 
 
-def _order_body(rule: Rule, sizes: Dict[str, int]) -> List:
-    remaining = list(rule.body)
+def order_body_elements(
+    elements,
+    sizes: Dict[str, int],
+    bound: Optional[Set[Variable]] = None,
+) -> List:
+    """Greedy cheapest-next ordering of one body's elements.
+
+    ``bound`` seeds the set of already-bound variables — the compiled
+    engine uses this to order the tail of a semi-naive delta rule after
+    the pinned delta literal has bound its variables.
+    """
+    remaining = list(elements)
     ordered: List = []
-    bound: Set[Variable] = set()
+    bound = set(bound) if bound else set()
     while remaining:
         # Filters first, as soon as they are evaluable.
         filter_index = None
@@ -87,6 +97,10 @@ def _order_body(rule: Rule, sizes: Dict[str, int]) -> List:
         ordered.append(best)
         bound |= set(best.variables())
     return ordered
+
+
+def _order_body(rule: Rule, sizes: Dict[str, int]) -> List:
+    return order_body_elements(rule.body, sizes)
 
 
 def optimize_rule(rule: Rule, sizes: Dict[str, int]) -> Rule:

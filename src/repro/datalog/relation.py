@@ -128,12 +128,41 @@ class Relation:
         return True
 
     def add_all(self, tuples: Iterable[Tuple]) -> int:
-        """Insert many tuples; returns how many were new."""
-        added = 0
+        """Insert many tuples; returns how many were new.
+
+        Bulk path: dedupes against the stored tuples first, then extends
+        each lazy index in a single pass instead of touching every index
+        once per tuple (as per-tuple :meth:`add` must).
+        """
+        return len(self.add_new(tuples))
+
+    def add_new(self, tuples: Iterable[Tuple]) -> List[Tuple]:
+        """Bulk insert; returns the tuples that were actually new.
+
+        The semi-naive engines flush each round's delta through this:
+        the returned list *is* the confirmed delta, already deduplicated
+        against the stored facts, with every existing hash index
+        extended in one sweep.
+        """
+        fresh: List[Tuple] = []
+        stored = self._tuples
+        arity = self.arity
         for tup in tuples:
-            if self.add(tup):
-                added += 1
-        return added
+            tup = tuple(tup)
+            if len(tup) != arity:
+                raise ValueError(
+                    f"relation {self.name} has arity {arity}, got tuple {tup!r}"
+                )
+            if tup in stored:
+                continue
+            stored.add(tup)
+            fresh.append(tup)
+        if fresh:
+            for positions, index in self._indexes.items():
+                for tup in fresh:
+                    key = tuple(tup[i] for i in positions)
+                    index.setdefault(key, []).append(tup)
+        return fresh
 
     def _index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[Tuple]]:
         index = self._indexes.get(positions)
@@ -148,29 +177,48 @@ class Relation:
     def lookup(self, pattern: Tuple) -> Iterator[Tuple]:
         """Yield tuples matching ``pattern`` (None = free position).
 
-        Charges one probe plus one unit per tuple yielded.
+        Charges one probe plus one unit per tuple yielded.  A consumer
+        that stops early (an existence check, a bounded scan) still pays
+        for every tuple it retrieved: the charge covers exactly the
+        tuples yielded and is recorded when the probe is exhausted *or
+        abandoned* — the old exhaustion-only accounting let partially
+        consumed probes escape the paper's cost measure entirely.
         """
         if len(pattern) != self.arity:
             raise ValueError(
                 f"pattern {pattern!r} does not match arity {self.arity} "
                 f"of relation {self.name}"
             )
-        self.counter.charge_probe(self.name)
         positions = tuple(i for i, v in enumerate(pattern) if v is not None)
+        key = tuple(pattern[i] for i in positions)
+        return self.probe(positions, key)
+
+    def probe(self, positions: Tuple[int, ...], key: Tuple) -> Iterator[Tuple]:
+        """Charged low-level read: tuples whose ``positions`` columns
+        equal ``key`` (ascending column indexes, values in that order).
+
+        This is :meth:`lookup` with the pattern already parsed —
+        :meth:`lookup` derives ``(positions, key)`` per call, while the
+        compiled join kernels precompute them once at plan time.  Both
+        entry points share this body, so the charging is identical by
+        construction: one probe, plus one unit per tuple yielded
+        (settled on exhaustion or abandonment, as for :meth:`lookup`).
+        """
+        self.counter.charge_probe(self.name)
         if not positions:
             matches: Iterable[Tuple] = self._tuples
         elif len(positions) == self.arity:
-            tup = tuple(pattern)
+            tup = tuple(key)
             matches = (tup,) if tup in self._tuples else ()
         else:
-            index = self._index_for(positions)
-            key = tuple(pattern[i] for i in positions)
-            matches = index.get(key, ())
+            matches = self._index_for(positions).get(key, ())
         count = 0
-        for tup in matches:
-            count += 1
-            yield tup
-        self.counter.charge_tuples(self.name, count)
+        try:
+            for tup in matches:
+                count += 1
+                yield tup
+        finally:
+            self.counter.charge_tuples(self.name, count)
 
     def contains(self, tup: Tuple) -> bool:
         """Membership test, charged as one probe (plus one hit if found)."""

@@ -123,6 +123,14 @@ class BatchMetrics:
         self.phases: List[Tuple[str, Dict[str, int], float]] = []
         self._last = counter.snapshot()
         self._last_time = time.perf_counter()
+        self._engine: str = ""
+        self._compile_ms: float = 0.0
+
+    def record_engine(self, engine: str, compile_seconds: float = 0.0) -> None:
+        """Record which evaluation engine served the batch and what its
+        (amortized) plan compilation cost was in wall-clock seconds."""
+        self._engine = engine
+        self._compile_ms = compile_seconds * 1000.0
 
     def mark(self, phase: str) -> Dict[str, int]:
         """Close the current phase under ``phase``; returns its delta."""
@@ -162,6 +170,9 @@ class BatchMetrics:
             report[f"duration_ms:{phase}"] = duration_ms
             total_ms += duration_ms
         report["duration_ms"] = total_ms
+        if self._engine:
+            report["engine"] = self._engine
+            report["compile_ms"] = self._compile_ms
         if goals:
             report["goals"] = goals
             report["retrievals_per_goal"] = self.counter.retrievals / goals

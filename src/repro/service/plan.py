@@ -18,7 +18,11 @@ cached half:
 * the :class:`~repro.analysis.static.StaticReport` of the program it
   was compiled from, and per-source counting-safety certificates so the
   service can refuse (or fall back from) a certifiably divergent
-  counting plan *before* any fixpoint starts.
+  counting plan *before* any fixpoint starts;
+* the compiled join kernels (:class:`~repro.datalog.engine.CompiledProgram`)
+  of the canonical program, so engine-level oracle runs and any
+  semi-naive fallback amortize rule lowering across batches alongside
+  the pair sets.
 
 Plans are immutable with respect to the database state they were
 compiled from; the owning :class:`SolverService` discards them when the
@@ -28,6 +32,7 @@ database mutates.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -61,6 +66,9 @@ class CompiledPlan:
         database_fp: str = "",
         db_version: int = 0,
         static_report=None,
+        kernels=None,
+        compile_seconds: float = 0.0,
+        engine: str = "compiled",
     ):
         self.left = frozenset(left)
         self.exit = frozenset(exit_pairs)
@@ -70,9 +78,14 @@ class CompiledPlan:
         self.database_fp = database_fp
         self.db_version = db_version
         self.static_report = static_report
+        self.compile_seconds = compile_seconds
+        self.engine = engine
         # The memo caches are filled lazily from whichever worker thread
         # first asks; _memo_lock keeps fill/evict/read atomic.
         self._memo_lock = threading.Lock()
+        # Join kernels of the canonical program, lowered once at plan
+        # compile time (built lazily when not handed in).
+        self._kernels = kernels  # guarded-by: _memo_lock
         self._relation_certificate: Optional[SafetyCertificate] = None  # guarded-by: _memo_lock
         self._source_certificates: Dict[object, SafetyCertificate] = {}  # guarded-by: _memo_lock
         # Shared relations: indexes built lazily on first use persist
@@ -129,6 +142,46 @@ class CompiledPlan:
     def query_for(self, source) -> CSLQuery:
         """A plain :class:`CSLQuery` for one source (oracles, analysis)."""
         return CSLQuery(self.left, self.exit, self.right, source)
+
+    @property
+    def kernels(self):
+        """Join kernels of the canonical program (lazy, cached).
+
+        A :class:`~repro.datalog.engine.CompiledProgram` lowering the
+        canonical ``p``/``l``/``e``/``r`` rules once for the lifetime of
+        the plan — every engine-level run against this plan's pair sets
+        (oracle verification, semi-naive fallback) reuses it instead of
+        re-compiling per call.
+        """
+        with self._memo_lock:
+            if self._kernels is None:
+                from ..datalog.engine import CompiledProgram
+
+                program = self.query_for(self.default_source).to_program()
+                self._kernels = CompiledProgram(program)
+            return self._kernels
+
+    def oracle_answers(self, source, counter: Optional[CostCounter] = None):
+        """Answers for one source via the cached semi-naive kernels.
+
+        The differential oracle next to the flat CSL methods: evaluates
+        the canonical program bottom-up with the compiled engine on a
+        fresh database built from the plan's pair sets, then selects
+        ``p(source, Y)``.  Compilation cost is paid once per plan, not
+        per call.
+        """
+        from ..datalog.database import Database
+
+        kernels = self.kernels
+        database = Database(counter if counter is not None else CostCounter())
+        database.create("l", 2).add_all(self.left)
+        database.create("e", 2).add_all(self.exit)
+        database.create("r", 2).add_all(self.right)
+        kernels.run(database)
+        relation = database.relation_or_empty("p", 2)
+        return frozenset(
+            y for (_x, y) in relation.lookup((source, None))
+        )
 
     def classification_for(self, source) -> Classification:
         """Memoized magic-graph classification from ``source`` (uncharged)."""
@@ -190,6 +243,8 @@ class CompiledPlan:
             "r_pairs": len(self.right),
             "default_source": self.default_source,
             "counting_safety": self.relation_certificate.verdict,
+            "engine": self.engine,
+            "compile_ms": self.compile_seconds * 1000.0,
         }
 
     def __repr__(self):
@@ -216,8 +271,11 @@ def compile_program_plan(
     is handed to the analyzer so nothing is recognized twice.
     """
     from ..analysis.static import run_static_analysis
+    from ..datalog.engine import CompiledProgram
 
+    started = time.perf_counter()
     query = CSLQuery.from_program(program, database=database)
+    kernels = CompiledProgram(query.to_program())
     return CompiledPlan(
         query.left,
         query.exit,
@@ -229,6 +287,8 @@ def compile_program_plan(
         static_report=run_static_analysis(
             program, database, csl_query=query
         ),
+        kernels=kernels,
+        compile_seconds=time.perf_counter() - started,
     )
 
 
@@ -239,7 +299,10 @@ def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
     graph-level analyses only (safety certificate, admissibility).
     """
     from ..analysis.static import analyze_query
+    from ..datalog.engine import CompiledProgram
 
+    started = time.perf_counter()
+    kernels = CompiledProgram(query.to_program())
     return CompiledPlan(
         query.left,
         query.exit,
@@ -248,4 +311,6 @@ def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
         fingerprint=pairs_fingerprint(query.left, query.exit, query.right),
         db_version=db_version,
         static_report=analyze_query(query),
+        kernels=kernels,
+        compile_seconds=time.perf_counter() - started,
     )

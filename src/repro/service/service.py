@@ -281,6 +281,7 @@ class SolverService:
                     }
             counter = CostCounter()
             metrics = BatchMetrics(counter)
+            metrics.record_engine(plan.engine, plan.compile_seconds)
             with plan.attached(counter):
                 # Execute-time version check: a concurrent mutation may
                 # have invalidated this plan between the cache lookup

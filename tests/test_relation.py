@@ -140,3 +140,66 @@ class TestStandaloneCounters:
         snap = relation.counter.snapshot()
         assert snap["retrievals"] == 3
         assert snap["relation:solo"] == 3
+
+
+class TestPartialConsumptionCharging:
+    """Regression: lookup used to charge tuples only at generator
+    exhaustion, so an early-exiting consumer retrieved tuples for free."""
+
+    def test_partially_consumed_lookup_charges_yielded_tuples(self, counter):
+        relation = Relation(
+            "edge", 2, [("a", "b"), ("a", "c"), ("a", "d")], counter
+        )
+        generator = relation.lookup(("a", None))
+        next(generator)
+        generator.close()
+        snap = counter.snapshot()
+        assert snap["probes"] == 1
+        assert snap["tuples"] == 1
+        assert snap["retrievals"] == 2
+        assert snap["relation:edge"] == 2
+
+    def test_existence_check_pays_for_the_hit(self, counter):
+        relation = Relation(
+            "edge", 2, [("a", "b"), ("a", "c"), ("a", "d")], counter
+        )
+        assert any(True for _ in relation.lookup(("a", None)))
+        # any() stops at the first tuple: one probe + one tuple charged,
+        # not one probe + zero (the old exhaustion-only accounting).
+        assert counter.retrievals == 2
+
+    def test_full_consumption_total_unchanged(self, edges, counter):
+        assert len(list(edges.lookup(("a", None)))) == 2
+        assert counter.retrievals == 3  # 1 probe + 2 tuples, as before
+
+
+class TestBulkInsert:
+    """Relation.add_all / add_new: the one-pass bulk path."""
+
+    def test_add_all_counts_only_new(self, edges):
+        added = edges.add_all([("a", "b"), ("x", "y"), ("x", "y"), ("y", "z")])
+        assert added == 2
+        assert ("x", "y") in edges and ("y", "z") in edges
+
+    def test_add_new_returns_fresh_tuples(self, edges):
+        fresh = edges.add_new([("a", "b"), ("n", "m"), ("n", "m")])
+        assert fresh == [("n", "m")]
+
+    def test_add_new_extends_existing_indexes(self, edges, counter):
+        # Build the column-0 index first, then bulk insert: the index
+        # must serve the new tuples without a rebuild.
+        assert len(list(edges.lookup(("a", None)))) == 2
+        edges.add_new([("a", "z"), ("q", "r")])
+        assert set(edges.lookup(("a", None))) == {
+            ("a", "b"), ("a", "c"), ("a", "z")
+        }
+        assert set(edges.lookup(("q", None))) == {("q", "r")}
+
+    def test_add_new_enforces_arity(self, edges):
+        with pytest.raises(ValueError):
+            edges.add_new([("a", "b", "c")])
+
+    def test_add_new_accepts_generators(self, edges):
+        fresh = edges.add_new((pair for pair in [("g", "h")]))
+        assert fresh == [("g", "h")]
+        assert ("g", "h") in edges

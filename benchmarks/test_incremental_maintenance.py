@@ -1,0 +1,224 @@
+"""Per-update cost of plan maintenance vs full re-solve (PR 6 tentpole).
+
+A live :class:`~repro.service.SolverService` keeps its cached plans'
+materialized pair sets exact under EDB churn instead of recompiling.
+This module measures what that buys: for single-fact updates (delete an
+existing pair, re-insert it — both ``l`` and ``e``) on the
+same-generation workload of Section 1 and a Table 1 workload family,
+it records the maintenance retrievals charged per update next to the
+retrievals of a from-scratch solve of the same goal, asserting
+
+* the served answers after every update equal a full re-solve on the
+  post-update relations (exactness), and
+* the per-update retrieval cost sits at least ``MIN_RATIO``x below the
+  full re-solve (the maintenance dividend).
+
+Results are persisted to ``benchmarks/results/BENCH_maintenance.json``
+so the per-update cost trajectory is tracked across PRs.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.csl import CSLQuery
+from repro.core.solver import solve
+from repro.datalog.evaluation import seminaive_evaluate
+from repro.datalog.maintenance import MaintenanceState
+from repro.datalog.relation import CostCounter
+from repro.service import SolverService
+from repro.workloads.generators import regular_workload
+from repro.workloads.samegen import balanced_same_generation
+
+from .conftest import add_report
+
+pytestmark = [pytest.mark.slow]
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_maintenance.json"
+)
+MIN_RATIO = 10.0
+
+WORKLOADS = [
+    ("samegen d6", lambda: balanced_same_generation(depth=6, fanout=2)),
+    ("table1 regular s2", lambda: regular_workload(scale=2)),
+]
+
+
+def full_resolve(left, exit_pairs, right, source):
+    """Retrievals and answers of a from-scratch solve of the goal."""
+    counter = CostCounter()
+    result = solve(
+        CSLQuery(left, exit_pairs, right, source), counter=counter
+    )
+    return counter.retrievals, result.answers
+
+
+def churn_schedule(query):
+    """Four single-fact updates: delete then re-insert one existing
+    ``l`` pair and one existing ``e`` pair (deterministic picks)."""
+    l_pair = max(query.left)
+    e_pair = max(query.exit)
+    return [
+        ("delete", "l", l_pair),
+        ("insert", "l", l_pair),
+        ("delete", "e", e_pair),
+        ("insert", "e", e_pair),
+    ]
+
+
+def run_workload(name, make_query):
+    query = make_query()
+    service = SolverService(query.database())
+    program = query.to_program()
+    source = query.source
+    service.solve_batch(program, [source])  # compile + warm the plan
+
+    edb = {
+        "l": set(query.left),
+        "e": set(query.exit),
+        "r": set(query.right),
+    }
+    updates = []
+    for op, relation, pair in churn_schedule(query):
+        started = time.perf_counter()
+        if op == "insert":
+            result = service.mutate(inserts={relation: [pair]})
+            edb[relation].add(pair)
+        else:
+            result = service.mutate(deletes={relation: [pair]})
+            edb[relation].discard(pair)
+        elapsed = time.perf_counter() - started
+        assert result.plans_maintained == 1, (name, op, relation)
+        assert result.plans_invalidated == 0, (name, op, relation)
+
+        scratch_retrievals, scratch_answers = full_resolve(
+            edb["l"], edb["e"], edb["r"], source
+        )
+        served = service.solve_batch(program, [source])
+        assert served.cache_hit is True, (name, op, relation)
+        assert served.answers[source] == scratch_answers, (
+            name, op, relation,
+        )
+
+        maintain_retrievals = result.maintenance["retrievals"]
+        assert maintain_retrievals * MIN_RATIO <= scratch_retrievals, (
+            name, op, relation, maintain_retrievals, scratch_retrievals,
+        )
+        updates.append(
+            {
+                "op": op,
+                "relation": relation,
+                "maintain_retrievals": maintain_retrievals,
+                "full_resolve_retrievals": scratch_retrievals,
+                "facts_touched": result.maintenance["facts_touched"],
+                "overdeleted": result.maintenance["overdeleted"],
+                "rederived": result.maintenance["rederived"],
+                "maintain_seconds": round(elapsed, 6),
+            }
+        )
+
+    stats = service.stats()
+    assert stats["plans_maintained"] == len(updates)
+    assert stats["maintenance_fallbacks"] == 0
+    return {
+        "workload": name,
+        "sizes": {k: len(v) for k, v in edb.items()},
+        "updates": updates,
+    }
+
+
+def run_model_maintenance(name, make_query):
+    """Datalog-layer counterpart: maintain the *full materialized model*
+    of the canonical program with :class:`MaintenanceState` and compare
+    each update's retrievals to a from-scratch ``seminaive_evaluate``.
+
+    This is where the counting/DRed machinery pays its real costs
+    (over-deletion, re-derivation), so unlike the plan-level projection
+    updates the retrievals here are non-trivial.  Each update must still
+    be strictly cheaper than half a re-evaluation.
+    """
+    query = make_query()
+    program = query.to_program()
+    program.query = None
+    maintained = query.database()
+    seminaive_evaluate(program, maintained)
+
+    scratch = query.database()
+    scratch.reset_cost()
+    seminaive_evaluate(program, scratch)
+    full = scratch.total_cost()
+
+    state = MaintenanceState(program, maintained)
+    updates = []
+    for op, relation, pair in churn_schedule(query):
+        if op == "insert":
+            report = state.apply(inserts={relation: [pair]})
+        else:
+            report = state.apply(deletes={relation: [pair]})
+        assert report.retrievals * 2 < full, (name, op, relation)
+        updates.append(
+            {
+                "op": op,
+                "relation": relation,
+                "maintain_retrievals": report.retrievals,
+                "full_evaluate_retrievals": full,
+                "facts_touched": report.facts_touched,
+                "overdeleted": report.overdeleted,
+                "rederived": report.rederived,
+            }
+        )
+    # The churn netted out to the original EDB: the maintained model
+    # must be bit-identical to the from-scratch one.
+    for predicate in program.idb_predicates():
+        assert maintained.facts(predicate) == scratch.facts(predicate)
+    return {"workload": name, "updates": updates}
+
+
+def test_maintenance_dividend():
+    rows = [run_workload(name, make) for name, make in WORKLOADS]
+    model_rows = [run_model_maintenance(name, make) for name, make in WORKLOADS]
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {"workloads": rows, "materialized_model": model_rows}, indent=2
+        )
+        + "\n"
+    )
+
+    lines = [
+        "incremental maintenance: per-update retrievals vs full re-solve",
+        "",
+        "serving stack (plan pair-set maintenance)",
+        f"{'workload':<20} {'update':<12} {'maintain':>9} {'re-solve':>9} "
+        f"{'ratio':>8}",
+    ]
+    for row in rows:
+        for update in row["updates"]:
+            maintain = update["maintain_retrievals"]
+            scratch = update["full_resolve_retrievals"]
+            ratio = scratch / maintain if maintain else float("inf")
+            label = f"{update['op']} {update['relation']}"
+            lines.append(
+                f"{row['workload']:<20} {label:<12} {maintain:>9} "
+                f"{scratch:>9} {ratio:>8.1f}"
+            )
+    lines += [
+        "",
+        "materialized model (counting + DRed over the canonical program)",
+        f"{'workload':<20} {'update':<12} {'maintain':>9} {'re-eval':>9} "
+        f"{'ratio':>8} {'over':>5} {'reder':>6}",
+    ]
+    for row in model_rows:
+        for update in row["updates"]:
+            maintain = update["maintain_retrievals"]
+            scratch = update["full_evaluate_retrievals"]
+            ratio = scratch / maintain if maintain else float("inf")
+            label = f"{update['op']} {update['relation']}"
+            lines.append(
+                f"{row['workload']:<20} {label:<12} {maintain:>9} "
+                f"{scratch:>9} {ratio:>8.1f} {update['overdeleted']:>5} "
+                f"{update['rederived']:>6}"
+            )
+    add_report("maintenance_dividend", "\n".join(lines))

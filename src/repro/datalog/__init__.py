@@ -24,6 +24,7 @@ from .evaluation import (
 )
 from .incremental import insert_and_maintain
 from .linear import LinearRecursion, analyze_linear
+from .maintenance import MaintenanceReport, MaintenanceState, delete_and_maintain
 from .lint import Diagnostic, lint_program
 from .magic_rewrite import magic_rewrite
 from .parser import parse_atom, parse_program, parse_rule
@@ -57,6 +58,8 @@ __all__ = [
     "SEMINAIVE_ENGINES",
     "LinearRecursion",
     "Literal",
+    "MaintenanceReport",
+    "MaintenanceState",
     "ProofNode",
     "Program",
     "Provenance",
@@ -75,6 +78,7 @@ __all__ = [
     "compile_program",
     "compile_rule",
     "counting_rewrite",
+    "delete_and_maintain",
     "eliminate_dead_rules",
     "evaluate_with_provenance",
     "fact",

@@ -50,6 +50,27 @@ class Database:
         relation = self.create(name, len(tuples[0]))
         return relation.add_all(tuples)
 
+    def remove_fact(self, name: str, *values) -> bool:
+        """Delete a fact; returns True when it was present.
+
+        Unknown relations and absent tuples are no-ops (False), matching
+        set-difference semantics; an arity mismatch against an existing
+        relation is still an error.
+        """
+        relation = self._relations.get(name)
+        if relation is None:
+            return False
+        if len(values) != relation.arity:
+            raise EvaluationError(
+                f"relation {name} has arity {relation.arity}, "
+                f"got tuple {values!r}"
+            )
+        return relation.discard(values)
+
+    def remove_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        """Bulk delete; returns how many tuples were present."""
+        return sum(1 for tup in tuples if self.remove_fact(name, *tup))
+
     def add_atom(self, atom: Atom) -> bool:
         """Insert a ground atom as a fact."""
         if not atom.is_ground():

@@ -74,75 +74,122 @@ def insert_and_maintain(
     ``new_facts`` maps predicate names to tuples.  Returns the per-
     predicate sets of *newly derived* IDB facts (not counting the
     insertions themselves).  The database is updated in place.
+
+    The delta is validated before anything is stored: inserting into an
+    IDB predicate is rejected (it would silently diverge from the
+    rules-defined fixpoint), and every tuple must match the predicate's
+    arity — from the program when it mentions the predicate, from the
+    existing relation otherwise, and tuples within one batch must agree
+    with each other.  On *any* failure, including one raised mid-
+    propagation, every fact this call added is removed again, so the
+    database is never left half-maintained.
     """
     program.check_safety()
     arities = _arity_map(program)
+    idb = program.idb_predicates()
 
-    deltas: Dict[str, Set[Tuple]] = {}
+    cleaned: Dict[str, List[Tuple]] = {}
     for predicate, tuples in new_facts.items():
         tuples = [tuple(t) for t in tuples]
         if not tuples:
             continue
-        relation = database.relation_or_empty(predicate, len(tuples[0]))
-        fresh = {t for t in tuples if relation.add(t)}
-        if fresh:
-            deltas[predicate] = fresh
-
-    affected = _affected_predicates(program, set(deltas))
-    _check_no_negation_in(program, affected)
-
-    derived: Dict[str, Set[Tuple]] = {p: set() for p in affected}
-    rules = [r for r in program.rules if r.head.predicate in affected]
-    iterations = 0
-    while deltas:
-        iterations += 1
-        if iterations > max_iterations:
-            raise UnsafeQueryError(
-                f"incremental maintenance exceeded {max_iterations} rounds"
+        if predicate in idb:
+            raise EvaluationError(
+                f"cannot insert into IDB predicate {predicate!r}; it is "
+                "maintained from its rules"
             )
-        delta_relations = {
-            predicate: Relation(
-                f"Δ{predicate}",
-                arities.get(predicate, len(next(iter(tuples)))),
-                tuples,
-                counter=database.counter,
-            )
-            for predicate, tuples in deltas.items()
-        }
-        next_deltas: Dict[str, Set[Tuple]] = {}
-        for rule in rules:
-            head_relation = database.relation_or_empty(
-                rule.head.predicate, rule.head.arity
-            )
-            positions = [
-                i
-                for i, element in enumerate(rule.body)
-                if isinstance(element, Literal)
-                and not element.negated
-                and element.predicate in delta_relations
-            ]
-            for position in positions:
-                element = rule.body[position]
-                body = list(rule.body)
-                body[0], body[position] = body[position], body[0]
-                pinned = _PinnedFirstSource(
-                    _FactSource(database, arities),
-                    element.predicate,
-                    delta_relations[element.predicate],
+        arity = arities.get(predicate)
+        if arity is None and database.has_relation(predicate):
+            arity = database.relation(predicate).arity
+        for tup in tuples:
+            if arity is None:
+                arity = len(tup)
+            if len(tup) != arity:
+                raise EvaluationError(
+                    f"predicate {predicate!r} expects arity {arity}, "
+                    f"got tuple {tup!r}"
                 )
-                for theta in _evaluate_body(body, {}, pinned):
-                    tup = ground_atom_tuple(rule.head, theta)
-                    if tup not in head_relation:
-                        next_deltas.setdefault(
-                            rule.head.predicate, set()
-                        ).add(tup)
-        deltas = {}
-        for predicate, tuples in next_deltas.items():
-            relation = database.relation_or_empty(
-                predicate, arities.get(predicate, len(next(iter(tuples))))
-            )
-            confirmed = {t for t in tuples if relation.add(t)}
-            if confirmed:
-                deltas[predicate] = confirmed
-                derived.setdefault(predicate, set()).update(confirmed)
+        cleaned[predicate] = tuples
+
+    # Every add is journalled so a failure anywhere below restores the
+    # pre-call state (the propagation can raise UnsafeQueryError on the
+    # iteration budget, or EvaluationError from an unsafe rule body).
+    journal: List[Tuple[str, Tuple]] = []
+    try:
+        deltas: Dict[str, Set[Tuple]] = {}
+        for predicate, tuples in cleaned.items():
+            relation = database.relation_or_empty(predicate, len(tuples[0]))
+            fresh = set()
+            for tup in tuples:
+                if relation.add(tup):
+                    fresh.add(tup)
+                    journal.append((predicate, tup))
+            if fresh:
+                deltas[predicate] = fresh
+
+        affected = _affected_predicates(program, set(deltas))
+        _check_no_negation_in(program, affected)
+
+        derived: Dict[str, Set[Tuple]] = {p: set() for p in affected}
+        rules = [r for r in program.rules if r.head.predicate in affected]
+        iterations = 0
+        while deltas:
+            iterations += 1
+            if iterations > max_iterations:
+                raise UnsafeQueryError(
+                    f"incremental maintenance exceeded {max_iterations} rounds"
+                )
+            delta_relations = {
+                predicate: Relation(
+                    f"Δ{predicate}",
+                    arities.get(predicate, len(next(iter(tuples)))),
+                    tuples,
+                    counter=database.counter,
+                )
+                for predicate, tuples in deltas.items()
+            }
+            next_deltas: Dict[str, Set[Tuple]] = {}
+            for rule in rules:
+                head_relation = database.relation_or_empty(
+                    rule.head.predicate, rule.head.arity
+                )
+                positions = [
+                    i
+                    for i, element in enumerate(rule.body)
+                    if isinstance(element, Literal)
+                    and not element.negated
+                    and element.predicate in delta_relations
+                ]
+                for position in positions:
+                    element = rule.body[position]
+                    body = list(rule.body)
+                    body[0], body[position] = body[position], body[0]
+                    pinned = _PinnedFirstSource(
+                        _FactSource(database, arities),
+                        element.predicate,
+                        delta_relations[element.predicate],
+                    )
+                    for theta in _evaluate_body(body, {}, pinned):
+                        tup = ground_atom_tuple(rule.head, theta)
+                        if tup not in head_relation:
+                            next_deltas.setdefault(
+                                rule.head.predicate, set()
+                            ).add(tup)
+            deltas = {}
+            for predicate, tuples in next_deltas.items():
+                relation = database.relation_or_empty(
+                    predicate, arities.get(predicate, len(next(iter(tuples))))
+                )
+                confirmed = set()
+                for tup in tuples:
+                    if relation.add(tup):
+                        confirmed.add(tup)
+                        journal.append((predicate, tup))
+                if confirmed:
+                    deltas[predicate] = confirmed
+                    derived.setdefault(predicate, set()).update(confirmed)
+    except Exception:
+        for predicate, tup in reversed(journal):
+            database.relation(predicate).discard(tup)
+        raise
     return {p: s for p, s in derived.items() if s}

@@ -1,0 +1,876 @@
+"""Deletion-capable incremental view maintenance: counting + DRed.
+
+The paper's central device is *derivation counting*.  This module turns
+it into a maintenance engine: a :class:`MaintenanceState` owns the IDB
+of an evaluated database and keeps it exact under arbitrary EDB fact
+insertions **and deletions**.
+
+Two regimes, chosen per stratum:
+
+* **Counting** (non-recursive strata) — the state stores, for every
+  derived fact, the exact number of rule instantiations deriving it
+  (the full-count generalization of the one-proof bookkeeping in
+  :mod:`repro.datalog.provenance`).  An EDB delta translates into signed
+  count deltas through the telescoping decomposition
+
+  ``Δ(B1 ⋈ … ⋈ Bn) = Σ_i  old(B1…B_{i-1}) ⋈ Δ(B_i) ⋈ new(B_{i+1}…Bn)``
+
+  where the delta of a negated literal flips polarity (a *removed*
+  ``q``-tuple makes ``not q`` true, a new one falsifies it).  A fact is
+  inserted when its count leaves zero and retracted when it returns to
+  zero — no recomputation, no over-deletion.
+
+* **DRed** (recursive strata) — counts are not finite witnesses under
+  recursion (a cycle supports itself), so recursive strata use
+  delete-and-rederive [GMS93]: over-delete everything with a derivation
+  through a deleted fact, re-derive what still has alternative support,
+  then propagate insertions semi-naively.
+
+Supported fragment: safe, stratified programs (negation across strata
+included, builtins included).  Two situations are *rejected* rather
+than silently mis-maintained, both with :class:`MaintenanceError`:
+IDB relations holding facts the rules do not derive (seeded models),
+and direct mutation of an IDB predicate.  Callers — in particular
+:class:`repro.service.service.SolverService` — catch the error and fall
+back to full recomputation.
+
+All reads go through charged relation views, so a
+:class:`MaintenanceReport`'s ``retrievals`` is comparable with the
+paper's cost unit and with a from-scratch re-evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import EvaluationError, MaintenanceError, UnsafeQueryError
+from .atom import BuiltinAtom, Literal
+from .builtins import evaluate_builtin
+from .database import Database
+from .evaluation import DEFAULT_MAX_ITERATIONS, _arity_map, _ready_element_index
+from .program import Program
+from .rule import Rule
+from .stratify import stratify
+from .unify import ground_atom_tuple, lookup_pattern, match_tuple
+
+__all__ = [
+    "MaintenanceReport",
+    "MaintenanceState",
+    "delete_and_maintain",
+    "insert_and_maintain",
+]
+
+
+def _matches(pattern: Tuple, tup: Tuple) -> bool:
+    return all(p is None or p == v for p, v in zip(pattern, tup))
+
+
+class _PriorView:
+    """A relation as it stood *before* a net ``(added, removed)`` delta.
+
+    Reconstructs the old state on the fly — old = current − added +
+    removed — instead of snapshotting whole relations per update.
+    Charges the relation's counter like a real relation would.
+    """
+
+    __slots__ = ("relation", "added", "removed")
+
+    def __init__(self, relation, added: Set[Tuple], removed: Set[Tuple]):
+        self.relation = relation
+        self.added = added
+        self.removed = removed
+
+    def lookup(self, pattern: Tuple) -> Iterator[Tuple]:
+        added = self.added
+        for tup in self.relation.lookup(pattern):
+            if tup not in added:
+                yield tup
+        extras = 0
+        try:
+            for tup in self.removed:
+                if _matches(pattern, tup):
+                    extras += 1
+                    yield tup
+        finally:
+            self.relation.counter.charge_tuples(self.relation.name, extras)
+
+    def contains(self, tup: Tuple) -> bool:
+        tup = tuple(tup)
+        counter = self.relation.counter
+        if tup in self.removed:
+            counter.charge_probe(self.relation.name)
+            counter.charge_tuples(self.relation.name, 1)
+            return True
+        if tup in self.added:
+            counter.charge_probe(self.relation.name)
+            return False
+        return self.relation.contains(tup)
+
+
+class _SetView:
+    """A charged read view over a plain tuple set (deltas, scratch models)."""
+
+    __slots__ = ("name", "tuples", "counter")
+
+    def __init__(self, name: str, tuples: Set[Tuple], counter):
+        self.name = name
+        self.tuples = tuples
+        self.counter = counter
+
+    def lookup(self, pattern: Tuple) -> Iterator[Tuple]:
+        self.counter.charge_probe(self.name)
+        count = 0
+        try:
+            for tup in self.tuples:
+                if _matches(pattern, tup):
+                    count += 1
+                    yield tup
+        finally:
+            self.counter.charge_tuples(self.name, count)
+
+    def contains(self, tup: Tuple) -> bool:
+        self.counter.charge_probe(self.name)
+        found = tuple(tup) in self.tuples
+        if found:
+            self.counter.charge_tuples(self.name, 1)
+        return found
+
+
+def _evaluate_views(items: List[Tuple], theta: Dict) -> Iterator[Dict]:
+    """Like ``_evaluate_body`` but with a view attached per occurrence.
+
+    ``items`` pairs each body element with the view it must read
+    (``None`` for builtins).  The per-occurrence binding is what lets
+    the telescoping delta rule read *old* state left of the pinned
+    element and *new* state right of it.
+    """
+    if not items:
+        yield theta
+        return
+    elements = [element for element, _view in items]
+    index = _ready_element_index(elements, set(theta))
+    if index < 0:
+        raise EvaluationError(
+            "no evaluable body element; rule is unsafe: "
+            + ", ".join(str(e) for e in elements)
+        )
+    element, view = items[index]
+    rest = items[:index] + items[index + 1 :]
+
+    if isinstance(element, BuiltinAtom):
+        for extended in evaluate_builtin(element, theta):
+            yield from _evaluate_views(rest, extended)
+        return
+
+    pattern = lookup_pattern(element.terms, theta)
+    if element.negated:
+        if any(value is None for value in pattern):
+            raise EvaluationError(f"negated literal {element} not ground")
+        if not view.contains(pattern):
+            yield from _evaluate_views(rest, theta)
+        return
+
+    for tup in view.lookup(pattern):
+        extended = match_tuple(element.terms, tup, theta)
+        if extended is not None:
+            yield from _evaluate_views(rest, extended)
+
+
+@dataclass
+class MaintenanceReport:
+    """What one :meth:`MaintenanceState.apply` call did to the database.
+
+    ``added``/``removed`` are the *net* per-predicate fact deltas (EDB
+    and IDB alike); ``overdeleted``/``rederived`` count the DRed churn
+    in recursive strata; ``retrievals`` is the tuple-retrieval cost of
+    the whole update in the paper's unit.
+    """
+
+    added: Dict[str, Set[Tuple]] = field(default_factory=dict)
+    removed: Dict[str, Set[Tuple]] = field(default_factory=dict)
+    overdeleted: int = 0
+    rederived: int = 0
+    rounds: int = 0
+    retrievals: int = 0
+
+    @property
+    def facts_touched(self) -> int:
+        return sum(len(s) for s in self.added.values()) + sum(
+            len(s) for s in self.removed.values()
+        )
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def summary(self) -> Dict[str, int]:
+        """Flat counters, ready for metrics aggregation."""
+        return {
+            "facts_touched": self.facts_touched,
+            "overdeleted": self.overdeleted,
+            "rederived": self.rederived,
+            "rounds": self.rounds,
+            "retrievals": self.retrievals,
+        }
+
+
+class MaintenanceState:
+    """Owns the IDB of ``database`` and keeps it exact under EDB churn.
+
+    Building the state materializes the program's model into the
+    database (idempotent when the database is already a fixpoint) and
+    records derivation counts for every non-recursive stratum.  After
+    that, :meth:`insert`, :meth:`delete`, and :meth:`apply` update the
+    IDB in place — including retractions — and report what changed.
+
+    The state must remain the only writer of the database's IDB
+    relations; direct EDB mutations bypassing :meth:`apply` invalidate
+    the counts (exactly like mutating a database behind a cached plan).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ):
+        program.check_safety()
+        self.program = program
+        self.database = database
+        self.max_iterations = max_iterations
+        self.arities = _arity_map(program)
+        self.idb = program.idb_predicates()
+        self.strata = stratify(program)
+        self._stratum_rules: List[List[Rule]] = []
+        self.recursive: Set[str] = set()
+        for stratum in self.strata:
+            rules = [r for r in program.rules if r.head.predicate in stratum]
+            self._stratum_rules.append(rules)
+            if any(
+                isinstance(e, Literal) and e.predicate in stratum
+                for r in rules
+                for e in r.body
+            ):
+                self.recursive |= stratum
+        #: exact derivation counts for every non-recursive IDB predicate
+        self.counts: Dict[str, Dict[Tuple, int]] = {}
+        self._materialize()
+
+    # -- construction --------------------------------------------------
+
+    def _materialize(self) -> None:
+        """Compute the model, sync it into the database, seed counts."""
+        for stratum, rules in zip(self.strata, self._stratum_rules):
+            if stratum & self.recursive:
+                model = self._recursive_model(stratum, rules)
+                for predicate in stratum:
+                    self._sync_relation(predicate, model[predicate])
+            else:
+                counts: Dict[str, Dict[Tuple, int]] = {p: {} for p in stratum}
+                for rule in rules:
+                    items = [
+                        (e, self._current_view(e)) for e in rule.body
+                    ]
+                    per_head = counts[rule.head.predicate]
+                    for theta in _evaluate_views(items, {}):
+                        tup = ground_atom_tuple(rule.head, theta)
+                        per_head[tup] = per_head.get(tup, 0) + 1
+                for predicate in stratum:
+                    self._sync_relation(predicate, set(counts[predicate]))
+                    self.counts[predicate] = counts[predicate]
+
+    def _recursive_model(
+        self, stratum: Set[str], rules: List[Rule]
+    ) -> Dict[str, Set[Tuple]]:
+        """Semi-naive fixpoint of one recursive stratum, computed into
+        plain sets (the database is only written after the seeded-IDB
+        check in :meth:`_sync_relation`)."""
+        counter = self.database.counter
+        model: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+
+        def view_for(element: Literal, pinned: Optional[Dict[str, Set[Tuple]]] = None):
+            predicate = element.predicate
+            if predicate in stratum:
+                tuples = model[predicate]
+                if pinned is not None and predicate in pinned:
+                    tuples = pinned[predicate]
+                return _SetView(predicate, tuples, counter)
+            return self.database.relation_or_empty(
+                predicate, len(element.terms)
+            )
+
+        deltas: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+        for rule in rules:
+            items = [
+                (e, None if isinstance(e, BuiltinAtom) else view_for(e))
+                for e in rule.body
+            ]
+            # Materialize before mutating: the body views may read the
+            # very sets the head writes to.
+            derived = [
+                ground_atom_tuple(rule.head, theta)
+                for theta in _evaluate_views(items, {})
+            ]
+            for tup in derived:
+                if tup not in model[rule.head.predicate]:
+                    model[rule.head.predicate].add(tup)
+                    deltas[rule.head.predicate].add(tup)
+
+        recursive_rules = [
+            r
+            for r in rules
+            if any(
+                isinstance(e, Literal) and not e.negated and e.predicate in stratum
+                for e in r.body
+            )
+        ]
+        iterations = 0
+        while any(deltas.values()):
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise UnsafeQueryError(
+                    f"maintenance fixpoint exceeded {self.max_iterations} "
+                    f"iterations on stratum {sorted(stratum)}"
+                )
+            next_deltas: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+            for rule in recursive_rules:
+                body = list(rule.body)
+                for position, element in enumerate(body):
+                    if (
+                        not isinstance(element, Literal)
+                        or element.negated
+                        or element.predicate not in stratum
+                    ):
+                        continue
+                    delta = deltas.get(element.predicate)
+                    if not delta:
+                        continue
+                    pinned = {element.predicate: delta}
+                    items = []
+                    for j, other in enumerate(body):
+                        if j == position:
+                            items.append(
+                                (other, _SetView(other.predicate, delta, counter))
+                            )
+                        elif isinstance(other, BuiltinAtom):
+                            items.append((other, None))
+                        else:
+                            items.append((other, view_for(other)))
+                    for theta in _evaluate_views(items, {}):
+                        tup = ground_atom_tuple(rule.head, theta)
+                        if tup not in model[rule.head.predicate]:
+                            next_deltas[rule.head.predicate].add(tup)
+            for predicate, tuples in next_deltas.items():
+                model[predicate].update(tuples)
+            deltas = next_deltas
+        return model
+
+    def _sync_relation(self, predicate: str, model: Set[Tuple]) -> None:
+        relation = self.database.relation_or_empty(
+            predicate, self.arities[predicate]
+        )
+        extra = relation.as_set() - model
+        if extra:
+            sample = sorted(extra)[:3]
+            raise MaintenanceError(
+                f"IDB relation {predicate!r} holds {len(extra)} fact(s) the "
+                f"rules do not derive (e.g. {sample}); seeded models are "
+                "outside the maintenance fragment"
+            )
+        for tup in model:
+            relation.add(tup)
+
+    # -- views ---------------------------------------------------------
+
+    def _current_view(self, element):
+        if isinstance(element, BuiltinAtom):
+            return None
+        return self.database.relation_or_empty(
+            element.predicate, len(element.terms)
+        )
+
+    def _prior_view(
+        self,
+        element,
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+    ):
+        if isinstance(element, BuiltinAtom):
+            return None
+        relation = self.database.relation_or_empty(
+            element.predicate, len(element.terms)
+        )
+        plus = added.get(element.predicate)
+        minus = removed.get(element.predicate)
+        if not plus and not minus:
+            return relation
+        return _PriorView(relation, plus or set(), minus or set())
+
+    # -- public API ----------------------------------------------------
+
+    def insert(
+        self, new_facts: Dict[str, Iterable[Tuple]]
+    ) -> MaintenanceReport:
+        """Insert EDB facts and propagate; see :meth:`apply`."""
+        return self.apply(inserts=new_facts)
+
+    def delete(
+        self, old_facts: Dict[str, Iterable[Tuple]]
+    ) -> MaintenanceReport:
+        """Delete EDB facts and propagate; see :meth:`apply`."""
+        return self.apply(deletes=old_facts)
+
+    def apply(
+        self,
+        inserts: Optional[Dict[str, Iterable[Tuple]]] = None,
+        deletes: Optional[Dict[str, Iterable[Tuple]]] = None,
+    ) -> MaintenanceReport:
+        """Apply an EDB delta and maintain every IDB relation in place.
+
+        Validates the delta first (IDB predicates rejected, arities
+        checked against the program and existing relations).  On *any*
+        failure the database and the counts are rolled back to the
+        pre-call state, so a failed update never leaves the model
+        half-maintained.
+        """
+        ins = {p: [tuple(t) for t in ts] for p, ts in (inserts or {}).items()}
+        dels = {p: [tuple(t) for t in ts] for p, ts in (deletes or {}).items()}
+        self._validate_delta(ins)
+        self._validate_delta(dels)
+        undo: List[Tuple] = []
+        before = self.database.counter.retrievals
+        try:
+            report = self._apply(ins, dels, undo)
+        except Exception:
+            self._rollback(undo)
+            raise
+        report.retrievals = self.database.counter.retrievals - before
+        return report
+
+    def _validate_delta(self, delta: Dict[str, List[Tuple]]) -> None:
+        for predicate, tuples in delta.items():
+            if predicate in self.idb:
+                raise EvaluationError(
+                    f"cannot mutate IDB predicate {predicate!r} directly; "
+                    "it is maintained from its rules"
+                )
+            arity = self.arities.get(predicate)
+            if arity is None and self.database.has_relation(predicate):
+                arity = self.database.relation(predicate).arity
+            for tup in tuples:
+                if arity is None:
+                    arity = len(tup)
+                if len(tup) != arity:
+                    raise EvaluationError(
+                        f"predicate {predicate!r} expects arity {arity}, "
+                        f"got tuple {tup!r}"
+                    )
+
+    # -- delta propagation ---------------------------------------------
+
+    def _apply(
+        self,
+        inserts: Dict[str, List[Tuple]],
+        deletes: Dict[str, List[Tuple]],
+        undo: List[Tuple],
+    ) -> MaintenanceReport:
+        added: Dict[str, Set[Tuple]] = {}
+        removed: Dict[str, Set[Tuple]] = {}
+
+        for predicate, tuples in inserts.items():
+            if not tuples:
+                continue
+            relation = self.database.relation_or_empty(
+                predicate, self.arities.get(predicate, len(tuples[0]))
+            )
+            for tup in tuples:
+                if relation.add(tup):
+                    undo.append(("add", predicate, tup))
+                    self._record(added, removed, predicate, tup, +1)
+        for predicate, tuples in deletes.items():
+            if not self.database.has_relation(predicate):
+                continue
+            relation = self.database.relation(predicate)
+            for tup in tuples:
+                if relation.discard(tup):
+                    undo.append(("remove", predicate, tup))
+                    self._record(added, removed, predicate, tup, -1)
+
+        report = MaintenanceReport()
+        if not (added or removed):
+            return report
+
+        for stratum, rules in zip(self.strata, self._stratum_rules):
+            changed = set(added) | set(removed)
+            if not changed:
+                break
+            body_predicates = {
+                e.predicate
+                for r in rules
+                for e in r.body
+                if isinstance(e, Literal)
+            }
+            if not (body_predicates & changed):
+                continue
+            if stratum & self.recursive:
+                over, rederived, rounds = self._maintain_recursive(
+                    stratum, rules, added, removed, undo
+                )
+                report.overdeleted += over
+                report.rederived += rederived
+                report.rounds += rounds
+            else:
+                self._maintain_counting(rules, added, removed, undo)
+                report.rounds += 1
+
+        report.added = {p: set(s) for p, s in added.items() if s}
+        report.removed = {p: set(s) for p, s in removed.items() if s}
+        return report
+
+    @staticmethod
+    def _record(
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+        predicate: str,
+        tup: Tuple,
+        sign: int,
+    ) -> None:
+        """Track net deltas with cancellation: re-adding a tuple removed
+        earlier in the same update (or vice versa) nets out to nothing,
+        which keeps the prior-view reconstruction exact."""
+        forward, backward = (added, removed) if sign > 0 else (removed, added)
+        undone = backward.get(predicate)
+        if undone is not None and tup in undone:
+            undone.discard(tup)
+            if not undone:
+                del backward[predicate]
+            return
+        forward.setdefault(predicate, set()).add(tup)
+
+    def _maintain_counting(
+        self,
+        rules: List[Rule],
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+        undo: List[Tuple],
+    ) -> None:
+        """Exact signed count deltas for a non-recursive stratum."""
+        count_delta: Dict[str, Dict[Tuple, int]] = {}
+        for rule in rules:
+            body = list(rule.body)
+            head = rule.head
+            for i, element in enumerate(body):
+                if not isinstance(element, Literal):
+                    continue
+                plus = added.get(element.predicate) or ()
+                minus = removed.get(element.predicate) or ()
+                if not plus and not minus:
+                    continue
+                if element.negated:
+                    signed = [(t, -1) for t in plus] + [(t, +1) for t in minus]
+                else:
+                    signed = [(t, +1) for t in plus] + [(t, -1) for t in minus]
+                items = []
+                for j, other in enumerate(body):
+                    if j == i:
+                        continue
+                    if isinstance(other, BuiltinAtom):
+                        items.append((other, None))
+                    elif j < i:
+                        items.append((other, self._prior_view(other, added, removed)))
+                    else:
+                        items.append((other, self._current_view(other)))
+                deltas = count_delta.setdefault(head.predicate, {})
+                for tup, sign in signed:
+                    theta0 = match_tuple(element.terms, tup, {})
+                    if theta0 is None:
+                        continue
+                    for theta in _evaluate_views(items, theta0):
+                        head_tup = ground_atom_tuple(head, theta)
+                        deltas[head_tup] = deltas.get(head_tup, 0) + sign
+
+        for predicate in sorted(count_delta):
+            counts = self.counts[predicate]
+            relation = self.database.relation_or_empty(
+                predicate, self.arities[predicate]
+            )
+            for tup, delta in count_delta[predicate].items():
+                if delta == 0:
+                    continue
+                old = counts.get(tup, 0)
+                new = old + delta
+                if new < 0:
+                    raise MaintenanceError(
+                        f"derivation count of {predicate}{tup!r} went "
+                        f"negative ({old}{delta:+d}); counting state is "
+                        "inconsistent"
+                    )
+                undo.append(("count", predicate, tup, old))
+                if new:
+                    counts[tup] = new
+                else:
+                    counts.pop(tup, None)
+                if old == 0 and new > 0:
+                    if relation.add(tup):
+                        undo.append(("add", predicate, tup))
+                        self._record(added, removed, predicate, tup, +1)
+                elif old > 0 and new == 0:
+                    if relation.discard(tup):
+                        undo.append(("remove", predicate, tup))
+                        self._record(added, removed, predicate, tup, -1)
+
+    def _maintain_recursive(
+        self,
+        stratum: Set[str],
+        rules: List[Rule],
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+        undo: List[Tuple],
+    ) -> Tuple[int, int, int]:
+        """Delete-and-rederive for one recursive stratum.
+
+        Phase 1 collects the over-deletion (every stratum fact with a
+        derivation through a killed lower fact, transitively), phase 2
+        re-derives over-deleted facts that still have support, phase 3
+        propagates insertions.  Returns (overdeleted, rederived, rounds).
+        """
+        database = self.database
+        counter = database.counter
+        rounds = 0
+
+        def relation_of(predicate: str):
+            return database.relation_or_empty(predicate, self.arities[predicate])
+
+        def old_view(element, pinned_delta: Optional[Set[Tuple]] = None):
+            """Pre-update view: stratum relations are still untouched in
+            phase 1, lower predicates are rewound through the net delta."""
+            if isinstance(element, BuiltinAtom):
+                return None
+            if pinned_delta is not None:
+                return _SetView(element.predicate, pinned_delta, counter)
+            if element.predicate in stratum:
+                return relation_of(element.predicate)
+            return self._prior_view(element, added, removed)
+
+        # -- phase 1: over-deletion ------------------------------------
+        over: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+        frontier: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+
+        def collect(rule: Rule, items: List[Tuple], theta0: Dict) -> None:
+            head = rule.head
+            head_relation = relation_of(head.predicate)
+            for theta in _evaluate_views(items, theta0):
+                head_tup = ground_atom_tuple(head, theta)
+                if head_tup in over[head.predicate]:
+                    continue
+                if head_relation.contains(head_tup):
+                    over[head.predicate].add(head_tup)
+                    frontier[head.predicate].add(head_tup)
+
+        for rule in rules:
+            body = list(rule.body)
+            for i, element in enumerate(body):
+                if not isinstance(element, Literal):
+                    continue
+                if element.predicate in stratum:
+                    continue
+                if element.negated:
+                    killers = added.get(element.predicate) or ()
+                else:
+                    killers = removed.get(element.predicate) or ()
+                if not killers:
+                    continue
+                items = [
+                    (other, old_view(other))
+                    for j, other in enumerate(body)
+                    if j != i
+                ]
+                for tup in killers:
+                    theta0 = match_tuple(element.terms, tup, {})
+                    if theta0 is not None:
+                        collect(rule, items, theta0)
+
+        while any(frontier.values()):
+            rounds += 1
+            if rounds > self.max_iterations:
+                raise UnsafeQueryError(
+                    f"over-deletion exceeded {self.max_iterations} rounds "
+                    f"on stratum {sorted(stratum)}"
+                )
+            current, frontier = frontier, {p: set() for p in stratum}
+            for rule in rules:
+                body = list(rule.body)
+                for i, element in enumerate(body):
+                    if (
+                        not isinstance(element, Literal)
+                        or element.negated
+                        or element.predicate not in stratum
+                    ):
+                        continue
+                    delta = current.get(element.predicate)
+                    if not delta:
+                        continue
+                    items = []
+                    for j, other in enumerate(body):
+                        if j == i:
+                            items.append((other, old_view(other, delta)))
+                        else:
+                            items.append((other, old_view(other)))
+                    for tup in delta:
+                        theta0 = match_tuple(element.terms, tup, {})
+                        if theta0 is not None:
+                            collect(rule, items, theta0)
+
+        overdeleted = sum(len(s) for s in over.values())
+        for predicate, tuples in over.items():
+            relation = relation_of(predicate)
+            for tup in tuples:
+                if relation.discard(tup):
+                    undo.append(("remove", predicate, tup))
+                    self._record(added, removed, predicate, tup, -1)
+
+        # -- phase 2: re-derivation ------------------------------------
+        rederived = 0
+        frontier = {p: set() for p in stratum}
+        for predicate, tuples in over.items():
+            relation = relation_of(predicate)
+            for tup in tuples:
+                if self._derivable(predicate, tup, rules):
+                    if relation.add(tup):
+                        undo.append(("add", predicate, tup))
+                        self._record(added, removed, predicate, tup, +1)
+                        frontier[predicate].add(tup)
+                        rederived += 1
+
+        # -- phase 3: insertions ---------------------------------------
+        def insert_head(rule: Rule, items: List[Tuple], theta0: Dict) -> None:
+            head = rule.head
+            head_relation = relation_of(head.predicate)
+            # Materialize first: the body views may read the relation the
+            # head writes to (self-joins within the stratum).
+            derived = [
+                ground_atom_tuple(head, theta)
+                for theta in _evaluate_views(items, theta0)
+            ]
+            for head_tup in derived:
+                if head_relation.add(head_tup):
+                    undo.append(("add", head.predicate, head_tup))
+                    self._record(added, removed, head.predicate, head_tup, +1)
+                    frontier[head.predicate].add(head_tup)
+
+        for rule in rules:
+            body = list(rule.body)
+            for i, element in enumerate(body):
+                if not isinstance(element, Literal):
+                    continue
+                if element.predicate in stratum:
+                    continue
+                if element.negated:
+                    births = removed.get(element.predicate) or ()
+                else:
+                    births = added.get(element.predicate) or ()
+                if not births:
+                    continue
+                items = [
+                    (other, self._current_view(other))
+                    for j, other in enumerate(body)
+                    if j != i
+                ]
+                for tup in births:
+                    theta0 = match_tuple(element.terms, tup, {})
+                    if theta0 is not None:
+                        insert_head(rule, items, theta0)
+
+        while any(frontier.values()):
+            rounds += 1
+            if rounds > self.max_iterations:
+                raise UnsafeQueryError(
+                    f"insertion propagation exceeded {self.max_iterations} "
+                    f"rounds on stratum {sorted(stratum)}"
+                )
+            current, frontier = frontier, {p: set() for p in stratum}
+            for rule in rules:
+                body = list(rule.body)
+                for i, element in enumerate(body):
+                    if (
+                        not isinstance(element, Literal)
+                        or element.negated
+                        or element.predicate not in stratum
+                    ):
+                        continue
+                    delta = current.get(element.predicate)
+                    if not delta:
+                        continue
+                    items = []
+                    for j, other in enumerate(body):
+                        if j == i:
+                            items.append(
+                                (other, _SetView(other.predicate, delta, counter))
+                            )
+                        else:
+                            items.append((other, self._current_view(other)))
+                    for tup in delta:
+                        theta0 = match_tuple(element.terms, tup, {})
+                        if theta0 is not None:
+                            insert_head(rule, items, theta0)
+
+        return overdeleted, rederived, rounds
+
+    def _derivable(self, predicate: str, tup: Tuple, rules: List[Rule]) -> bool:
+        """Does any rule still derive ``tup`` in the *current* state?"""
+        for rule in rules:
+            if rule.head.predicate != predicate:
+                continue
+            theta0 = match_tuple(rule.head.terms, tup, {})
+            if theta0 is None:
+                continue
+            items = [(e, self._current_view(e)) for e in rule.body]
+            for _theta in _evaluate_views(items, theta0):
+                return True
+        return False
+
+    # -- rollback ------------------------------------------------------
+
+    def _rollback(self, undo: List[Tuple]) -> None:
+        for entry in reversed(undo):
+            kind = entry[0]
+            if kind == "add":
+                _, predicate, tup = entry
+                self.database.relation(predicate).discard(tup)
+            elif kind == "remove":
+                _, predicate, tup = entry
+                self.database.relation(predicate).add(tup)
+            else:  # count
+                _, predicate, tup, old = entry
+                if old:
+                    self.counts[predicate][tup] = old
+                else:
+                    self.counts[predicate].pop(tup, None)
+
+
+def insert_and_maintain(
+    program: Program,
+    database: Database,
+    new_facts: Dict[str, Iterable[Tuple]],
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> MaintenanceReport:
+    """One-shot insertion maintenance (state built and discarded).
+
+    Unlike the insertion-only :func:`repro.datalog.incremental
+    .insert_and_maintain`, this handles stratified negation (an
+    insertion can retract facts derived through ``not``) and reports
+    net deltas.  For repeated updates build a :class:`MaintenanceState`
+    once and call :meth:`MaintenanceState.apply`.
+    """
+    return MaintenanceState(program, database, max_iterations).insert(new_facts)
+
+
+def delete_and_maintain(
+    program: Program,
+    database: Database,
+    old_facts: Dict[str, Iterable[Tuple]],
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> MaintenanceReport:
+    """One-shot deletion maintenance (state built and discarded)."""
+    return MaintenanceState(program, database, max_iterations).delete(old_facts)

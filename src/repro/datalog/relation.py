@@ -164,6 +164,37 @@ class Relation:
                     index.setdefault(key, []).append(tup)
         return fresh
 
+    def discard(self, tup: Tuple) -> bool:
+        """Remove a tuple; returns True when it was present.
+
+        Every lazy hash index is updated in place, so deletions keep the
+        read path (:meth:`lookup`/:meth:`probe`) exact — the maintenance
+        layer depends on this to retract facts without rebuilding.
+        """
+        tup = tuple(tup)
+        if len(tup) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got tuple {tup!r}"
+            )
+        if tup not in self._tuples:
+            return False
+        self._tuples.discard(tup)
+        for positions, index in self._indexes.items():
+            key = tuple(tup[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(tup)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del index[key]
+        return True
+
+    def discard_all(self, tuples: Iterable[Tuple]) -> int:
+        """Remove many tuples; returns how many were present."""
+        return sum(1 for tup in tuples if self.discard(tup))
+
     def _index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[Tuple]]:
         index = self._indexes.get(positions)
         if index is None:

@@ -51,6 +51,17 @@ class UnsafeQueryError(EvaluationError):
     """
 
 
+class MaintenanceError(EvaluationError):
+    """Raised when incremental maintenance cannot (or must not) proceed.
+
+    Signals that a database/program pair is outside the supported
+    maintenance fragment (e.g. IDB relations hold facts the rules do not
+    derive) or that the maintained counting state became inconsistent.
+    Callers treat this as "fall back to recomputation", never as
+    "silently keep a possibly-wrong model".
+    """
+
+
 class NotCSLError(ReproError):
     """Raised when a Datalog program is not a canonical strongly linear query."""
 

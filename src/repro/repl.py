@@ -46,6 +46,7 @@ Dot commands:
   .explain FACT    proof tree for a ground fact, e.g. .explain sg(a, b)
   .rules           list the current rules
   .facts           list the stored facts
+  .retract FACT    delete a stored fact, e.g. .retract parent(ann, mona)
   .load FILE       read rules and facts from a Datalog file
   .save FILE       write the current rules and facts to a file
   .clear           drop all rules and facts
@@ -165,6 +166,8 @@ class Repl:
                     rendered = ", ".join(str(v) for v in tup)
                     lines.append(f"{name}({rendered}).")
             return lines or ["(no facts)"]
+        if command == ".retract":
+            return self._retract(argument)
         if command == ".clear":
             self.database = Database()
             self.rules = []
@@ -214,6 +217,19 @@ class Repl:
         except OSError as error:
             return [f"error: {error}"]
         return [f"saved {count} fact(s) and {len(self.rules)} rule(s) to {path}"]
+
+    def _retract(self, fact_text: str) -> List[str]:
+        from .datalog.parser import parse_atom
+
+        if not fact_text:
+            return ["usage: .retract FACT"]
+        atom = parse_atom(fact_text.rstrip("."))
+        if not atom.is_ground():
+            return ["retract needs a ground fact."]
+        removed = self.database.remove_fact(
+            atom.predicate, *(t.value for t in atom.terms)
+        )
+        return ["retracted." if removed else "no such fact."]
 
     def _analyze(self, goal_text: str) -> List[str]:
         from .core.classification import classify_nodes

@@ -131,6 +131,18 @@ class SolverClient:
         result = self.request("add_facts", {"name": name, "tuples": rows})
         return int(result["added"])
 
+    def remove_fact(self, name: str, *values) -> bool:
+        result = self.request(
+            "remove_fact",
+            {"name": name, "values": [encode_value(v) for v in values]},
+        )
+        return bool(result["removed"])
+
+    def remove_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        rows = [[encode_value(v) for v in row] for row in tuples]
+        result = self.request("remove_facts", {"name": name, "tuples": rows})
+        return int(result["removed"])
+
     def stats(self) -> Dict[str, object]:
         return self.request("stats")
 
@@ -258,6 +270,20 @@ class AsyncSolverClient:
             "add_facts", {"name": name, "tuples": rows}
         )
         return int(result["added"])
+
+    async def remove_fact(self, name: str, *values) -> bool:
+        result = await self.request(
+            "remove_fact",
+            {"name": name, "values": [encode_value(v) for v in values]},
+        )
+        return bool(result["removed"])
+
+    async def remove_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        rows = [[encode_value(v) for v in row] for row in tuples]
+        result = await self.request(
+            "remove_facts", {"name": name, "tuples": rows}
+        )
+        return int(result["removed"])
 
     async def stats(self) -> Dict[str, object]:
         return await self.request("stats")

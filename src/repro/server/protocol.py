@@ -15,7 +15,10 @@ on one connection still coalesce into shared batches.  Clients must
 route responses by ``id`` (both shipped clients do).
 
 Ops: ``ping``, ``solve``, ``solve_batch``, ``add_fact``, ``add_facts``,
-``stats``.  Values (sources, answers, fact fields) are JSON scalars;
+``remove_fact``, ``remove_facts``, ``stats``.  The mutation ops answer
+with the new ``db_version`` plus how many cached plans were maintained
+in place vs invalidated.  Values (sources, answers, fact fields) are
+JSON scalars;
 tuples are encoded as JSON arrays and decoded back to tuples, so
 integer and string constants round-trip exactly.  See
 ``docs/serving.md`` for the full specification.
@@ -41,7 +44,16 @@ from ..errors import ReproError
 MAX_FRAME_BYTES = 1 << 20
 
 #: Every operation the server dispatches.
-OPS = ("ping", "solve", "solve_batch", "add_fact", "add_facts", "stats")
+OPS = (
+    "ping",
+    "solve",
+    "solve_batch",
+    "add_fact",
+    "add_facts",
+    "remove_fact",
+    "remove_facts",
+    "stats",
+)
 
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_OVERLOADED = "overloaded"

@@ -283,16 +283,23 @@ class SolverServer:
             return self.metrics_snapshot()
         if op == "add_fact":
             name, values = _fact_params(params)
-            added = self.service.add_fact(name, *values)
-            return {"added": added, "db_version": self.service.db_version}
+            result = self.service.mutate(inserts={name: [tuple(values)]})
+            return {"added": bool(result.changed), **_mutation_fields(result)}
         if op == "add_facts":
-            name = _required_str(params, "name")
-            raw = params.get("tuples")
-            if not isinstance(raw, list):
-                raise ProtocolError("'tuples' must be a list of rows")
-            rows = [tuple(decode_value(v) for v in row) for row in raw]
-            added = self.service.add_facts(name, rows)
-            return {"added": added, "db_version": self.service.db_version}
+            name, rows = _rows_params(params)
+            result = self.service.mutate(inserts={name: rows})
+            return {"added": result.changed, **_mutation_fields(result)}
+        if op == "remove_fact":
+            name, values = _fact_params(params)
+            result = self.service.mutate(deletes={name: [tuple(values)]})
+            return {
+                "removed": bool(result.changed),
+                **_mutation_fields(result),
+            }
+        if op == "remove_facts":
+            name, rows = _rows_params(params)
+            result = self.service.mutate(deletes={name: rows})
+            return {"removed": result.changed, **_mutation_fields(result)}
         if op == "solve":
             return await self._solve(params)
         if op == "solve_batch":
@@ -458,6 +465,24 @@ def _fact_params(params: Dict[str, object]):
     if not isinstance(raw, list) or not raw:
         raise ProtocolError("'values' must be a non-empty list")
     return name, [decode_value(value) for value in raw]
+
+
+def _rows_params(params: Dict[str, object]):
+    name = _required_str(params, "name")
+    raw = params.get("tuples")
+    if not isinstance(raw, list):
+        raise ProtocolError("'tuples' must be a list of rows")
+    return name, [tuple(decode_value(v) for v in row) for row in raw]
+
+
+def _mutation_fields(result) -> Dict[str, object]:
+    """The shared response tail of the four mutation ops."""
+    return {
+        "db_version": result.db_version,
+        "plans_maintained": result.plans_maintained,
+        "plans_invalidated": result.plans_invalidated,
+        "maintenance": dict(result.maintenance),
+    }
 
 
 def hash_text(text: str) -> str:

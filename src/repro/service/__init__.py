@@ -22,15 +22,27 @@ from .fingerprint import (
     target_fingerprint,
 )
 from .metrics import BatchMetrics, ServiceMetrics
-from .plan import CompiledPlan, compile_program_plan, compile_query_plan
-from .service import BATCH_METHODS, BatchResult, SolverService
+from .plan import (
+    CompiledPlan,
+    PlanMaintainer,
+    compile_program_plan,
+    compile_query_plan,
+)
+from .service import (
+    BATCH_METHODS,
+    BatchResult,
+    MutationResult,
+    SolverService,
+)
 
 __all__ = [
     "BATCH_METHODS",
     "BatchMetrics",
     "BatchResult",
     "CompiledPlan",
+    "MutationResult",
     "PlanCache",
+    "PlanMaintainer",
     "ServiceMetrics",
     "SolverService",
     "compile_program_plan",

@@ -55,6 +55,35 @@ class PlanCache:
                 self._plans.popitem(last=False)
                 self.evictions += 1
 
+    def entries(self) -> list:
+        """A stable ``[(key, plan), ...]`` snapshot in recency order.
+
+        The maintenance sweep iterates this copy while re-keying plans
+        through :meth:`replace` — iterating ``_plans`` directly while
+        mutating it would corrupt the ``OrderedDict``.
+        """
+        with self._lock:
+            return list(self._plans.items())
+
+    def replace(self, old_key, new_key, plan) -> None:
+        """Atomically re-key a maintained plan to its new db version."""
+        with self._lock:
+            self._plans.pop(old_key, None)
+            if new_key in self._plans:
+                self._plans.move_to_end(new_key)
+            self._plans[new_key] = plan
+            while len(self._plans) > self.max_size:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def discard(self, key) -> int:
+        """Drop one plan (maintenance fallback); counted as invalidation."""
+        with self._lock:
+            if self._plans.pop(key, None) is None:
+                return 0
+            self.invalidations += 1
+            return 1
+
     def invalidate(self, program_fingerprint: Optional[str] = None) -> int:
         """Drop cached plans; returns how many were dropped.
 

@@ -196,6 +196,12 @@ class ServiceMetrics:
         "compiles",
         "invalidations",
         "fallbacks",
+        "plans_maintained",
+        "maintenance_fallbacks",
+        "maintenance_facts_touched",
+        "maintenance_overdeleted",
+        "maintenance_rederived",
+        "maintenance_retrievals",
         "batch_latency",
     )
 
@@ -207,6 +213,15 @@ class ServiceMetrics:
         self.compiles = 0  # guarded-by: _lock
         self.invalidations = 0  # guarded-by: _lock
         self.fallbacks = 0  # guarded-by: _lock
+        # Incremental plan maintenance: how many cached plans were
+        # updated in place, how many had to be dropped instead, and the
+        # aggregated MaintenanceReport phase counters.
+        self.plans_maintained = 0  # guarded-by: _lock
+        self.maintenance_fallbacks = 0  # guarded-by: _lock
+        self.maintenance_facts_touched = 0  # guarded-by: _lock
+        self.maintenance_overdeleted = 0  # guarded-by: _lock
+        self.maintenance_rederived = 0  # guarded-by: _lock
+        self.maintenance_retrievals = 0  # guarded-by: _lock
         self.batch_latency = LatencyHistogram()
 
     def record_batch(
@@ -231,6 +246,22 @@ class ServiceMetrics:
         with self._lock:
             self.fallbacks += count
 
+    def record_maintenance(
+        self, plans: int, totals: Dict[str, int]
+    ) -> None:
+        """One mutation's in-place maintenance: ``plans`` updated with
+        the summed per-plan summary ``totals``."""
+        with self._lock:
+            self.plans_maintained += plans
+            self.maintenance_facts_touched += totals.get("facts_touched", 0)
+            self.maintenance_overdeleted += totals.get("overdeleted", 0)
+            self.maintenance_rederived += totals.get("rederived", 0)
+            self.maintenance_retrievals += totals.get("retrievals", 0)
+
+    def record_maintenance_fallback(self, count: int = 1) -> None:
+        with self._lock:
+            self.maintenance_fallbacks += count
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             report: Dict[str, object] = {
@@ -240,6 +271,12 @@ class ServiceMetrics:
                 "compiles": self.compiles,
                 "invalidations": self.invalidations,
                 "fallbacks": self.fallbacks,
+                "plans_maintained": self.plans_maintained,
+                "maintenance_fallbacks": self.maintenance_fallbacks,
+                "maintenance_facts_touched": self.maintenance_facts_touched,
+                "maintenance_overdeleted": self.maintenance_overdeleted,
+                "maintenance_rederived": self.maintenance_rederived,
+                "maintenance_retrievals": self.maintenance_retrievals,
             }
         for key, value in self.batch_latency.summary().items():
             report[f"batch_{key}"] = value

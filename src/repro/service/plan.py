@@ -24,9 +24,17 @@ cached half:
   semi-naive fallback amortize rule lowering across batches alongside
   the pair sets.
 
-Plans are immutable with respect to the database state they were
-compiled from; the owning :class:`SolverService` discards them when the
-database mutates.
+Plans used to be immutable with respect to the database state they
+were compiled from — the owning :class:`SolverService` discarded them
+on every mutation.  They now carry a :class:`PlanMaintainer`: a
+deletion-capable incremental view over the ``L``/``E``/``R``
+materialization (:mod:`repro.datalog.maintenance`), so an EDB fact
+insert or delete updates the shared pair relations *in place* via
+:meth:`CompiledPlan.maintain` instead of forcing a recompile.  Plans
+whose program falls outside the supported maintenance fragment get no
+maintainer; :meth:`maintain` raises :class:`MaintenanceError` and the
+service falls back to invalidation (recorded in its metrics, never
+silently wrong).
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.static.safety import (
     SafetyCertificate,
@@ -43,7 +51,14 @@ from ..analysis.static.safety import (
 )
 from ..core.classification import Classification, classify_nodes
 from ..core.csl import CSLInstance, CSLQuery, Pair
+from ..datalog.atom import Atom
+from ..datalog.database import Database
+from ..datalog.linear import LinearRecursion, analyze_linear
+from ..datalog.maintenance import MaintenanceState
+from ..datalog.program import Program
 from ..datalog.relation import CostCounter, Relation
+from ..datalog.rule import Rule
+from ..errors import MaintenanceError, ReproError
 from .fingerprint import (
     database_fingerprint,
     pairs_fingerprint,
@@ -51,6 +66,135 @@ from .fingerprint import (
 )
 
 _CLASSIFICATION_MEMO_LIMIT = 256
+
+#: zero-delta summary returned by :meth:`CompiledPlan.maintain` when the
+#: plan has nothing database-dependent to update
+_EMPTY_MAINTENANCE = {
+    "facts_touched": 0,
+    "overdeleted": 0,
+    "rederived": 0,
+    "rounds": 0,
+    "retrievals": 0,
+    "pairs_added": 0,
+    "pairs_removed": 0,
+}
+
+
+class PlanMaintainer:
+    """Incremental maintenance of a plan's ``L``/``E``/``R`` pair sets.
+
+    Re-expresses the materialization that :meth:`CSLQuery.from_program`
+    performs at compile time as three maintained IDB predicates —
+    ``__part_l``/``__part_e``/``__part_r`` over the same conjunctions
+    :func:`analyze_linear` decomposed — plus the program's own support
+    rules, and hands the whole thing to a
+    :class:`~repro.datalog.maintenance.MaintenanceState` over a private
+    copy of the database.  :meth:`apply` then translates an EDB fact
+    delta into pair-set deltas for each part.
+
+    Construction raises (``ReproError``) when the program is outside
+    the maintenance fragment; callers treat that as "this plan cannot
+    be maintained" and fall back to invalidation.
+    """
+
+    #: (part key, maintained predicate) in ``L``/``E``/``R`` order
+    PARTS = (("l", "__part_l"), ("e", "__part_e"), ("r", "__part_r"))
+
+    def __init__(
+        self,
+        program: Program,
+        analysis: LinearRecursion,
+        database: Database,
+    ):
+        rules: List[Rule] = [
+            r
+            for r in program.rules
+            if r.head.predicate != analysis.predicate
+        ]
+        rules.append(
+            Rule(
+                Atom(
+                    "__part_l",
+                    tuple(analysis.head_bound_terms)
+                    + tuple(analysis.rec_bound_terms),
+                ),
+                tuple(analysis.left_elements),
+            )
+        )
+        rules.append(
+            Rule(
+                Atom(
+                    "__part_r",
+                    tuple(analysis.head_free_terms)
+                    + tuple(analysis.rec_free_terms),
+                ),
+                tuple(analysis.right_elements),
+            )
+        )
+        for exit_rule in analysis.exit_rules:
+            rules.append(
+                Rule(
+                    Atom(
+                        "__part_e",
+                        tuple(exit_rule.head.terms[i] for i in analysis.bound)
+                        + tuple(
+                            exit_rule.head.terms[i] for i in analysis.free
+                        ),
+                    ),
+                    tuple(exit_rule.body),
+                )
+            )
+        self._splits = {
+            "l": len(analysis.head_bound_terms),
+            "e": len(analysis.bound),
+            "r": len(analysis.head_free_terms),
+        }
+        # A private copy: maintenance must stay exact under churn, so the
+        # service's live database (mutated first, possibly rolled back)
+        # is mirrored here through apply() only.
+        self.database = database.copy(CostCounter())
+        self.state = MaintenanceState(Program(rules), self.database)
+
+    @staticmethod
+    def _collapse(row: Tuple, split: int) -> Pair:
+        """A stored part row back into a pair, with the same
+        single-column scalar collapse ``conjunction_pairs`` applies."""
+        from_values = row[:split]
+        to_values = row[split:]
+        return (
+            from_values[0] if len(from_values) == 1 else from_values,
+            to_values[0] if len(to_values) == 1 else to_values,
+        )
+
+    def pairs(self, part: str) -> Set[Pair]:
+        """The current pair set of one part (uncharged structural read)."""
+        predicate = dict(self.PARTS)[part]
+        split = self._splits[part]
+        if not self.database.has_relation(predicate):
+            return set()
+        return {
+            self._collapse(row, split)
+            for row in self.database.relation(predicate)
+        }
+
+    def apply(self, inserts, deletes):
+        """Apply an EDB delta; returns ``(report, part_deltas)`` where
+        ``part_deltas[part] = (added_pairs, removed_pairs)``."""
+        report = self.state.apply(inserts=inserts, deletes=deletes)
+        part_deltas: Dict[str, Tuple[Set[Pair], Set[Pair]]] = {}
+        for part, predicate in self.PARTS:
+            split = self._splits[part]
+            part_deltas[part] = (
+                {
+                    self._collapse(row, split)
+                    for row in report.added.get(predicate, ())
+                },
+                {
+                    self._collapse(row, split)
+                    for row in report.removed.get(predicate, ())
+                },
+            )
+        return report, part_deltas
 
 
 class CompiledPlan:
@@ -69,7 +213,12 @@ class CompiledPlan:
         kernels=None,
         compile_seconds: float = 0.0,
         engine: str = "compiled",
+        maintainer: Optional[PlanMaintainer] = None,
+        database_dependent: bool = True,
     ):
+        # The pair sets are replaced atomically (whole new frozenset)
+        # under _exec_lock by maintain(); readers see either the old or
+        # the new set, never a partial one.
         self.left = frozenset(left)
         self.exit = frozenset(exit_pairs)
         self.right = frozenset(right)
@@ -80,6 +229,13 @@ class CompiledPlan:
         self.static_report = static_report
         self.compile_seconds = compile_seconds
         self.engine = engine
+        # Maintenance: present only when the source program is inside
+        # the supported fragment; None means maintain() must fall back.
+        self.maintainer = maintainer
+        # Plans compiled from explicit pair sets (compile_query_plan)
+        # carry no database-derived state: maintain() only re-stamps
+        # their version.
+        self.database_dependent = database_dependent
         # The memo caches are filled lazily from whichever worker thread
         # first asks; _memo_lock keeps fill/evict/read atomic.
         self._memo_lock = threading.Lock()
@@ -124,6 +280,77 @@ class CompiledPlan:
             finally:
                 for relation, prior in zip(relations, previous):
                     relation.counter = prior
+
+    # --- incremental maintenance --------------------------------------
+
+    def maintain(
+        self,
+        inserts,
+        deletes,
+        new_db_version: int,
+        new_database_fp: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Apply an EDB fact delta to this plan *in place*.
+
+        Updates the materialized pair sets (frozensets and shared
+        relations alike), clears the pair-dependent memo caches, and
+        re-stamps the plan's database version, all under the execution
+        lock — a concurrently executing batch either finishes on the old
+        state or starts on the new one.  Returns the flat maintenance
+        summary (``facts_touched``/``overdeleted``/``rederived``/
+        ``rounds``/``retrievals``/``pairs_added``/``pairs_removed``).
+
+        Raises :class:`~repro.errors.MaintenanceError` when the plan has
+        no maintainer (program outside the supported fragment) — the
+        caller must fall back to dropping the plan.
+        """
+        with self._exec_lock:
+            if not self.database_dependent:
+                # Nothing materialized from the database: the pair sets
+                # came in explicitly, so only the version moves.
+                self.db_version = new_db_version
+                if new_database_fp is not None:
+                    self.database_fp = new_database_fp
+                return dict(_EMPTY_MAINTENANCE)
+            if self.maintainer is None:
+                raise MaintenanceError(
+                    f"plan {self.fingerprint} has no maintainer; its "
+                    "program is outside the supported maintenance fragment"
+                )
+            report, part_deltas = self.maintainer.apply(inserts, deletes)
+            pairs_added = 0
+            pairs_removed = 0
+            for part, relation, attr in (
+                ("l", self.left_relation, "left"),
+                ("e", self.exit_relation, "exit"),
+                ("r", self.right_relation, "right"),
+            ):
+                added, removed = part_deltas[part]
+                if not added and not removed:
+                    continue
+                relation.add_all(added)
+                relation.discard_all(removed)
+                pairs_added += len(added)
+                pairs_removed += len(removed)
+                setattr(
+                    self,
+                    attr,
+                    frozenset((getattr(self, attr) | added) - removed),
+                )
+            if pairs_added or pairs_removed:
+                # The pair-dependent memos are stale: classifications
+                # and safety certificates are graph analyses of L.
+                with self._memo_lock:
+                    self._classifications.clear()
+                    self._relation_certificate = None
+                    self._source_certificates.clear()
+            self.db_version = new_db_version
+            if new_database_fp is not None:
+                self.database_fp = new_database_fp
+            summary = dict(report.summary())
+            summary["pairs_added"] = pairs_added
+            summary["pairs_removed"] = pairs_removed
+            return summary
 
     def instance(self, source, counter: Optional[CostCounter] = None) -> CSLInstance:
         """A :class:`CSLInstance` over the *shared* plan relations.
@@ -245,6 +472,9 @@ class CompiledPlan:
             "counting_safety": self.relation_certificate.verdict,
             "engine": self.engine,
             "compile_ms": self.compile_seconds * 1000.0,
+            "maintainable": (
+                not self.database_dependent or self.maintainer is not None
+            ),
         }
 
     def __repr__(self):
@@ -274,8 +504,27 @@ def compile_program_plan(
     from ..datalog.engine import CompiledProgram
 
     started = time.perf_counter()
-    query = CSLQuery.from_program(program, database=database)
+    analysis = analyze_linear(program)
+    query = CSLQuery.from_program(
+        program, analysis=analysis, database=database
+    )
     kernels = CompiledProgram(query.to_program())
+    maintainer: Optional[PlanMaintainer] = None
+    try:
+        maintainer = PlanMaintainer(program, analysis, database)
+    except ReproError:
+        # Outside the maintenance fragment (unsafe part rule, seeded
+        # IDB, ...): the plan still compiles, it just cannot be
+        # maintained — mutations will drop it instead.
+        maintainer = None
+    if maintainer is not None and (
+        maintainer.pairs("l") != query.left
+        or maintainer.pairs("e") != query.exit
+        or maintainer.pairs("r") != query.right
+    ):
+        # Defense in depth: the maintained materialization must agree
+        # with from_program's before we trust it under churn.
+        maintainer = None
     return CompiledPlan(
         query.left,
         query.exit,
@@ -289,6 +538,7 @@ def compile_program_plan(
         ),
         kernels=kernels,
         compile_seconds=time.perf_counter() - started,
+        maintainer=maintainer,
     )
 
 
@@ -313,4 +563,5 @@ def compile_query_plan(query: CSLQuery, db_version: int = 0) -> CompiledPlan:
         static_report=analyze_query(query),
         kernels=kernels,
         compile_seconds=time.perf_counter() - started,
+        database_dependent=False,
     )

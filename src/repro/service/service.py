@@ -16,9 +16,17 @@ serving loop is a strict compile/execute split:
   per *goal*.
 
 Every database mutation goes through the service (``add_fact`` /
-``add_facts`` / ``add_atom``): it bumps the database version and
-explicitly invalidates the plan cache, so a served answer can never be
-computed from stale compiled artifacts.
+``add_facts`` / ``add_atom`` / ``remove_fact`` / ``remove_facts`` /
+:meth:`SolverService.mutate`): it bumps the database version and then
+*maintains* every cached plan in place — the incremental counting/DRed
+engine (:mod:`repro.datalog.maintenance`) translates the fact delta
+into pair-set deltas on each plan's materialized ``L``/``E``/``R``
+relations, so single-fact churn costs a handful of retrievals instead
+of a recompile.  A plan whose program is outside the supported
+maintenance fragment is dropped instead (recorded in the
+``maintenance_fallbacks`` metric), and ``maintain_plans=False``
+restores the old invalidate-everything behaviour — either way a served
+answer can never be computed from stale compiled artifacts.
 
 The service is safe to share between threads — the network serving
 layer executes overlapping batches from a worker pool while mutations
@@ -49,7 +57,7 @@ from ..core.multi_source import union_magic_set
 from ..datalog.database import Database
 from ..datalog.program import Program
 from ..datalog.relation import CostCounter
-from ..errors import EvaluationError, UnsafeQueryError
+from ..errors import EvaluationError, ReproError, UnsafeQueryError
 from .cache import PlanCache
 from .fingerprint import database_fingerprint, target_fingerprint
 from .metrics import BatchMetrics, ServiceMetrics
@@ -58,6 +66,35 @@ from .plan import CompiledPlan, compile_program_plan, compile_query_plan
 BATCH_METHODS = ("shared_magic", "counting", "adaptive")
 
 PlanTarget = Union[Program, CSLQuery]
+
+
+@dataclass
+class MutationResult:
+    """What one :meth:`SolverService.mutate` call did.
+
+    ``changed`` counts the EDB facts that actually changed (inserting a
+    present tuple or deleting an absent one is a no-op and does not bump
+    the version).  ``plans_maintained``/``plans_invalidated`` split the
+    cached plans into those updated in place and those dropped because
+    maintenance could not (or must not) proceed; ``maintenance`` is the
+    summed per-plan phase summary (``facts_touched``, ``overdeleted``,
+    ``rederived``, ``rounds``, ``retrievals``, ``pairs_added``,
+    ``pairs_removed``).
+    """
+
+    changed: int
+    db_version: int
+    plans_maintained: int = 0
+    plans_invalidated: int = 0
+    maintenance: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self):
+        return (
+            f"MutationResult(changed={self.changed}, "
+            f"db_version={self.db_version}, "
+            f"maintained={self.plans_maintained}, "
+            f"invalidated={self.plans_invalidated})"
+        )
 
 
 @dataclass
@@ -98,8 +135,15 @@ class SolverService:
         plan_cache_size: int = 8,
         verify_database: bool = False,
         unsafe_fallback: bool = False,
+        maintain_plans: bool = True,
     ):
-        """``verify_database`` re-digests the EDB on every cache hit and
+        """``maintain_plans`` selects what a database mutation does to
+        the cached plans: ``True`` (default) updates each plan's
+        materialized pair sets in place through its incremental
+        maintainer, dropping only the plans maintenance cannot handle;
+        ``False`` restores the invalidate-everything behaviour.
+
+        ``verify_database`` re-digests the EDB on every cache hit and
         recompiles on mismatch — a paranoia mode for callers that keep a
         handle on the database and may mutate it behind the service's
         back (the version counter only sees mutations routed through
@@ -118,6 +162,7 @@ class SolverService:
         self.metrics = ServiceMetrics()
         self.verify_database = verify_database
         self.unsafe_fallback = unsafe_fallback
+        self.maintain_plans = maintain_plans
         # Reentrant: a verify_database mismatch inside _plan_for calls
         # _mutated while already holding the lock.
         self._lock = threading.RLock()
@@ -131,40 +176,141 @@ class SolverService:
             return self._db_version
 
     def add_fact(self, name: str, *values) -> bool:
-        """Insert one fact; invalidates cached plans when it is new."""
-        with self._lock:
-            added = self.database.add_fact(name, *values)
-            if added:
-                self._mutated()
-            return added
+        """Insert one fact; maintains cached plans when it is new."""
+        return bool(self.mutate(inserts={name: [tuple(values)]}).changed)
 
     def add_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
-        """Bulk insert; invalidates cached plans when anything was new."""
-        with self._lock:
-            added = self.database.add_facts(name, tuples)
-            if added:
-                self._mutated()
-            return added
+        """Bulk insert; maintains cached plans when anything was new."""
+        return self.mutate(inserts={name: list(tuples)}).changed
 
     def add_atom(self, atom) -> bool:
+        if not atom.is_ground():
+            raise EvaluationError(f"cannot store non-ground atom {atom}")
+        return self.add_fact(atom.predicate, *(t.value for t in atom.terms))
+
+    def remove_fact(self, name: str, *values) -> bool:
+        """Delete one fact; maintains cached plans when it was present."""
+        return bool(self.mutate(deletes={name: [tuple(values)]}).changed)
+
+    def remove_facts(self, name: str, tuples: Iterable[Tuple]) -> int:
+        """Bulk delete; maintains cached plans for the present ones."""
+        return self.mutate(deletes={name: list(tuples)}).changed
+
+    def mutate(
+        self,
+        inserts: Optional[Dict[str, Iterable[Tuple]]] = None,
+        deletes: Optional[Dict[str, Iterable[Tuple]]] = None,
+    ) -> MutationResult:
+        """Apply one EDB delta and bring every cached plan up to date.
+
+        The database is mutated first (no-op tuples filtered out), the
+        version bumped once, then each cached plan is either maintained
+        in place (:meth:`CompiledPlan.maintain`) and re-keyed to the new
+        version — so the very next batch is a cache *hit* — or dropped
+        when its program is outside the supported maintenance fragment
+        (a :class:`~repro.errors.MaintenanceError`, or any other library
+        error, from the maintainer).  With ``maintain_plans=False`` the
+        whole cache is invalidated instead.
+        """
         with self._lock:
-            added = self.database.add_atom(atom)
-            if added:
-                self._mutated()
-            return added
+            applied_ins: Dict[str, List[Tuple]] = {}
+            applied_dels: Dict[str, List[Tuple]] = {}
+            try:
+                for name, rows in (inserts or {}).items():
+                    for row in rows:
+                        if self.database.add_fact(name, *row):
+                            applied_ins.setdefault(name, []).append(
+                                tuple(row)
+                            )
+                for name, rows in (deletes or {}).items():
+                    for row in rows:
+                        if self.database.remove_fact(name, *row):
+                            applied_dels.setdefault(name, []).append(
+                                tuple(row)
+                            )
+            except Exception:
+                # Mid-bulk failure (arity mismatch, ...): restore the
+                # facts already applied so the delta is all-or-nothing.
+                for name, rows in applied_ins.items():
+                    for row in rows:
+                        self.database.remove_fact(name, *row)
+                for name, rows in applied_dels.items():
+                    for row in rows:
+                        self.database.add_fact(name, *row)
+                raise
+            changed = sum(len(r) for r in applied_ins.values()) + sum(
+                len(r) for r in applied_dels.values()
+            )
+            if not changed:
+                return MutationResult(changed=0, db_version=self._db_version)
+            if not self.maintain_plans:
+                dropped = self._invalidate_locked()
+                return MutationResult(
+                    changed=changed,
+                    db_version=self._db_version,
+                    plans_invalidated=dropped,
+                )
+            self._db_version += 1
+            new_fp = (
+                database_fingerprint(self.database)
+                if self.verify_database
+                else None
+            )
+            maintained = 0
+            invalidated = 0
+            totals: Dict[str, int] = {}
+            for key, plan in self.plan_cache.entries():
+                try:
+                    summary = plan.maintain(
+                        applied_ins,
+                        applied_dels,
+                        self._db_version,
+                        new_database_fp=new_fp,
+                    )
+                except ReproError:
+                    # Unsupported fragment (no maintainer, IDB predicate
+                    # mutated, inconsistent counts, ...): never serve a
+                    # possibly-wrong plan — drop it and recompile later.
+                    self.plan_cache.discard(key)
+                    invalidated += 1
+                    continue
+                self.plan_cache.replace(
+                    key, (key[0], self._db_version), plan
+                )
+                maintained += 1
+                for field_name, value in summary.items():
+                    totals[field_name] = totals.get(field_name, 0) + value
+            if maintained:
+                self.metrics.record_maintenance(maintained, totals)
+            if invalidated:
+                self.metrics.record_maintenance_fallback(invalidated)
+                self.metrics.record_invalidation(invalidated)
+            return MutationResult(
+                changed=changed,
+                db_version=self._db_version,
+                plans_maintained=maintained,
+                plans_invalidated=invalidated,
+                maintenance=totals,
+            )
 
     def invalidate_plans(self) -> int:
         """Explicitly drop every cached plan (e.g. after out-of-band
         database edits the service could not observe)."""
         with self._lock:
-            self._db_version += 1
-            return self.plan_cache.invalidate()
+            return self._invalidate_locked()
 
     def _mutated(self) -> None:
         with self._lock:
-            self._db_version += 1
-            self.plan_cache.invalidate()
-            self.metrics.record_invalidation()
+            self._invalidate_locked()
+
+    def _invalidate_locked(self) -> int:
+        """Version bump + full cache drop + metrics, the one shared
+        invalidation path (explicit, verify-mismatch, and
+        ``maintain_plans=False`` mutations all land here)."""
+        self._db_version += 1
+        dropped = self.plan_cache.invalidate()
+        self.metrics.record_invalidation()
+        return dropped
 
     # --- compilation ----------------------------------------------------
 
@@ -272,7 +418,7 @@ class SolverService:
                             + certificate.describe()
                         )
                     chosen = "shared_magic"
-                    self.metrics.fallbacks += 1
+                    self.metrics.record_fallback()
                     fallback_details["fallback"] = {
                         "from": "counting",
                         "to": "shared_magic",

@@ -8,7 +8,11 @@ from repro.datalog.database import Database
 from repro.datalog.evaluation import seminaive_evaluate
 from repro.datalog.incremental import insert_and_maintain
 from repro.datalog.parser import parse_program
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnsafeQueryError
+
+
+def snapshot(db):
+    return {name: set(db.facts(name)) for name in db.names()}
 
 TC = parse_program("t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
 
@@ -93,6 +97,61 @@ class TestRestrictions:
         derived = insert_and_maintain(program, db, {"e": [("b", "c")]})
         assert ("a", "c") in db.facts("t")
         assert "good" not in derived
+
+
+class TestValidationAndRollback:
+    def test_idb_insert_rejected(self):
+        db = evaluated_db([("a", "b")])
+        before = snapshot(db)
+        with pytest.raises(EvaluationError, match="IDB predicate"):
+            insert_and_maintain(TC, db, {"t": [("x", "y")]})
+        assert snapshot(db) == before
+
+    def test_mixed_arity_batch_rejected(self):
+        db = evaluated_db([("a", "b")])
+        before = snapshot(db)
+        with pytest.raises(EvaluationError, match="arity"):
+            insert_and_maintain(TC, db, {"e": [("x", "y"), ("z",)]})
+        assert snapshot(db) == before
+
+    def test_arity_checked_against_program(self):
+        db = evaluated_db([("a", "b")])
+        with pytest.raises(EvaluationError, match="arity"):
+            insert_and_maintain(TC, db, {"e": [("x", "y", "z")]})
+
+    def test_arity_checked_against_existing_relation(self):
+        program = parse_program("p(X) :- q(X).")
+        db = Database()
+        db.add_facts("extra", [(1, 2)])
+        db.add_facts("q", [(1,)])
+        seminaive_evaluate(program, db)
+        # ``extra`` is not mentioned by the program; its stored arity
+        # still constrains new tuples.
+        with pytest.raises(EvaluationError, match="arity"):
+            insert_and_maintain(program, db, {"extra": [(3,)]})
+
+    def test_nothing_stored_when_validation_fails_late(self):
+        # The first predicate in the batch is fine, the second is bad:
+        # validation must reject the whole batch before storing anything.
+        db = evaluated_db([("a", "b")])
+        before = snapshot(db)
+        with pytest.raises(EvaluationError):
+            insert_and_maintain(
+                TC, db, {"fresh": [(1,)], "t": [("x", "y")]}
+            )
+        assert snapshot(db) == before
+        assert not db.has_relation("fresh") or not db.facts("fresh")
+
+    def test_failure_mid_propagation_restores_state(self):
+        db = evaluated_db([("a", "b"), ("b", "c")])
+        before = snapshot(db)
+        with pytest.raises(UnsafeQueryError):
+            insert_and_maintain(
+                TC, db, {"e": [("c", "d")]}, max_iterations=0
+            )
+        # Both the seed insert and any partial derivations are rolled
+        # back: the database equals its pre-call state.
+        assert snapshot(db) == before
 
 
 class TestIncrementalCheaperThanRescratch:

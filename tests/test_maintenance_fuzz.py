@@ -1,0 +1,160 @@
+"""Differential churn fuzzing of deletion-capable maintenance.
+
+Hypothesis drives random insert/delete sequences against a
+:class:`~repro.datalog.maintenance.MaintenanceState` and, at every
+step, re-derives the model from scratch with
+:func:`~repro.datalog.evaluation.seminaive_evaluate` — on both the
+interpreted and the compiled engine.  The maintained IDB must equal
+the from-scratch model after *each* update, not just at the end, so a
+transient inconsistency (a missed retraction that a later insertion
+happens to repair, say) cannot hide.
+
+A second layer churns a live :class:`~repro.service.SolverService`
+through ``mutate`` and compares its served answers to a service built
+fresh on a copy of the mutated database.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.evaluation import seminaive_evaluate
+from repro.datalog.maintenance import MaintenanceState
+from repro.service import SolverService
+
+from .test_engine_fuzz import (
+    _CONSTANTS,
+    _EDB,
+    build_db,
+    random_databases,
+    random_programs,
+)
+from .test_service import FACTS, sg_database, sg_program
+
+churn_steps = st.lists(
+    st.tuples(
+        st.booleans(),  # True = insert, False = delete
+        st.sampled_from(_EDB),
+        st.tuples(st.sampled_from(_CONSTANTS), st.sampled_from(_CONSTANTS)),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def idb_facts(db, program):
+    return {p: db.facts(p) for p in program.idb_predicates()}
+
+
+class TestChurnMatchesScratch:
+    @settings(max_examples=60, deadline=None)
+    @given(random_programs(), random_databases(), churn_steps)
+    def test_maintained_idb_equals_scratch_after_every_step(
+        self, program, spec, steps
+    ):
+        maintained = build_db(spec)
+        seminaive_evaluate(program, maintained)
+        state = MaintenanceState(program, maintained)
+        edb = {name: set(tuples) for name, tuples in spec.items()}
+
+        for is_insert, name, tup in steps:
+            if is_insert:
+                state.apply(inserts={name: [tup]})
+                edb[name].add(tup)
+            else:
+                state.apply(deletes={name: [tup]})
+                edb[name].discard(tup)
+            for engine in ("interpreted", "compiled"):
+                scratch = build_db(edb)
+                seminaive_evaluate(program, scratch, engine=engine)
+                assert idb_facts(maintained, program) == idb_facts(
+                    scratch, program
+                ), (engine, name, tup)
+            for name_, tuples in edb.items():
+                assert maintained.facts(name_) == tuples
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_programs(), random_databases(), churn_steps)
+    def test_batched_churn_equals_scratch(self, program, spec, steps):
+        """The same churn delivered as one batched ``apply`` call."""
+        maintained = build_db(spec)
+        seminaive_evaluate(program, maintained)
+        state = MaintenanceState(program, maintained)
+        edb = {name: set(tuples) for name, tuples in spec.items()}
+
+        inserts = {}
+        deletes = {}
+        for is_insert, name, tup in steps:
+            if is_insert:
+                inserts.setdefault(name, []).append(tup)
+                edb[name].add(tup)
+            else:
+                deletes.setdefault(name, []).append(tup)
+                edb[name].discard(tup)
+        # Later steps win: drop inserted tuples that a later delete
+        # killed and vice versa, mirroring set semantics.
+        for name in list(inserts):
+            inserts[name] = [
+                t for t in inserts[name] if t in edb.get(name, set())
+            ]
+        for name in list(deletes):
+            deletes[name] = [
+                t for t in deletes[name] if t not in edb.get(name, set())
+            ]
+
+        state.apply(inserts=inserts, deletes=deletes)
+        scratch = build_db(edb)
+        seminaive_evaluate(program, scratch)
+        assert idb_facts(maintained, program) == idb_facts(scratch, program)
+
+
+service_churn = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.sampled_from(["up", "flat", "down"]),
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d", "y", "w1", "w2"]),
+            st.sampled_from(["a1", "c1", "y", "y2", "b", "w3"]),
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestServiceChurn:
+    @settings(max_examples=25, deadline=None)
+    @given(service_churn)
+    def test_served_answers_match_fresh_service(self, steps):
+        service = SolverService(sg_database())
+        program = sg_program("a")
+        service.solve_batch(program, ["a"])  # warm the plan cache
+
+        for is_insert, name, tup in steps:
+            if is_insert:
+                service.add_fact(name, *tup)
+            else:
+                service.remove_fact(name, *tup)
+            served = service.solve_batch(program, ["a"]).answers["a"]
+            fresh = SolverService(service.database.copy())
+            expected = fresh.solve_batch(program, ["a"]).answers["a"]
+            assert served == expected, (name, tup)
+
+    @settings(max_examples=25, deadline=None)
+    @given(service_churn)
+    def test_churned_database_matches_replayed_facts(self, steps):
+        """The service's EDB equals a plain dict replay of the churn."""
+        service = SolverService(sg_database())
+        program = sg_program("a")
+        service.solve_batch(program, ["a"])
+        edb = {name: set(tuples) for name, tuples in FACTS.items()}
+
+        for is_insert, name, tup in steps:
+            if is_insert:
+                service.add_fact(name, *tup)
+                edb[name].add(tup)
+            else:
+                service.remove_fact(name, *tup)
+                edb[name].discard(tup)
+        for name, tuples in edb.items():
+            assert service.database.facts(name) == tuples

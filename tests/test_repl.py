@@ -106,6 +106,21 @@ class TestCommands:
         assert feed(shell, ".clear") == ["cleared."]
         assert feed(shell, ".facts") == ["(no facts)"]
 
+    def test_retract(self, shell):
+        feed(shell, "parent(ann, mona).")
+        assert feed(shell, ".retract parent(ann, mona)") == ["retracted."]
+        assert feed(shell, ".retract parent(ann, mona)") == ["no such fact."]
+        assert feed(shell, ".facts") == ["(no facts)"]
+        # A trailing dot is tolerated, like a stored fact.
+        feed(shell, "parent(ann, mona).")
+        assert feed(shell, ".retract parent(ann, mona).") == ["retracted."]
+
+    def test_retract_needs_ground_fact(self, shell):
+        feed(shell, "parent(ann, mona).")
+        out = feed(shell, ".retract parent(ann, X)")
+        assert out == ["retract needs a ground fact."]
+        assert feed(shell, ".retract") == ["usage: .retract FACT"]
+
     def test_quit(self, shell):
         assert feed(shell, ".quit") == ["bye."]
         assert shell.done

@@ -214,6 +214,49 @@ class TestSyncClient:
                 ).answers
                 assert client.solve("c1") == want
 
+    def test_remove_fact_over_the_wire(self):
+        with ServerThread(make_server(window_ms=5)) as server:
+            with SolverClient(port=server.port) as client:
+                assert client.add_fact("e", "c0", "temp") is True
+                assert "temp" in client.solve("c0")
+                assert client.remove_fact("e", "c0", "temp") is True
+                # Second removal: the fact is gone, nothing changes.
+                assert client.remove_fact("e", "c0", "temp") is False
+                assert client.solve("c0") == ground_truth("c0")
+
+    def test_remove_facts_bulk(self):
+        with ServerThread(make_server()) as server:
+            with SolverClient(port=server.port) as client:
+                client.add_facts("e", [("c2", "bx"), ("c2", "by")])
+                removed = client.remove_facts(
+                    "e", [("c2", "bx"), ("c2", "by"), ("c2", "never")]
+                )
+                assert removed == 2
+                assert client.solve("c2") == ground_truth("c2")
+
+    def test_mutation_responses_report_maintenance(self):
+        with ServerThread(make_server(window_ms=5)) as server:
+            with SolverClient(port=server.port) as client:
+                client.solve("c0")  # warm the plan cache
+                result = client.request(
+                    "add_fact",
+                    {"name": "e", "values": ["c0", "wired"]},
+                )
+                assert result["added"] is True
+                assert result["db_version"] == 1
+                assert result["plans_maintained"] == 1
+                assert result["plans_invalidated"] == 0
+                assert result["maintenance"]["facts_touched"] >= 1
+                result = client.request(
+                    "remove_fact",
+                    {"name": "e", "values": ["c0", "wired"]},
+                )
+                assert result["removed"] is True
+                assert result["db_version"] == 2
+                assert result["plans_maintained"] == 1
+                stats = client.stats()
+                assert stats["service"]["plans_maintained"] == 2
+
     def test_per_request_program_text(self):
         program_text = """
             sg(X, Y) :- flat(X, Y).
@@ -268,6 +311,72 @@ class TestDeadlines:
             # execution: the drain found nothing left to run.
             assert server.coalescer.batches == 0
             assert server.coalescer.expired >= 1
+
+        asyncio.run(main())
+
+
+class TestRemoveFactUnderConcurrentSolves:
+    def test_churn_races_concurrent_solves(self):
+        """A writer toggling one exit fact while readers solve: every
+        served answer must equal the oracle of one of the two database
+        states (the fact present or absent) — never a mix — and after
+        the churn settles the served answers equal the original oracle
+        because the plans were maintained back, not rebuilt.
+        """
+        extra = ("c0", "flicker")
+        sources = SOURCES[:8]
+        low = {s: ground_truth(s) for s in sources}
+        high = {
+            s: solve(
+                CSLQuery(
+                    QUERY.left, QUERY.exit | {extra}, QUERY.right, s
+                )
+            ).answers
+            for s in sources
+        }
+
+        async def main():
+            server = make_server(window_ms=5, max_pending=256)
+            await server.start()
+            solver = mutator = None
+            try:
+                solver = await AsyncSolverClient.connect(port=server.port)
+                mutator = await AsyncSolverClient.connect(port=server.port)
+                # Warm the plan cache so the churn maintains a live plan
+                # rather than mutating into an empty cache.
+                assert await solver.solve(sources[0]) == low[sources[0]]
+
+                async def churn():
+                    for _ in range(10):
+                        assert await mutator.add_fact("e", *extra) is True
+                        await asyncio.sleep(0.005)
+                        assert await mutator.remove_fact("e", *extra) is True
+                        await asyncio.sleep(0.005)
+
+                async def read(source):
+                    observed = []
+                    for _ in range(5):
+                        observed.append(await solver.solve(source))
+                    return source, observed
+
+                churn_task = asyncio.ensure_future(churn())
+                reads = await asyncio.gather(*(read(s) for s in sources))
+                await churn_task
+                for source, observed in reads:
+                    for got in observed:
+                        assert got in (low[source], high[source]), source
+                # The churn netted out: the served state is the original.
+                for source in sources:
+                    assert await solver.solve(source) == low[source]
+                stats = await solver.stats()
+                assert stats["service"]["plans_maintained"] >= 1
+                assert stats["service"]["db_version"] == 20
+            finally:
+                if solver is not None:
+                    await solver.close()
+                if mutator is not None:
+                    await mutator.close()
+                await server.stop()
 
         asyncio.run(main())
 

@@ -58,6 +58,16 @@ class TestFraming:
         with pytest.raises(ProtocolError):
             decode_request(b'{"op": "ping", "params": [1]}\n')
 
+    def test_mutation_ops_are_known(self):
+        from repro.server.protocol import OPS
+
+        for op in ("add_fact", "add_facts", "remove_fact", "remove_facts"):
+            assert op in OPS
+            request = decode_request(
+                encode_frame({"id": 1, "op": op, "params": {}})
+            )
+            assert request["op"] == op
+
     def test_response_shapes(self):
         ok = ok_response(7, {"answers": []})
         assert ok == {"id": 7, "ok": True, "result": {"answers": []}}

@@ -186,19 +186,20 @@ class TestPlanCache:
         assert stats["cache:misses"] == 1
         assert stats["compiles"] == 1
 
-    def test_mutation_invalidates_and_recompiles(self):
+    def test_mutation_maintains_plan_in_place(self):
         service = SolverService(sg_database())
         program = sg_program()
         before = service.solve_batch(program, ["d"])
         assert before.answers["d"] == frozenset({"y2"})
-        # A new exit fact at d adds a direct answer; the old plan must
-        # not be served afterwards.
+        # A new exit fact at d adds a direct answer; the cached plan is
+        # maintained in place — the next batch hits the same plan object
+        # and still serves the updated answers.
         assert service.add_fact("flat", "d", "d1") is True
         assert service.db_version == 1
-        assert len(service.plan_cache) == 0
+        assert len(service.plan_cache) == 1
         after = service.solve_batch(program, ["d"])
-        assert after.cache_hit is False
-        assert after.plan is not before.plan
+        assert after.cache_hit is True
+        assert after.plan is before.plan
         oracle = CSLQuery.from_program(
             program, database=service.database
         )
@@ -206,6 +207,50 @@ class TestPlanCache:
             CSLQuery(oracle.left, oracle.exit, oracle.right, "d")
         )
         assert after.answers["d"] == frozenset({"y2", "d1"})
+        stats = service.stats()
+        assert stats["plans_maintained"] == 1
+        assert stats["compiles"] == 1
+
+    def test_mutation_invalidates_and_recompiles_when_disabled(self):
+        service = SolverService(sg_database(), maintain_plans=False)
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        assert before.answers["d"] == frozenset({"y2"})
+        assert service.add_fact("flat", "d", "d1") is True
+        assert service.db_version == 1
+        assert len(service.plan_cache) == 0
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is False
+        assert after.plan is not before.plan
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+        assert service.stats()["invalidations"] == 1
+
+    def test_remove_fact_maintains_deletions(self):
+        service = SolverService(sg_database())
+        program = sg_program()
+        before = service.solve_batch(program, ["a"])
+        assert before.answers["a"] == frozenset({"a1", "y2"})
+        assert service.remove_fact("flat", "c", "c1") is True
+        assert service.remove_fact("flat", "c", "c1") is False  # gone
+        after = service.solve_batch(program, ["a"])
+        assert after.cache_hit is True
+        assert after.plan is before.plan
+        fresh = SolverService(service.database.copy())
+        assert after.answers == fresh.solve_batch(program, ["a"]).answers
+        assert after.answers["a"] == frozenset({"a1"})
+
+    def test_invalidate_plans_records_metric(self):
+        service = SolverService(sg_database())
+        program = sg_program()
+        service.solve_batch(program, ["a"])
+        assert len(service.plan_cache) == 1
+        dropped = service.invalidate_plans()
+        assert dropped == 1
+        assert service.db_version == 1
+        # The explicit path and the mutation path share one helper, so
+        # the metric can no longer drift between them.
+        assert service.stats()["invalidations"] == 1
+        assert service.metrics.snapshot()["invalidations"] == 1
 
     def test_duplicate_fact_does_not_invalidate(self):
         service = SolverService(sg_database())

@@ -28,15 +28,11 @@ def oracle(service, source):
 
 
 class TestStalePlanRegression:
-    def test_mutation_between_lookup_and_execute_forces_recompile(self):
-        """A batch must never be answered from a plan invalidated after
-        the cache lookup but before execution started.
-
-        The mutation is injected deterministically: the first cache hit
-        triggers a write (version bump + invalidate) *after* the plan
-        is handed back, exactly the window a concurrent writer hits.
-        ``solve_batch`` re-checks the plan version at execute time and
-        must retry on the fresh plan.
+    def test_mutation_between_lookup_and_execute_is_maintained(self):
+        """A write landing between the cache lookup and execution must
+        not be lost.  With maintenance on, the writer repairs the very
+        plan object the reader already holds, so the version re-check at
+        execute time passes and the batch runs on up-to-date pair sets.
         """
         service = SolverService(sg_database())
         program = sg_program("d")
@@ -62,6 +58,46 @@ class TestStalePlanRegression:
             service.plan_cache.get = real_get
 
         assert mutated.is_set()
+        # The hit plan was repaired in place: still a cache hit, and the
+        # answer reflects the post-mutation database.
+        assert result.cache_hit is True
+        assert result.plan.db_version == service.db_version
+        assert result.answers["d"] == frozenset({"y2", "d1"})
+        assert result.answers["d"] == oracle(service, "d")
+
+    def test_mutation_between_lookup_and_execute_forces_recompile(self):
+        """With maintenance off, a batch must never be answered from a
+        plan invalidated after the cache lookup but before execution
+        started.
+
+        The mutation is injected deterministically: the first cache hit
+        triggers a write (version bump + invalidate) *after* the plan
+        is handed back, exactly the window a concurrent writer hits.
+        ``solve_batch`` re-checks the plan version at execute time and
+        must retry on the fresh plan.
+        """
+        service = SolverService(sg_database(), maintain_plans=False)
+        program = sg_program("d")
+        warm = service.solve_batch(program, ["d"])
+        assert warm.answers["d"] == frozenset({"y2"})
+
+        real_get = service.plan_cache.get
+        mutated = threading.Event()
+
+        def racing_get(key):
+            plan = real_get(key)
+            if plan is not None and not mutated.is_set():
+                mutated.set()
+                assert service.add_fact("flat", "d", "d1") is True
+            return plan
+
+        service.plan_cache.get = racing_get
+        try:
+            result = service.solve_batch(program, ["d"])
+        finally:
+            service.plan_cache.get = real_get
+
+        assert mutated.is_set()
         # The hit plan was stale; the retry recompiled (a miss) and the
         # answer reflects the post-mutation database.
         assert result.cache_hit is False
@@ -69,10 +105,36 @@ class TestStalePlanRegression:
         assert result.answers["d"] == frozenset({"y2", "d1"})
         assert result.answers["d"] == oracle(service, "d")
 
-    def test_every_attempt_starved_raises(self):
-        """If a writer invalidates the plan on *every* attempt the batch
-        fails loudly instead of looping forever or serving stale data."""
+    def test_every_attempt_maintained_succeeds(self):
+        """With maintenance on, a writer landing in the stale window on
+        every attempt cannot starve the batch: each write repairs the
+        held plan, so the batch executes once and its answer matches a
+        from-scratch solve over the final database."""
         service = SolverService(sg_database())
+        program = sg_program("d")
+        service.solve_batch(program, ["d"])
+
+        real_plan_for = service._plan_for
+        extra = iter(range(10_000))
+
+        def always_racing_plan_for(target):
+            plan, hit = real_plan_for(target)
+            service.add_fact("flat", "starver", f"s{next(extra)}")
+            return plan, hit
+
+        service._plan_for = always_racing_plan_for
+        try:
+            result = service.solve_batch(program, ["d"])
+        finally:
+            del service._plan_for
+        assert result.plan.db_version == service.db_version
+        assert result.answers["d"] == oracle(service, "d")
+
+    def test_every_attempt_starved_raises(self):
+        """With maintenance off, if a writer invalidates the plan on
+        *every* attempt the batch fails loudly instead of looping
+        forever or serving stale data."""
+        service = SolverService(sg_database(), maintain_plans=False)
         program = sg_program("d")
         service.solve_batch(program, ["d"])
 

@@ -1,0 +1,355 @@
+"""The cost-analysis pipeline: registry, report, runner.
+
+Same shape as :mod:`repro.analysis.static.framework` and
+:mod:`repro.analysis.concurrency`: an :class:`CostPass` is a named
+function from shared :class:`CostFacts` to diagnostics, the
+module-level registry holds the default pipeline in execution order,
+and :func:`run_cost_analysis` folds diagnostics plus the structured
+artifacts — the :class:`~repro.analysis.cost.certificate.
+CostCertificate` and the bound-ranked plan recommendation — into one
+:class:`CostReport` the serving layer attaches to compiled plans and
+the CLI renders as text, JSON, or SARIF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ...core.csl import CSLQuery
+from ...datalog.database import Database
+from ...datalog.lint import LEVELS, Diagnostic, sort_diagnostics
+from ...datalog.program import Program
+from ..sarif import rule_descriptors, sarif_level, sarif_log
+from .bounds import certify_cost
+from .certificate import CostCertificate
+from .stats import DEFAULT_NODE_BUDGET
+
+#: Every diagnostic code the pipeline can emit, with SARIF descriptions.
+RULE_METADATA: Dict[str, str] = {
+    "cost-not-applicable": (
+        "The program is outside the CSL class (or has no goal); no "
+        "retrieval bounds can be certified."
+    ),
+    "cost-widened": (
+        "The reachable region exceeded the exploration budget; bounds "
+        "were widened to whole-relation aggregates and are loose."
+    ),
+    "cost-abstained": (
+        "The analyzer abstained from certifying a bound for a method."
+    ),
+    "cost-divergence": (
+        "The bound-ranked plan choice differs from the regime "
+        "heuristic's choice."
+    ),
+}
+
+
+class CostFacts:
+    """Lazily-shared inputs and artifacts across the pipeline's passes."""
+
+    def __init__(
+        self,
+        query: Optional[CSLQuery],
+        goal: Optional[str] = None,
+        not_applicable_reason: Optional[str] = None,
+        node_budget: int = DEFAULT_NODE_BUDGET,
+    ) -> None:
+        self.query = query
+        self.goal = goal
+        self.not_applicable_reason = not_applicable_reason
+        self.node_budget = node_budget
+        self._certificate: Optional[CostCertificate] = None
+        self._recommendation = None
+
+    def certificate(self) -> Optional[CostCertificate]:
+        if self.query is None:
+            return None
+        if self._certificate is None:
+            self._certificate = certify_cost(
+                self.query, node_budget=self.node_budget
+            )
+        return self._certificate
+
+    def recommendation(self):
+        """The bound-ranked :class:`~repro.core.methods.
+        PlanRecommendation` (None outside the CSL class)."""
+        if self.query is None:
+            return None
+        if self._recommendation is None:
+            from ...core.classification import classify_nodes
+            from ...core.methods import recommended_plan
+
+            self._recommendation = recommended_plan(
+                classify_nodes(self.query), cost_certificate=self.certificate()
+            )
+        return self._recommendation
+
+
+PassFunction = Callable[[CostFacts], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class CostPass:
+    """One registered pass: a name, a description, and its function."""
+
+    name: str
+    description: str
+    run: PassFunction
+
+
+_REGISTRY: Dict[str, CostPass] = {}
+
+
+def register_pass(name: str, description: str):
+    """Decorator: add a pass to the default pipeline, in call order."""
+
+    def decorate(function: PassFunction) -> PassFunction:
+        _REGISTRY[name] = CostPass(name, description, function)
+        return function
+
+    return decorate
+
+
+def registered_passes() -> List[CostPass]:
+    """The default pipeline, in registration (execution) order."""
+    return list(_REGISTRY.values())
+
+
+@register_pass("cost-applicability", "is there a CSL query to bound?")
+def _pass_applicability(facts: CostFacts) -> List[Diagnostic]:
+    if facts.query is not None:
+        return []
+    reason = facts.not_applicable_reason or "no CSL query materialized"
+    return [
+        Diagnostic(
+            "info",
+            "cost-not-applicable",
+            f"no retrieval bounds certified: {reason}",
+        )
+    ]
+
+
+@register_pass("cost-region", "budgeted region statistics and widening")
+def _pass_region(facts: CostFacts) -> List[Diagnostic]:
+    certificate = facts.certificate()
+    if certificate is None or not certificate.widened:
+        return []
+    return [
+        Diagnostic(
+            "warning",
+            "cost-widened",
+            "region statistics were widened to whole-relation "
+            "aggregates: " + "; ".join(certificate.assumptions),
+        )
+    ]
+
+
+@register_pass("cost-bounds", "closed-form per-method retrieval bounds")
+def _pass_bounds(facts: CostFacts) -> List[Diagnostic]:
+    certificate = facts.certificate()
+    if certificate is None:
+        return []
+    diagnostics = []
+    for entry in certificate.bounds.values():
+        # Counting on a certified-cyclic region and Henschen-Naqvi
+        # always abstain; report them once each at info level so the
+        # rendered report explains every hole in the table.
+        if not entry.certified:
+            diagnostics.append(
+                Diagnostic(
+                    "info",
+                    "cost-abstained",
+                    f"{entry.method}: {entry.reason}",
+                )
+            )
+    return diagnostics
+
+
+@register_pass("cost-ranking", "bound-ranked plan choice vs heuristic")
+def _pass_ranking(facts: CostFacts) -> List[Diagnostic]:
+    recommendation = facts.recommendation()
+    if recommendation is None:
+        return []
+    heuristic = recommendation.details.get("heuristic")
+    if (
+        recommendation.provenance == "certified-bound"
+        and heuristic is not None
+        and recommendation.method != heuristic
+    ):
+        return [
+            Diagnostic(
+                "info",
+                "cost-divergence",
+                f"certified bounds rank {recommendation.method} ahead of "
+                f"the heuristic choice {heuristic}: "
+                + str(recommendation.details.get("reason")),
+            )
+        ]
+    return []
+
+
+@dataclass
+class CostReport:
+    """Everything the cost analyzer learned about one query."""
+
+    goal: Optional[str]
+    diagnostics: List[Diagnostic]
+    passes_run: List[str]
+    certificate: Optional[CostCertificate] = None
+    recommendation: Optional[object] = None  # PlanRecommendation
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.level == "error" for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {level: 0 for level in LEVELS}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.level] += 1
+        return tally
+
+    def exceeds(self, fail_on: str) -> bool:
+        """True when any diagnostic is at or above ``fail_on`` severity."""
+        threshold = LEVELS.index(fail_on)
+        return any(
+            LEVELS.index(d.level) <= threshold for d in self.diagnostics
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        recommendation = None
+        if self.recommendation is not None:
+            recommendation = {
+                "method": self.recommendation.method,
+                "provenance": self.recommendation.provenance,
+                "details": self.recommendation.details,
+            }
+        return {
+            "goal": self.goal,
+            "passes": list(self.passes_run),
+            "counts": self.counts(),
+            "diagnostics": [
+                {
+                    "level": d.level,
+                    "code": d.code,
+                    "message": d.message,
+                    "rule": None if d.rule is None else str(d.rule),
+                }
+                for d in self.diagnostics
+            ],
+            "certificate": None
+            if self.certificate is None
+            else self.certificate.to_json(),
+            "recommendation": recommendation,
+        }
+
+    def to_sarif(self, artifact_uri: Optional[str] = None) -> Dict[str, object]:
+        codes = sorted({d.code for d in self.diagnostics})
+        rule_index = {code: i for i, code in enumerate(codes)}
+        results = []
+        for diagnostic in self.diagnostics:
+            result: Dict[str, object] = {
+                "ruleId": diagnostic.code,
+                "ruleIndex": rule_index[diagnostic.code],
+                "level": sarif_level(diagnostic.level),
+                "message": {"text": diagnostic.message},
+            }
+            if artifact_uri is not None:
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": artifact_uri}
+                        }
+                    }
+                ]
+            results.append(result)
+        properties: Dict[str, object] = {}
+        if self.certificate is not None:
+            properties["widened"] = self.certificate.widened
+            best = self.certificate.best()
+            if best is not None:
+                properties["cheapestCertifiedMethod"] = best.method
+                properties["cheapestCertifiedBound"] = best.bound
+        if self.recommendation is not None:
+            properties["recommendedMethod"] = self.recommendation.method
+            properties["recommendationProvenance"] = (
+                self.recommendation.provenance
+            )
+        return sarif_log(
+            "repro-cost-analyzer",
+            results,
+            rule_descriptors(codes, RULE_METADATA),
+            information_uri="https://dl.acm.org/doi/10.1145/38713.38725",
+            properties=properties or None,
+        )
+
+
+def _fold_report(facts: CostFacts, selected: List[CostPass]) -> CostReport:
+    diagnostics: List[Diagnostic] = []
+    for cost_pass in selected:
+        diagnostics.extend(cost_pass.run(facts))
+    return CostReport(
+        goal=facts.goal,
+        diagnostics=sort_diagnostics(diagnostics),
+        passes_run=[p.name for p in selected],
+        certificate=facts.certificate(),
+        recommendation=facts.recommendation(),
+    )
+
+
+def _select_passes(passes: Optional[Iterable[str]]) -> List[CostPass]:
+    if passes is None:
+        return registered_passes()
+    wanted = set(passes)
+    unknown = wanted - set(_REGISTRY)
+    if unknown:
+        raise KeyError(
+            f"unknown cost pass(es): {sorted(unknown)}; "
+            f"registered: {sorted(_REGISTRY)}"
+        )
+    return [p for p in registered_passes() if p.name in wanted]
+
+
+def run_cost_analysis(
+    program: Program,
+    database: Optional[Database] = None,
+    passes: Optional[Iterable[str]] = None,
+    csl_query: Optional[CSLQuery] = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> CostReport:
+    """Run the (selected) pipeline over a Datalog program.
+
+    The CSL query is materialized through the static analyzer's
+    :class:`~repro.analysis.static.facts.ProgramFacts` (or pre-seeded
+    via ``csl_query``); outside the CSL class the pipeline degrades to
+    the applicability diagnostic instead of failing.
+    """
+    from ..static.facts import ProgramFacts
+
+    program_facts = ProgramFacts(program, database, csl=csl_query)
+    query = program_facts.csl_query()
+    facts = CostFacts(
+        query,
+        goal=None if program_facts.goal is None else str(program_facts.goal),
+        not_applicable_reason=(
+            "the program has no query goal"
+            if program_facts.goal is None
+            else program_facts.not_csl_reason
+        ),
+        node_budget=node_budget,
+    )
+    return _fold_report(facts, _select_passes(passes))
+
+
+def analyze_cost_query(
+    query: CSLQuery,
+    passes: Optional[Iterable[str]] = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> CostReport:
+    """A report for an already-materialized CSL query (serving layer)."""
+    facts = CostFacts(
+        query,
+        goal=f"p({query.source!r}, Y)?",
+        node_budget=node_budget,
+    )
+    return _fold_report(facts, _select_passes(passes))

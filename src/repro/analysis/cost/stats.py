@@ -1,0 +1,215 @@
+"""Cheap EDB statistics for the cost analyzer.
+
+The bound formulas in :mod:`repro.analysis.cost.bounds` are expressed
+over a handful of aggregate quantities of the query's reachable region:
+the magic-side node/arc counts, per-node L/E fan-outs, the *full
+relation* L in-degrees (the paper's nested-loop joins probe ``L(None,
+x1)``, which charges every predecessor whether reachable or not), and
+the answer-side sweep cost ``n_R + m_R``.
+
+Collecting them exactly costs one pass over each of the three pair sets
+plus two bounded closures (L forward from the source, R backward from
+the exit targets).  Both closures respect a *node budget*: the moment
+more nodes are discovered than the budget allows, the explorer gives up
+and **widens** — the region is replaced by the whole-relation superset
+(every L target plus the source; every R first column plus every E
+target) and the widening is recorded as an explicit assumption on the
+certificate.  Widened statistics are still *sound* (every true region
+is a subset of the widened one and every bound formula is monotone in
+the region), just loose; the analyzer never samples-and-guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from ...core.csl import CSLQuery
+
+#: Default exploration budget: regions larger than this are widened to
+#: whole-relation aggregates instead of being traversed.
+DEFAULT_NODE_BUDGET = 4096
+
+
+def _bounded_closure(
+    seeds: Iterable[object],
+    successors: Mapping[object, List[object]],
+    budget: int,
+) -> Tuple[FrozenSet[object], bool]:
+    """Forward closure of ``seeds`` under ``successors``, or give up.
+
+    Returns ``(nodes, exceeded)``; when ``exceeded`` is True the
+    returned set is partial and MUST NOT be used (the caller widens).
+    """
+    seen = set(seeds)
+    stack = list(seen)
+    while stack:
+        if len(seen) > budget:
+            return frozenset(seen), True
+        node = stack.pop()
+        for successor in successors.get(node, ()):
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return frozenset(seen), False
+
+
+@dataclass(frozen=True)
+class RegionStatistics:
+    """Aggregate statistics of (a superset of) the reachable region.
+
+    ``ms`` is a superset of the true magic set and ``answer_nodes`` a
+    superset of the true answer-side region; every derived aggregate is
+    therefore an upper bound on its true counterpart, which is the only
+    direction the bound formulas need.
+    """
+
+    source: object
+    widened: bool
+    #: True when the *magic-side* closure specifically gave up — the
+    #: abstract interpretation needs distances over the real region, so
+    #: it degrades to its coarsest element exactly when this is set.
+    magic_widened: bool
+    assumptions: Tuple[str, ...]
+    ms: FrozenSet[object]
+    answer_nodes: FrozenSet[object]
+    #: L successors restricted to ``ms`` (adjacency for the abstract
+    #: interpretation; only populated when the region was NOT widened).
+    adjacency: Mapping[object, Tuple[object, ...]] = field(repr=False)
+    #: Full-relation L out-degree, keyed by first column.
+    out_l: Mapping[object, int] = field(repr=False)
+    #: Full-relation L in-degree, keyed by second column.
+    in_l: Mapping[object, int] = field(repr=False)
+    #: Full-relation E out-degree, keyed by first column.
+    out_e: Mapping[object, int] = field(repr=False)
+    #: Full-relation R in-degree, keyed by second column.
+    in_r: Mapping[object, int] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        """|MS| upper bound (the paper's ``n_L``)."""
+        return len(self.ms)
+
+    @property
+    def m(self) -> int:
+        """L arcs leaving the region (the paper's ``m_L``)."""
+        return sum(self.out_l.get(v, 0) for v in self.ms)
+
+    @property
+    def n_y(self) -> int:
+        """Answer-side node count (the paper's ``n_R``)."""
+        return len(self.answer_nodes)
+
+    @property
+    def m_r(self) -> int:
+        """R arcs inside the answer region (the paper's ``m_R``).
+
+        ``answer_nodes`` is closed under full-relation R in-arcs, so the
+        full in-degrees of its members count exactly the region arcs.
+        """
+        return sum(self.in_r.get(y, 0) for y in self.answer_nodes)
+
+    # --- the aggregate forms the bound formulas consume ----------------
+
+    def probe_sum(self, nodes: Iterable[object]) -> int:
+        """Σ (1 + outdeg_L(v)): cost of L-expanding each node once."""
+        return sum(1 + self.out_l.get(v, 0) for v in nodes)
+
+    def e_sum(self, nodes: Iterable[object]) -> int:
+        """Σ (1 + outdeg_E(v)): cost of E-probing each node once."""
+        return sum(1 + self.out_e.get(v, 0) for v in nodes)
+
+    def lin_sum(self, nodes: Iterable[object]) -> int:
+        """Σ indeg_L(v) over ``nodes`` (full-relation in-degrees)."""
+        return sum(self.in_l.get(v, 0) for v in nodes)
+
+    def l_cross(self, sources: Iterable[object], targets) -> int:
+        """Upper bound on ``|{(x, x1) in L : x in sources, x1 in
+        targets}|`` without scanning L: the crossing arcs are at most
+        the total out-degree of ``sources`` and at most the total
+        in-degree of ``targets``, whichever is smaller."""
+        out_total = sum(self.out_l.get(v, 0) for v in sources)
+        in_total = self.lin_sum(targets)
+        return min(out_total, in_total)
+
+    @property
+    def answer_sweep(self) -> int:
+        """``n_R + m_R``: one full descend level can cost at most this."""
+        return self.n_y + self.m_r
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "source": repr(self.source),
+            "widened": self.widened,
+            "n_l": self.n,
+            "m_l": self.m,
+            "n_r": self.n_y,
+            "m_r": self.m_r,
+            "assumptions": list(self.assumptions),
+        }
+
+
+def collect_statistics(
+    query: CSLQuery, node_budget: int = DEFAULT_NODE_BUDGET
+) -> RegionStatistics:
+    """One pass over L/E/R plus two budgeted closures."""
+    out_l: Dict[object, int] = {}
+    in_l: Dict[object, int] = {}
+    successors: Dict[object, List[object]] = {}
+    for b, c in query.left:
+        out_l[b] = out_l.get(b, 0) + 1
+        in_l[c] = in_l.get(c, 0) + 1
+        successors.setdefault(b, []).append(c)
+
+    out_e: Dict[object, int] = {}
+    for b, c in query.exit:
+        out_e[b] = out_e.get(b, 0) + 1
+
+    in_r: Dict[object, int] = {}
+    r_backward: Dict[object, List[object]] = {}
+    for y, y1 in query.right:
+        in_r[y1] = in_r.get(y1, 0) + 1
+        r_backward.setdefault(y1, []).append(y)
+
+    assumptions: List[str] = []
+    ms, ms_exceeded = _bounded_closure([query.source], successors, node_budget)
+    if ms_exceeded:
+        ms = frozenset({query.source} | {c for _b, c in query.left})
+        assumptions.append(
+            f"magic region exceeded the {node_budget}-node exploration "
+            "budget; widened to every L target plus the source"
+        )
+
+    # Answer region: E targets of the magic region, closed backwards
+    # under R.  With a widened magic set the seed set is already a
+    # superset of the true exit frontier, so the closure stays sound.
+    exit_targets = {c for b, c in query.exit if b in ms}
+    answers, r_exceeded = _bounded_closure(exit_targets, r_backward, node_budget)
+    if r_exceeded:
+        answers = frozenset(
+            {c for _b, c in query.exit} | {y for y, _y1 in query.right}
+        )
+        assumptions.append(
+            f"answer region exceeded the {node_budget}-node exploration "
+            "budget; widened to every E target plus every R first column"
+        )
+
+    widened = ms_exceeded or r_exceeded
+    adjacency: Dict[object, Tuple[object, ...]] = {}
+    if not ms_exceeded:
+        for v in ms:
+            adjacency[v] = tuple(successors.get(v, ()))
+
+    return RegionStatistics(
+        source=query.source,
+        widened=widened,
+        magic_widened=ms_exceeded,
+        assumptions=tuple(assumptions),
+        ms=frozenset(ms),
+        answer_nodes=frozenset(answers),
+        adjacency=adjacency,
+        out_l=out_l,
+        in_l=in_l,
+        out_e=out_e,
+        in_r=in_r,
+    )

@@ -166,7 +166,70 @@ def cmd_serve(args) -> int:
     return server.run()
 
 
+def _render_cost_report(report) -> None:
+    """Human-readable rendering of a cost-analysis report."""
+    print(f"goal: {report.goal}")
+    for diagnostic in report.diagnostics:
+        print(diagnostic)
+    certificate = report.certificate
+    if certificate is None:
+        return
+    print()
+    print(
+        "certified retrieval bounds"
+        + (" (widened — loose)" if certificate.widened else "")
+        + ":"
+    )
+    for entry in certificate.bounds.values():
+        cell = (
+            str(entry.bound)
+            if entry.certified
+            else f"abstained ({entry.reason})"
+        )
+        print(f"  {entry.method:30s} {cell}")
+    recommendation = report.recommendation
+    if recommendation is not None:
+        print()
+        print(
+            f"recommended plan: {recommendation.method} "
+            f"[{recommendation.provenance}]"
+        )
+        reason = recommendation.details.get("reason")
+        if reason:
+            print(f"  {reason}")
+
+
+def _cmd_analyze_cost(args) -> int:
+    import json
+
+    from .analysis.cost import run_cost_analysis
+
+    program, database = _load(args.program, args.facts)
+    report = run_cost_analysis(program, database)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(
+            json.dumps(
+                report.to_sarif(artifact_uri=args.program),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        _render_cost_report(report)
+    counts = report.counts()
+    print(
+        f"-- {len(report.diagnostics)} finding(s), "
+        f"{counts['error']} error(s), {counts['warning']} warning(s)",
+        file=sys.stderr,
+    )
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def cmd_analyze(args) -> int:
+    if args.cost:
+        return _cmd_analyze_cost(args)
     program, database = _load(args.program, args.facts)
     query = _extract_query(program, database)
     classification = classify_nodes(query)
@@ -466,6 +529,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub_analyze)
     sub_analyze.add_argument(
         "--dot", help="also write the query graph as Graphviz DOT"
+    )
+    sub_analyze.add_argument(
+        "--cost", action="store_true",
+        help="run the static cost-bound analyzer instead: certified "
+        "per-method retrieval bounds and the bound-ranked plan choice",
+    )
+    sub_analyze.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format for --cost (sarif emits SARIF 2.1.0 for CI)",
+    )
+    sub_analyze.add_argument(
+        "--fail-on", dest="fail_on", default="error",
+        choices=["error", "warning"],
+        help="with --cost: lowest severity that forces a non-zero exit",
     )
     sub_analyze.set_defaults(handler=cmd_analyze)
 

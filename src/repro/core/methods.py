@@ -10,6 +10,8 @@ per-step diagnostics.  All eight methods are safe on every input
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .cost import AnswerResult
 from .csl import CSLQuery
@@ -100,33 +102,193 @@ def all_method_coordinates():
     ]
 
 
-def recommended_plan(classification):
-    """The selection policy, by magic-graph regime.
+@dataclass(frozen=True, eq=False)
+class PlanRecommendation:
+    """One method choice, with the *why* attached.
 
-    Returns ``(method_name, strategy, mode, scc_step1)``; ``strategy``
-    and ``mode`` are None for the pure counting method.  This is the
-    single source of truth shared by :func:`repro.core.solver.
-    adaptive_solve` and the static method-admissibility advisory:
-
-    * **regular** — the pure counting method (unbeatable there);
-    * **acyclic non-regular** — the integrated multiple method (best
-      measured all-rounder without the recurring Step-1 overhead,
-      which buys nothing when no node is recurring);
-    * **cyclic** — the integrated recurring method with the
-      linear-time SCC Step 1.
+    Unpacks like the historical 4-tuple (``name, strategy, mode,
+    scc_step1 = recommended_plan(...)`` keeps working), but carries
+    provenance — ``"heuristic"`` for the regime policy, ``"certified-
+    bound"`` when a cost certificate ranked the candidates, and
+    ``"heuristic-fallback"`` when a certificate was offered but
+    abstained on every candidate — plus a ranked candidate table in
+    ``details["ranking"]``.
     """
+
+    method: str
+    strategy: Optional[Strategy]
+    mode: Optional[Mode]
+    scc_step1: bool
+    provenance: str = "heuristic"
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter((self.method, self.strategy, self.mode, self.scc_step1))
+
+    def __getitem__(self, index):
+        return (self.method, self.strategy, self.mode, self.scc_step1)[index]
+
+    def __len__(self) -> int:
+        return 4
+
+
+def plan_candidates() -> List[Tuple[str, Optional[Strategy], Optional[Mode], bool]]:
+    """Every plan ``adaptive_solve`` can execute, in preference order
+    (the order breaks exact bound ties after the heuristic choice)."""
+    candidates: List[Tuple[str, Optional[Strategy], Optional[Mode], bool]] = [
+        ("counting", None, None, False)
+    ]
+    for strategy, mode in all_method_coordinates():
+        candidates.append((method_name(strategy, mode), strategy, mode, False))
+    for mode in (Mode.INDEPENDENT, Mode.INTEGRATED):
+        candidates.append(
+            (
+                method_name(Strategy.RECURRING, mode, scc_step1=True),
+                Strategy.RECURRING,
+                mode,
+                True,
+            )
+        )
+    return candidates
+
+
+def _heuristic_plan(classification) -> PlanRecommendation:
     if classification.is_regular:
-        return ("counting", None, None, False)
-    if not classification.is_cyclic:
-        return (
+        choice: Tuple[str, Optional[Strategy], Optional[Mode], bool] = (
+            "counting", None, None, False,
+        )
+        reason = "regular magic graph: pure counting is unbeatable there"
+    elif not classification.is_cyclic:
+        choice = (
             method_name(Strategy.MULTIPLE, Mode.INTEGRATED),
             Strategy.MULTIPLE,
             Mode.INTEGRATED,
             False,
         )
-    return (
-        method_name(Strategy.RECURRING, Mode.INTEGRATED, scc_step1=True),
-        Strategy.RECURRING,
-        Mode.INTEGRATED,
-        True,
+        reason = (
+            "acyclic non-regular: the integrated multiple method is the "
+            "best measured all-rounder without recurring Step-1 overhead"
+        )
+    else:
+        choice = (
+            method_name(Strategy.RECURRING, Mode.INTEGRATED, scc_step1=True),
+            Strategy.RECURRING,
+            Mode.INTEGRATED,
+            True,
+        )
+        reason = (
+            "cyclic: the integrated recurring method with the linear-time "
+            "SCC Step 1"
+        )
+    name, strategy, mode, scc = choice
+    return PlanRecommendation(
+        method=name,
+        strategy=strategy,
+        mode=mode,
+        scc_step1=scc,
+        provenance="heuristic",
+        details={"reason": reason, "heuristic": name},
+    )
+
+
+def recommended_plan(classification, cost_certificate=None):
+    """The selection policy: certified bounds first, regime heuristics
+    as the fallback.
+
+    Returns a :class:`PlanRecommendation` (unpacks as the historical
+    ``(method_name, strategy, mode, scc_step1)`` tuple; ``strategy``
+    and ``mode`` are None for the pure counting method).  This is the
+    single source of truth shared by :func:`repro.core.solver.
+    adaptive_solve` and the static method-admissibility advisory.
+
+    Without a certificate the regime policy applies: **regular** — the
+    pure counting method; **acyclic non-regular** — the integrated
+    multiple method; **cyclic** — the integrated recurring method with
+    the SCC Step 1.
+
+    With a ``cost_certificate`` (a :class:`repro.analysis.cost.
+    CostCertificate` for this source) every executable candidate with a
+    certified finite bound is ranked and the smallest bound wins; exact
+    ties prefer the heuristic choice, then candidate order.  When the
+    certificate abstains on every candidate the heuristic choice stands
+    (provenance ``"heuristic-fallback"``).  Either way
+    ``details["ranking"]`` records the full table.
+    """
+    heuristic = _heuristic_plan(classification)
+    if cost_certificate is None:
+        return heuristic
+
+    candidates = plan_candidates()
+    ranking: List[Dict[str, object]] = []
+    best: Optional[Tuple[str, Optional[Strategy], Optional[Mode], bool]] = None
+    best_bound: Optional[int] = None
+    for candidate in candidates:
+        name = candidate[0]
+        bound = cost_certificate.bound_for(name)
+        entry = cost_certificate.bounds.get(name)
+        ranking.append(
+            {
+                "method": name,
+                "bound": bound,
+                "provenance": "certified-bound" if bound is not None
+                else "abstained",
+                "reason": None if entry is None else entry.reason,
+                "selected": False,
+            }
+        )
+        if bound is None:
+            continue
+        improves = best_bound is None or bound < best_bound
+        ties_to_heuristic = (
+            best_bound is not None
+            and bound == best_bound
+            and name == heuristic.method
+        )
+        if improves or ties_to_heuristic:
+            best, best_bound = candidate, bound
+
+    ranking.sort(
+        key=lambda row: (
+            row["bound"] is None,
+            row["bound"] if row["bound"] is not None else 0,
+        )
+    )
+    details: Dict[str, object] = {
+        "heuristic": heuristic.method,
+        "ranking": ranking,
+        "widened": cost_certificate.widened,
+    }
+    if best is None:
+        details["reason"] = (
+            "the cost analyzer abstained on every candidate; "
+            "falling back to the regime heuristic "
+            f"({heuristic.details['reason']})"
+        )
+        return PlanRecommendation(
+            method=heuristic.method,
+            strategy=heuristic.strategy,
+            mode=heuristic.mode,
+            scc_step1=heuristic.scc_step1,
+            provenance="heuristic-fallback",
+            details=details,
+        )
+    name, strategy, mode, scc = best
+    for row in ranking:
+        if row["method"] == name:
+            row["selected"] = True
+            break
+    details["reason"] = (
+        f"smallest certified retrieval bound ({best_bound}); "
+        f"heuristic would pick {heuristic.method}"
+        if name != heuristic.method
+        else f"smallest certified retrieval bound ({best_bound}), "
+        "agreeing with the regime heuristic"
+    )
+    return PlanRecommendation(
+        method=name,
+        strategy=strategy,
+        mode=mode,
+        scc_step1=scc,
+        provenance="certified-bound",
+        details=details,
     )

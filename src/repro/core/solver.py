@@ -94,7 +94,9 @@ def solve_program(program, database, method: str = "auto",
     return solve(query, method=method, strategy=strategy, mode=mode)
 
 
-def adaptive_solve(query: CSLQuery, counter=None) -> AnswerResult:
+def adaptive_solve(
+    query: CSLQuery, counter=None, cost_bounds: bool = False
+) -> AnswerResult:
     """Pick the method by a cheap pre-classification of the magic graph.
 
     One linear SCC pass (uncharged — it is compile-time analysis)
@@ -102,17 +104,44 @@ def adaptive_solve(query: CSLQuery, counter=None) -> AnswerResult:
     :func:`repro.core.methods.recommended_plan`, shared with the static
     method-admissibility advisory so the analyzer's recommendation and
     the solver's behaviour can never drift apart.
+
+    With ``cost_bounds=True`` the cost analyzer
+    (:mod:`repro.analysis.cost`) additionally certifies a retrieval
+    bound per method and the smallest certified bound wins the
+    ranking (ties and abstentions fall back to the regime heuristic).
+    The chosen plan's provenance, certified bound, and the full ranked
+    table land in the result's ``details["plan"]``.
     """
     from .classification import classify_nodes
     from .methods import recommended_plan
 
     classification = classify_nodes(query)
-    name, strategy, mode, scc_step1 = recommended_plan(classification)
-    if name == "counting":
-        return counting_method(query, counter=counter)
-    return magic_counting(
-        query, strategy, mode, counter=counter, scc_step1=scc_step1
+    certificate = None
+    if cost_bounds:
+        from ..analysis.cost import certify_cost
+
+        certificate = certify_cost(query)
+    recommendation = recommended_plan(
+        classification, cost_certificate=certificate
     )
+    name, strategy, mode, scc_step1 = recommendation
+    if name == "counting":
+        result = counting_method(query, counter=counter)
+    elif name in _NAMED_METHODS:
+        result = _NAMED_METHODS[name](query, counter=counter)
+    else:
+        result = magic_counting(
+            query, strategy, mode, counter=counter, scc_step1=scc_step1
+        )
+    if cost_bounds:
+        result.details["plan"] = {
+            "provenance": recommendation.provenance,
+            "bound": None
+            if certificate is None
+            else certificate.bound_for(name),
+            "ranking": recommendation.details.get("ranking"),
+        }
+    return result
 
 
 def naive_answer(query: CSLQuery, counter=None) -> AnswerResult:

@@ -41,6 +41,7 @@ paper's cost unit and with a from-scratch re-evaluation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -227,6 +228,14 @@ class MaintenanceState:
     The state must remain the only writer of the database's IDB
     relations; direct EDB mutations bypassing :meth:`apply` invalidate
     the counts (exactly like mutating a database behind a cached plan).
+
+    Thread-safety: the serving layer maintains cached plans from
+    whichever worker thread a mutation lands on, so the owned database
+    and the derivation counts are guarded by a private lock (the
+    ``guarded-by`` annotations are checked by ``repro lint-py``).
+    :meth:`apply` takes the lock once for the whole
+    validate/propagate/rollback sequence; the ``*_locked`` helpers
+    assume it is held.
     """
 
     def __init__(
@@ -237,7 +246,8 @@ class MaintenanceState:
     ):
         program.check_safety()
         self.program = program
-        self.database = database
+        self._lock = threading.Lock()
+        self.database = database  # guarded-by: _lock
         self.max_iterations = max_iterations
         self.arities = _arity_map(program)
         self.idb = program.idb_predicates()
@@ -254,38 +264,38 @@ class MaintenanceState:
             ):
                 self.recursive |= stratum
         #: exact derivation counts for every non-recursive IDB predicate
-        self.counts: Dict[str, Dict[Tuple, int]] = {}
-        self._materialize()
+        self.counts: Dict[str, Dict[Tuple, int]] = {}  # guarded-by: _lock
+        self._materialize_locked()
 
     # -- construction --------------------------------------------------
 
-    def _materialize(self) -> None:
+    def _materialize_locked(self) -> None:
         """Compute the model, sync it into the database, seed counts."""
         for stratum, rules in zip(self.strata, self._stratum_rules):
             if stratum & self.recursive:
-                model = self._recursive_model(stratum, rules)
+                model = self._recursive_model_locked(stratum, rules)
                 for predicate in stratum:
-                    self._sync_relation(predicate, model[predicate])
+                    self._sync_relation_locked(predicate, model[predicate])
             else:
                 counts: Dict[str, Dict[Tuple, int]] = {p: {} for p in stratum}
                 for rule in rules:
                     items = [
-                        (e, self._current_view(e)) for e in rule.body
+                        (e, self._current_view_locked(e)) for e in rule.body
                     ]
                     per_head = counts[rule.head.predicate]
                     for theta in _evaluate_views(items, {}):
                         tup = ground_atom_tuple(rule.head, theta)
                         per_head[tup] = per_head.get(tup, 0) + 1
                 for predicate in stratum:
-                    self._sync_relation(predicate, set(counts[predicate]))
+                    self._sync_relation_locked(predicate, set(counts[predicate]))
                     self.counts[predicate] = counts[predicate]
 
-    def _recursive_model(
+    def _recursive_model_locked(
         self, stratum: Set[str], rules: List[Rule]
     ) -> Dict[str, Set[Tuple]]:
         """Semi-naive fixpoint of one recursive stratum, computed into
         plain sets (the database is only written after the seeded-IDB
-        check in :meth:`_sync_relation`)."""
+        check in :meth:`_sync_relation_locked`)."""
         counter = self.database.counter
         model: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
 
@@ -366,7 +376,7 @@ class MaintenanceState:
             deltas = next_deltas
         return model
 
-    def _sync_relation(self, predicate: str, model: Set[Tuple]) -> None:
+    def _sync_relation_locked(self, predicate: str, model: Set[Tuple]) -> None:
         relation = self.database.relation_or_empty(
             predicate, self.arities[predicate]
         )
@@ -383,14 +393,14 @@ class MaintenanceState:
 
     # -- views ---------------------------------------------------------
 
-    def _current_view(self, element):
+    def _current_view_locked(self, element):
         if isinstance(element, BuiltinAtom):
             return None
         return self.database.relation_or_empty(
             element.predicate, len(element.terms)
         )
 
-    def _prior_view(
+    def _prior_view_locked(
         self,
         element,
         added: Dict[str, Set[Tuple]],
@@ -436,19 +446,20 @@ class MaintenanceState:
         """
         ins = {p: [tuple(t) for t in ts] for p, ts in (inserts or {}).items()}
         dels = {p: [tuple(t) for t in ts] for p, ts in (deletes or {}).items()}
-        self._validate_delta(ins)
-        self._validate_delta(dels)
-        undo: List[Tuple] = []
-        before = self.database.counter.retrievals
-        try:
-            report = self._apply(ins, dels, undo)
-        except Exception:
-            self._rollback(undo)
-            raise
-        report.retrievals = self.database.counter.retrievals - before
+        with self._lock:
+            self._validate_delta_locked(ins)
+            self._validate_delta_locked(dels)
+            undo: List[Tuple] = []
+            before = self.database.counter.retrievals
+            try:
+                report = self._apply_locked(ins, dels, undo)
+            except Exception:
+                self._rollback_locked(undo)
+                raise
+            report.retrievals = self.database.counter.retrievals - before
         return report
 
-    def _validate_delta(self, delta: Dict[str, List[Tuple]]) -> None:
+    def _validate_delta_locked(self, delta: Dict[str, List[Tuple]]) -> None:
         for predicate, tuples in delta.items():
             if predicate in self.idb:
                 raise EvaluationError(
@@ -469,7 +480,7 @@ class MaintenanceState:
 
     # -- delta propagation ---------------------------------------------
 
-    def _apply(
+    def _apply_locked(
         self,
         inserts: Dict[str, List[Tuple]],
         deletes: Dict[str, List[Tuple]],
@@ -514,14 +525,14 @@ class MaintenanceState:
             if not (body_predicates & changed):
                 continue
             if stratum & self.recursive:
-                over, rederived, rounds = self._maintain_recursive(
+                over, rederived, rounds = self._maintain_recursive_locked(
                     stratum, rules, added, removed, undo
                 )
                 report.overdeleted += over
                 report.rederived += rederived
                 report.rounds += rounds
             else:
-                self._maintain_counting(rules, added, removed, undo)
+                self._maintain_counting_locked(rules, added, removed, undo)
                 report.rounds += 1
 
         report.added = {p: set(s) for p, s in added.items() if s}
@@ -548,7 +559,7 @@ class MaintenanceState:
             return
         forward.setdefault(predicate, set()).add(tup)
 
-    def _maintain_counting(
+    def _maintain_counting_locked(
         self,
         rules: List[Rule],
         added: Dict[str, Set[Tuple]],
@@ -578,9 +589,9 @@ class MaintenanceState:
                     if isinstance(other, BuiltinAtom):
                         items.append((other, None))
                     elif j < i:
-                        items.append((other, self._prior_view(other, added, removed)))
+                        items.append((other, self._prior_view_locked(other, added, removed)))
                     else:
-                        items.append((other, self._current_view(other)))
+                        items.append((other, self._current_view_locked(other)))
                 deltas = count_delta.setdefault(head.predicate, {})
                 for tup, sign in signed:
                     theta0 = match_tuple(element.terms, tup, {})
@@ -620,7 +631,7 @@ class MaintenanceState:
                         undo.append(("remove", predicate, tup))
                         self._record(added, removed, predicate, tup, -1)
 
-    def _maintain_recursive(
+    def _maintain_recursive_locked(
         self,
         stratum: Set[str],
         rules: List[Rule],
@@ -651,7 +662,7 @@ class MaintenanceState:
                 return _SetView(element.predicate, pinned_delta, counter)
             if element.predicate in stratum:
                 return relation_of(element.predicate)
-            return self._prior_view(element, added, removed)
+            return self._prior_view_locked(element, added, removed)
 
         # -- phase 1: over-deletion ------------------------------------
         over: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
@@ -736,7 +747,7 @@ class MaintenanceState:
         for predicate, tuples in over.items():
             relation = relation_of(predicate)
             for tup in tuples:
-                if self._derivable(predicate, tup, rules):
+                if self._derivable_locked(predicate, tup, rules):
                     if relation.add(tup):
                         undo.append(("add", predicate, tup))
                         self._record(added, removed, predicate, tup, +1)
@@ -773,7 +784,7 @@ class MaintenanceState:
                 if not births:
                     continue
                 items = [
-                    (other, self._current_view(other))
+                    (other, self._current_view_locked(other))
                     for j, other in enumerate(body)
                     if j != i
                 ]
@@ -809,7 +820,7 @@ class MaintenanceState:
                                 (other, _SetView(other.predicate, delta, counter))
                             )
                         else:
-                            items.append((other, self._current_view(other)))
+                            items.append((other, self._current_view_locked(other)))
                     for tup in delta:
                         theta0 = match_tuple(element.terms, tup, {})
                         if theta0 is not None:
@@ -817,7 +828,7 @@ class MaintenanceState:
 
         return overdeleted, rederived, rounds
 
-    def _derivable(self, predicate: str, tup: Tuple, rules: List[Rule]) -> bool:
+    def _derivable_locked(self, predicate: str, tup: Tuple, rules: List[Rule]) -> bool:
         """Does any rule still derive ``tup`` in the *current* state?"""
         for rule in rules:
             if rule.head.predicate != predicate:
@@ -825,14 +836,14 @@ class MaintenanceState:
             theta0 = match_tuple(rule.head.terms, tup, {})
             if theta0 is None:
                 continue
-            items = [(e, self._current_view(e)) for e in rule.body]
+            items = [(e, self._current_view_locked(e)) for e in rule.body]
             for _theta in _evaluate_views(items, theta0):
                 return True
         return False
 
     # -- rollback ------------------------------------------------------
 
-    def _rollback(self, undo: List[Tuple]) -> None:
+    def _rollback_locked(self, undo: List[Tuple]) -> None:
         for entry in reversed(undo):
             kind = entry[0]
             if kind == "add":

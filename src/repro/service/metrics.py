@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datalog.relation import CostCounter
 
@@ -125,12 +125,21 @@ class BatchMetrics:
         self._last_time = time.perf_counter()
         self._engine: str = ""
         self._compile_ms: float = 0.0
+        self._predicted_method: str = ""
+        self._predicted_bound: Optional[int] = None
 
     def record_engine(self, engine: str, compile_seconds: float = 0.0) -> None:
         """Record which evaluation engine served the batch and what its
         (amortized) plan compilation cost was in wall-clock seconds."""
         self._engine = engine
         self._compile_ms = compile_seconds * 1000.0
+
+    def record_predicted(self, method: str, bound: Optional[int]) -> None:
+        """Record the statically certified retrieval bound for the batch
+        (the summed per-source certificate bound of the bound-relevant
+        method), or ``None`` when the analyzer abstained on any goal."""
+        self._predicted_method = method
+        self._predicted_bound = bound
 
     def mark(self, phase: str) -> Dict[str, int]:
         """Close the current phase under ``phase``; returns its delta."""
@@ -173,6 +182,13 @@ class BatchMetrics:
         if self._engine:
             report["engine"] = self._engine
             report["compile_ms"] = self._compile_ms
+        if self._predicted_method:
+            report["predicted_method"] = self._predicted_method
+            report["predicted_bound"] = self._predicted_bound
+            if self._predicted_bound is not None:
+                report["bound_violated"] = (
+                    self.counter.retrievals > self._predicted_bound
+                )
         if goals:
             report["goals"] = goals
             report["retrievals_per_goal"] = self.counter.retrievals / goals
@@ -202,6 +218,8 @@ class ServiceMetrics:
         "maintenance_overdeleted",
         "maintenance_rederived",
         "maintenance_retrievals",
+        "bound_checks",
+        "bound_violations",
         "batch_latency",
     )
 
@@ -222,6 +240,11 @@ class ServiceMetrics:
         self.maintenance_overdeleted = 0  # guarded-by: _lock
         self.maintenance_rederived = 0  # guarded-by: _lock
         self.maintenance_retrievals = 0  # guarded-by: _lock
+        # Predicted-vs-actual: batches served with a certified retrieval
+        # bound attached, and how many measured above it (a violation
+        # indicts the cost analyzer's soundness, never the answers).
+        self.bound_checks = 0  # guarded-by: _lock
+        self.bound_violations = 0  # guarded-by: _lock
         self.batch_latency = LatencyHistogram()
 
     def record_batch(
@@ -262,6 +285,13 @@ class ServiceMetrics:
         with self._lock:
             self.maintenance_fallbacks += count
 
+    def record_bound_check(self, violated: bool) -> None:
+        """One batch served with a certified bound attached."""
+        with self._lock:
+            self.bound_checks += 1
+            if violated:
+                self.bound_violations += 1
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             report: Dict[str, object] = {
@@ -277,6 +307,8 @@ class ServiceMetrics:
                 "maintenance_overdeleted": self.maintenance_overdeleted,
                 "maintenance_rederived": self.maintenance_rederived,
                 "maintenance_retrievals": self.maintenance_retrievals,
+                "bound_checks": self.bound_checks,
+                "bound_violations": self.bound_violations,
             }
         for key, value in self.batch_latency.summary().items():
             report[f"batch_{key}"] = value

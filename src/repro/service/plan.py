@@ -95,6 +95,12 @@ class PlanMaintainer:
     Construction raises (``ReproError``) when the program is outside
     the maintenance fragment; callers treat that as "this plan cannot
     be maintained" and fall back to invalidation.
+
+    Thread-safety: the private database mirror and its maintenance
+    state are guarded by ``_lock`` (checked by ``repro lint-py``);
+    :meth:`pairs` and :meth:`apply` take it.  Lock order:
+    ``CompiledPlan._exec_lock`` → ``PlanMaintainer._lock`` →
+    ``MaintenanceState._lock``, acquired strictly in that direction.
     """
 
     #: (part key, maintained predicate) in ``L``/``E``/``R`` order
@@ -152,8 +158,9 @@ class PlanMaintainer:
         # A private copy: maintenance must stay exact under churn, so the
         # service's live database (mutated first, possibly rolled back)
         # is mirrored here through apply() only.
-        self.database = database.copy(CostCounter())
-        self.state = MaintenanceState(Program(rules), self.database)
+        self._lock = threading.Lock()
+        self.database = database.copy(CostCounter())  # guarded-by: _lock
+        self.state = MaintenanceState(Program(rules), self.database)  # guarded-by: _lock
 
     @staticmethod
     def _collapse(row: Tuple, split: int) -> Pair:
@@ -170,17 +177,19 @@ class PlanMaintainer:
         """The current pair set of one part (uncharged structural read)."""
         predicate = dict(self.PARTS)[part]
         split = self._splits[part]
-        if not self.database.has_relation(predicate):
-            return set()
-        return {
-            self._collapse(row, split)
-            for row in self.database.relation(predicate)
-        }
+        with self._lock:
+            if not self.database.has_relation(predicate):
+                return set()
+            return {
+                self._collapse(row, split)
+                for row in self.database.relation(predicate)
+            }
 
     def apply(self, inserts, deletes):
         """Apply an EDB delta; returns ``(report, part_deltas)`` where
         ``part_deltas[part] = (added_pairs, removed_pairs)``."""
-        report = self.state.apply(inserts=inserts, deletes=deletes)
+        with self._lock:
+            report = self.state.apply(inserts=inserts, deletes=deletes)
         part_deltas: Dict[str, Tuple[Set[Pair], Set[Pair]]] = {}
         for part, predicate in self.PARTS:
             split = self._splits[part]
@@ -252,6 +261,7 @@ class CompiledPlan:
         self.exit_relation = Relation("e", 2, self.exit, self._idle_counter)
         self.right_relation = Relation("r", 2, self.right, self._idle_counter)
         self._classifications: Dict[object, Classification] = {}  # guarded-by: _memo_lock
+        self._cost_reports: Dict[object, object] = {}  # guarded-by: _memo_lock
         self._exec_lock = threading.Lock()
 
     # --- execution-side views -----------------------------------------
@@ -344,6 +354,7 @@ class CompiledPlan:
                     self._classifications.clear()
                     self._relation_certificate = None
                     self._source_certificates.clear()
+                    self._cost_reports.clear()
             self.db_version = new_db_version
             if new_database_fp is not None:
                 self.database_fp = new_database_fp
@@ -420,6 +431,31 @@ class CompiledPlan:
                 cached = classify_nodes(self.query_for(source))
                 self._classifications[source] = cached
             return cached
+
+    # --- cost bounds ---------------------------------------------------
+
+    def cost_report(self, source):
+        """Memoized :class:`~repro.analysis.cost.CostReport` for one
+        bound source (uncharged graph analysis over the frozen pair
+        sets).  Cleared by :meth:`maintain` alongside the other
+        pair-dependent memos, so certified bounds always describe the
+        pair sets a batch actually executes against.
+        """
+        from ..analysis.cost import analyze_cost_query
+
+        with self._memo_lock:
+            cached = self._cost_reports.get(source)
+            if cached is None:
+                if len(self._cost_reports) >= _CLASSIFICATION_MEMO_LIMIT:
+                    self._cost_reports.clear()
+                cached = analyze_cost_query(self.query_for(source))
+                self._cost_reports[source] = cached
+            return cached
+
+    def cost_certificate(self, source):
+        """The per-source :class:`~repro.analysis.cost.CostCertificate`
+        (memoized through :meth:`cost_report`)."""
+        return self.cost_report(source).certificate
 
     # --- static safety -------------------------------------------------
 

@@ -65,6 +65,9 @@ from .plan import CompiledPlan, compile_program_plan, compile_query_plan
 
 BATCH_METHODS = ("shared_magic", "counting", "adaptive")
 
+#: which certified per-method bound predicts a batch method's retrievals
+_BOUND_METHOD = {"shared_magic": "magic_set", "counting": "counting"}
+
 PlanTarget = Union[Program, CSLQuery]
 
 
@@ -425,9 +428,11 @@ class SolverService:
                         "reason": certificate.describe(),
                         "unsafe_sources": unsafe,
                     }
+            predicted = self._predicted_bound(plan, chosen, source_list)
             counter = CostCounter()
             metrics = BatchMetrics(counter)
             metrics.record_engine(plan.engine, plan.compile_seconds)
+            metrics.record_predicted(_BOUND_METHOD[chosen], predicted)
             with plan.attached(counter):
                 # Execute-time version check: a concurrent mutation may
                 # have invalidated this plan between the cache lookup
@@ -453,6 +458,10 @@ class SolverService:
                 "every execution attempt"
             )
         details.update(fallback_details)
+        if predicted is not None:
+            details["predicted_bound"] = predicted
+            details["bound_violated"] = counter.retrievals > predicted
+            self.metrics.record_bound_check(counter.retrievals > predicted)
         self.metrics.record_batch(
             len(source_list),
             counter.retrievals,
@@ -488,6 +497,32 @@ class SolverService:
                 **batch.details,
             },
         )
+
+    def _predicted_bound(
+        self, plan: CompiledPlan, chosen: str, sources: List
+    ) -> Optional[int]:
+        """The summed certified retrieval bound for the batch, or None.
+
+        Per-goal certificates come from the plan's memoized cost
+        reports; the sum over sources is sound for the shared fixpoint
+        because every charge in the union run is accounted to at least
+        one source whose magic region contains the charged node (the
+        regions are L-forward-closed).  Any abstaining goal abstains
+        the whole batch.
+        """
+        bound_method = _BOUND_METHOD[chosen]
+        total = 0
+        for source in sources:
+            certificate = plan.cost_certificate(source)
+            bound = (
+                None
+                if certificate is None
+                else certificate.bound_for(bound_method)
+            )
+            if bound is None:
+                return None
+            total += bound
+        return total
 
     def _choose_method(self, plan: CompiledPlan, sources: List) -> str:
         """The adaptive rule: counting only where it can win.

@@ -174,12 +174,21 @@ class TestSelfAnalysis:
     def test_annotations_are_actually_loaded(self, self_report):
         # A clean report is only meaningful if the analyzer saw the
         # runtime annotations; a regression that stopped parsing them
-        # would also report zero findings.
-        assert self_report.guarded_attributes >= 30
+        # would also report zero findings.  The floor covers the
+        # maintenance/plan-maintainer guards added alongside the cost
+        # analyzer, not just the original serving-stack ones.
+        assert self_report.guarded_attributes >= 50
 
     def test_shipped_lock_graph_is_acyclic_and_expected(self, self_report):
         assert (
             "SolverService._lock -> PlanCache._lock" in self_report.lock_edges
+        )
+        # The maintenance path nests PlanMaintainer._lock around
+        # MaintenanceState._lock; the analyzer must see that edge (and
+        # no reversal of it) or the lock-order pass is vacuous there.
+        assert (
+            "PlanMaintainer._lock -> MaintenanceState._lock"
+            in self_report.lock_edges
         )
         forward = {tuple(edge.split(" -> ")) for edge in self_report.lock_edges}
         assert not any((b, a) in forward for a, b in forward)

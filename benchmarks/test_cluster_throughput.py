@@ -1,0 +1,176 @@
+"""Extension experiment — multi-process cluster vs. single-process serving.
+
+The scale-out claim for :mod:`repro.cluster`: with a shard-friendly
+workload (independent same-generation components, one source each, so
+a shard's fixpoint cost is proportional to its share of the sources),
+a 4-worker process cluster answers the same coalesced batch with ≥3x
+the aggregate throughput of one server process — at bit-identical
+answers.  One Python process is GIL-bound; the cluster gets one GIL
+per worker.
+
+The speedup assertion only arms on a machine with ≥4 usable cores and
+``REPRO_CLUSTER_SMOKE`` unset — on fewer cores the workers time-slice
+one CPU and the run records parity + measured numbers instead of a
+meaningless wall-clock ratio.  Either way the measured result lands in
+``benchmarks/results/BENCH_cluster.json``.
+
+Marked ``slow``; CI's ``cluster-e2e`` job runs it in smoke mode and
+uploads the JSON artifact.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis.tables import _render
+from repro.cluster import ClusterFront
+from repro.core.csl import CSLQuery
+from repro.server import AsyncSolverClient, SolverServer
+from repro.service import SolverService
+
+from .conftest import add_report
+
+pytestmark = pytest.mark.slow
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+COMPONENTS = 64
+DEPTH = 48
+WORKERS = 4
+ROUNDS = 3
+
+
+def component_workload():
+    """COMPONENTS disjoint same-generation instances in one EDB: two
+    parallel chains per component, so each source's reachable cone (and
+    its solve cost) is confined to its own component."""
+    parent = set()
+    for k in range(COMPONENTS):
+        parent |= {(f"c{k}_{i}", f"c{k}_{i + 1}") for i in range(DEPTH)}
+        parent |= {(f"d{k}_{i}", f"c{k}_{i + 1}") for i in range(DEPTH)}
+    sources = [f"c{k}_0" for k in range(COMPONENTS)]
+    return CSLQuery.same_generation(parent, source=sources[0]), sources
+
+
+def smoke_mode() -> bool:
+    return bool(os.environ.get("REPRO_CLUSTER_SMOKE"))
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+async def timed_rounds(port: int, sources, rounds: int):
+    """One warmup batch, then ``rounds`` timed batches; returns the
+    best per-round wall clock and the (stable) answer map."""
+    async with await AsyncSolverClient.connect(port=port) as client:
+        answers = await client.solve_batch(sources)  # warm plan caches
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            got = await client.solve_batch(sources)
+            best = min(best, time.perf_counter() - started)
+            assert got == answers  # stable across rounds
+    return best, answers
+
+
+def test_cluster_throughput_vs_single_process():
+    query, sources = component_workload()
+    rounds = 1 if smoke_mode() else ROUNDS
+    cores = usable_cores()
+
+    async def drive_single():
+        server = SolverServer(
+            SolverService(query.database()),
+            program=query.to_program(),
+            window_ms=5,
+            max_batch=len(sources),
+            max_pending=4 * len(sources),
+        )
+        await server.start()
+        try:
+            return await timed_rounds(server.port, sources, rounds)
+        finally:
+            await server.stop()
+
+    async def drive_cluster():
+        front = ClusterFront(
+            SolverService(query.database()),
+            program=query.to_program(),
+            backend="process",
+            workers=WORKERS,
+            window_ms=5,
+            max_batch=len(sources),
+            max_pending=4 * len(sources),
+        )
+        await front.start()
+        try:
+            return await timed_rounds(front.port, sources, rounds)
+        finally:
+            await front.stop()
+
+    single_seconds, single_answers = asyncio.run(drive_single())
+    cluster_seconds, cluster_answers = asyncio.run(drive_cluster())
+
+    # Bit-identical answers: sharding by source must be invisible.
+    assert cluster_answers == single_answers
+    assert len(cluster_answers) == len(sources)
+
+    speedup = single_seconds / max(cluster_seconds, 1e-9)
+    arm_speedup = cores >= WORKERS and not smoke_mode()
+    if arm_speedup:
+        assert speedup >= 3.0, (
+            f"cluster speedup {speedup:.2f}x < 3x "
+            f"({single_seconds * 1000:.0f}ms single vs "
+            f"{cluster_seconds * 1000:.0f}ms with {WORKERS} workers)"
+        )
+
+    payload = {
+        "benchmark": "cluster_throughput",
+        "workload": {
+            "components": COMPONENTS,
+            "depth": DEPTH,
+            "sources": len(sources),
+        },
+        "workers": WORKERS,
+        "rounds": rounds,
+        "cores": cores,
+        "smoke_mode": smoke_mode(),
+        "speedup_asserted": arm_speedup,
+        "single_seconds": round(single_seconds, 6),
+        "cluster_seconds": round(cluster_seconds, 6),
+        "speedup": round(speedup, 3),
+        "answers_identical": True,
+    }
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps(payload, indent=2) + "\n")
+
+    add_report(
+        "cluster_throughput",
+        _render(
+            f"Cluster serving, {COMPONENTS} disjoint components "
+            f"({WORKERS} process workers vs one server, {cores} cores)",
+            ["metric", "value"],
+            [
+                ["sources per batch", str(len(sources))],
+                ["single-process batch", f"{single_seconds * 1000:.0f} ms"],
+                [
+                    f"{WORKERS}-worker cluster batch",
+                    f"{cluster_seconds * 1000:.0f} ms",
+                ],
+                ["speedup", f"{speedup:.2f}x"],
+                [
+                    "speedup asserted (>=3x)",
+                    "yes" if arm_speedup else "no (cores/smoke gate)",
+                ],
+                ["answers bit-identical", "yes"],
+            ],
+        ),
+    )

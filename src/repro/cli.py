@@ -4,7 +4,7 @@ The main subcommands, all operating on textual Datalog files::
 
     python -m repro solve   program.dl [--facts facts.dl] [--method auto]
     python -m repro batch   program.dl [--facts facts.dl] --sources a,b,c
-    python -m repro serve   program.dl [--facts facts.dl] [--port 7411]
+    python -m repro serve   program.dl [--facts facts.dl] [--port 7411] [--workers N]
     python -m repro analyze program.dl [--facts facts.dl]
     python -m repro rewrite program.dl [--kind magic|supplementary|counting|mc]
 
@@ -152,8 +152,7 @@ def cmd_serve(args) -> int:
 
     program, database = _load(args.program, args.facts)
     service = SolverService(database, plan_cache_size=args.plan_cache_size)
-    server = SolverServer(
-        service,
+    common = dict(
         program=program,
         host=args.host,
         port=args.port,
@@ -161,8 +160,25 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_pending=args.max_pending,
         default_deadline_ms=args.deadline_ms,
-        executor_workers=args.workers,
+        executor_workers=args.executor_threads,
     )
+    if args.workers > 0:
+        from .cluster import ClusterFront
+
+        server = ClusterFront(
+            service,
+            workers=args.workers,
+            standbys=args.standbys,
+            **common,
+        )
+    else:
+        if args.standbys:
+            print(
+                "--standbys needs --workers N (single-process mode)",
+                file=sys.stderr,
+            )
+            return 2
+        server = SolverServer(service, **common)
     return server.run()
 
 
@@ -514,8 +530,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline (requests may override)",
     )
     sub_serve.add_argument(
-        "--workers", type=int, default=2,
-        help="batch-execution worker threads",
+        "--workers", type=int, default=0,
+        help="spawn a repro.cluster fleet of N worker processes behind "
+        "this port (0 = serve single-process, the default)",
+    )
+    sub_serve.add_argument(
+        "--standbys", type=int, default=0,
+        help="warm-standby workers promoted on active failure "
+        "(cluster mode only)",
+    )
+    sub_serve.add_argument(
+        "--executor-threads", type=int, default=2,
+        help="batch-execution worker threads per process "
+        "(was --workers before cluster mode claimed that name)",
     )
     sub_serve.add_argument(
         "--plan-cache-size", type=int, default=8,

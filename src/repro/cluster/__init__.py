@@ -1,0 +1,38 @@
+"""Multi-process sharded serving over replicated EDB snapshots.
+
+One front process owns admission, coalescing, and the single write
+path; N worker processes each hold a read-only snapshot of the EDB
+plus their own plan cache, and serve the solve shards the front routes
+to them by consistent-hashing the **source** (stable placement keeps
+worker caches warm; failover moves only the dead worker's arcs).
+Warm standbys follow the same delta broadcasts and are promoted in one
+step when an active dies.
+
+Public surface::
+
+    from repro.cluster import ClusterFront
+
+    front = ClusterFront(service, program, workers=4, standbys=1)
+    await front.start()          # spawns the fleet, then accepts
+    ...                          # clients connect exactly as to a
+    await front.stop()           # single SolverServer
+
+The replication protocol (epochs, versioned deltas, snapshot resync)
+is documented in docs/serving.md ("Cluster topology"); the snapshot
+file format lives in :mod:`repro.service.snapshot`.
+"""
+
+from .fleet import WorkerFleet, WorkerHandle
+from .front import ClusterFront
+from .routing import DEFAULT_REPLICAS, ConsistentHashRing
+from .worker import ClusterWorkerServer, worker_main
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "ClusterFront",
+    "ClusterWorkerServer",
+    "ConsistentHashRing",
+    "WorkerFleet",
+    "WorkerHandle",
+    "worker_main",
+]

@@ -1,0 +1,82 @@
+"""Consistent-hash routing of solve sources onto cluster workers.
+
+The front shards a ``solve_batch`` by **source**: every source is
+routed to one worker, so a worker's plan cache and materialized pair
+sets see a stable slice of the keyspace (the same source always lands
+on the same worker while membership is stable).  Consistent hashing
+keeps failover cheap: when a worker dies, only the ring arcs it owned
+move to other workers — every other source keeps its placement, so the
+surviving workers' caches stay warm.
+
+The ring is immutable — membership changes build a new ring (the front
+swaps one reference on its event loop), which keeps the routing state
+trivially safe to read from concurrent request handlers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+#: Virtual nodes per worker: smooths the arc distribution so K workers
+#: each own close to 1/K of the keyspace.
+DEFAULT_REPLICAS = 64
+
+
+def _position(token: str) -> int:
+    """A stable 64-bit ring position (md5 is placement, not security)."""
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """An immutable hash ring over a set of worker ids."""
+
+    def __init__(
+        self,
+        members: Sequence[str],
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.members: Tuple[str, ...] = tuple(sorted(set(members)))
+        self.replicas = replicas
+        points: List[Tuple[int, str]] = []
+        for member in self.members:
+            for replica in range(replicas):
+                points.append((_position(f"{member}#{replica}"), member))
+        points.sort()
+        self._points = [position for position, _member in points]
+        self._owners = [member for _position, member in points]
+
+    def worker_for(self, source) -> str:
+        """The worker owning ``source``'s ring position."""
+        if not self.members:
+            raise LookupError("hash ring has no members")
+        position = _position(repr(source))
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._owners):
+            index = 0  # wrap past the highest point
+        return self._owners[index]
+
+    def shard(self, sources: Sequence) -> Dict[str, List]:
+        """Partition ``sources`` by owner, preserving per-shard order.
+
+        Duplicate sources stay duplicated inside their shard — the
+        service layer dedupes, and answer maps are keyed by source, so
+        the merge is unaffected either way.
+        """
+        shards: Dict[str, List] = {}
+        for source in sources:
+            shards.setdefault(self.worker_for(source), []).append(source)
+        return shards
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self):
+        return (
+            f"ConsistentHashRing({len(self.members)} members, "
+            f"{self.replicas} replicas)"
+        )

@@ -33,31 +33,37 @@ from .client import (
 )
 from .coalescer import RequestCoalescer
 from .protocol import (
+    CLUSTER_OPS,
     MAX_FRAME_BYTES,
     OPS,
     DeadlineExceededError,
     OverloadedError,
     ProtocolError,
+    ReadOnlyError,
     ServerError,
     ShuttingDownError,
+    WorkerFailedError,
     decode_request,
     encode_frame,
 )
 from .server import ServerThread, SolverServer
 
 __all__ = [
+    "CLUSTER_OPS",
     "MAX_FRAME_BYTES",
     "OPS",
     "AsyncSolverClient",
     "DeadlineExceededError",
     "OverloadedError",
     "ProtocolError",
+    "ReadOnlyError",
     "RequestCoalescer",
     "ServerError",
     "ServerThread",
     "ShuttingDownError",
     "SolverClient",
     "SolverServer",
+    "WorkerFailedError",
     "async_http_get",
     "decode_request",
     "encode_frame",

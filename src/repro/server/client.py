@@ -15,6 +15,16 @@ Both raise the structured protocol errors
 :class:`~repro.server.protocol.DeadlineExceededError`, ...) so callers
 implement backoff with ``except`` clauses, not string matching.
 
+Both clients are also failover-aware: an **idempotent** request
+(``ping``/``solve``/``solve_batch``/``stats``/``epoch``) that fails
+with ``worker_failed`` (a cluster worker died mid-request) or a
+connection reset is retried once — reconnecting first when the
+transport died — before the typed error is re-raised.  Mutations are
+NEVER retried: a reset after ``add_fact`` leaves the write's fate
+unknown, and blind replay could double-apply it; callers must
+reconcile via ``db_version`` instead.  Tune with
+``failover_retries=0`` to disable.
+
 ``http_get`` / ``async_http_get`` fetch the operational endpoints
 (``/health``, ``/metrics``) that live on the same port.
 """
@@ -28,8 +38,10 @@ import socket
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from .protocol import (
+    IDEMPOTENT_OPS,
     MAX_FRAME_BYTES,
     ProtocolError,
+    WorkerFailedError,
     decode_answer_map,
     decode_answers,
     decode_value,
@@ -47,17 +59,56 @@ class SolverClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: Optional[float] = 30.0,
+        failover_retries: int = 1,
     ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.failover_retries = failover_retries
+        self.retries = 0  #: lifetime count of failover retries taken
         self._ids = itertools.count(1)
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._connect()
 
     # --- transport ------------------------------------------------------
 
     def request(self, op: str, params: Optional[Dict] = None):
-        """One round trip; returns ``result`` or raises the mapped error."""
+        """One round trip; returns ``result`` or raises the mapped error.
+
+        Idempotent ops get ``failover_retries`` extra attempts on
+        ``worker_failed`` or a dead connection (reconnecting first);
+        mutations fail fast — replaying a write whose fate is unknown
+        could double-apply it.
+        """
+        budget = self.failover_retries if op in IDEMPOTENT_OPS else 0
+        while True:
+            try:
+                return self._request_once(op, params)
+            except WorkerFailedError:
+                if budget <= 0:
+                    raise
+                budget -= 1
+                self.retries += 1
+            except ConnectionError:
+                if budget <= 0:
+                    raise
+                budget -= 1
+                self.retries += 1
+                self._reconnect()
+
+    def _request_once(self, op: str, params: Optional[Dict] = None):
         request_id = next(self._ids)
         frame = encode_frame(
             {"id": request_id, "op": op, "params": params or {}}
@@ -154,22 +205,45 @@ class AsyncSolverClient:
     """Asyncio client: pipelines concurrent requests on one connection."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        failover_retries: int = 1,
     ):
+        """``host``/``port`` enable reconnect-on-failover; a client
+        built from a bare stream pair cannot redial and only retries
+        ``worker_failed`` responses (the connection is still alive)."""
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.failover_retries = failover_retries
+        self.retries = 0  # guarded-by: @loop
+        self._closed = False  # guarded-by: @loop
+        self._conn_lock = asyncio.Lock()
         self._ids = itertools.count(1)
-        self._pending: Dict[int, asyncio.Future] = {}
+        self._pending: Dict[int, asyncio.Future] = {}  # guarded-by: @loop
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 0
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        failover_retries: int = 1,
     ) -> "AsyncSolverClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_FRAME_BYTES
         )
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            failover_retries=failover_retries,
+        )
 
     # --- transport ------------------------------------------------------
 
@@ -199,8 +273,31 @@ class AsyncSolverClient:
             self._pending.clear()
 
     async def request(self, op: str, params: Optional[Dict] = None):
-        if self._reader_task.done():
+        """One pipelined round trip, with the same failover policy as
+        the sync client: idempotent ops retry ``worker_failed`` and
+        dead connections (redialling when possible), mutations never.
+        """
+        budget = self.failover_retries if op in IDEMPOTENT_OPS else 0
+        while True:
+            try:
+                return await self._request_once(op, params)
+            except WorkerFailedError:
+                if budget <= 0:
+                    raise
+                budget -= 1
+                self.retries += 1
+            except ConnectionError:
+                if budget <= 0 or self._closed or self._host is None:
+                    raise
+                budget -= 1
+                self.retries += 1
+                await self._ensure_connected()
+
+    async def _request_once(self, op: str, params: Optional[Dict] = None):
+        if self._closed:
             raise ConnectionError("client is closed")
+        if self._reader_task.done():
+            raise ConnectionError("server closed the connection")
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
@@ -210,7 +307,28 @@ class AsyncSolverClient:
         await self._writer.drain()
         return await future
 
+    async def _ensure_connected(self) -> None:
+        """Redial after the transport died.  Serialized so concurrent
+        retries of pipelined requests share ONE reconnect."""
+        async with self._conn_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if not self._reader_task.done():
+                return  # a sibling retry already reconnected
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except OSError:
+                pass
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port, limit=MAX_FRAME_BYTES
+            )
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
     async def close(self) -> None:
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task

@@ -22,9 +22,10 @@ Three serving guarantees live here, not in the transport:
   requests is not executed at all.  Cancellation is cooperative at
   batch boundaries: a batch already running is not interrupted;
 * **draining** — :meth:`drain` flushes every open window immediately,
-  awaits the in-flight batches, and rejects new arrivals with
-  :class:`ShuttingDownError`, which is exactly the graceful-shutdown
-  sequence the server needs.
+  awaits the in-flight batches (window flushes AND explicit
+  :meth:`submit_batch` runs — both are tracked), and rejects new
+  arrivals with :class:`ShuttingDownError`, which is exactly the
+  graceful-shutdown sequence the server needs.
 """
 
 from __future__ import annotations
@@ -160,6 +161,12 @@ class RequestCoalescer:
         self.largest_batch = max(self.largest_batch, len(sources))
         try:
             task = asyncio.ensure_future(self._execute(key, list(sources)))
+            # Tracked like a window flush: drain() must hold shutdown
+            # open until this batch answers too, or a SIGTERM with a
+            # short grace would drop an accepted explicit batch that is
+            # mid-fixpoint on the worker pool.
+            self._flushes.add(task)
+            task.add_done_callback(self._flushes.discard)
             if deadline is None:
                 return await task
             try:

@@ -15,7 +15,9 @@ on one connection still coalesce into shared batches.  Clients must
 route responses by ``id`` (both shipped clients do).
 
 Ops: ``ping``, ``solve``, ``solve_batch``, ``add_fact``, ``add_facts``,
-``remove_fact``, ``remove_facts``, ``stats``.  The mutation ops answer
+``remove_fact``, ``remove_facts``, ``stats``, plus the cluster control
+ops ``epoch``, ``apply_delta`` and ``load_snapshot`` that only the
+:mod:`repro.cluster` servers implement.  The mutation ops answer
 with the new ``db_version`` plus how many cached plans were maintained
 in place vs invalidated.  Values (sources, answers, fact fields) are
 JSON scalars;
@@ -28,7 +30,10 @@ Structured error codes are the serving layer's control surface:
 ``deadline_exceeded`` (the request's deadline passed before an answer
 was produced), ``shutting_down`` (graceful shutdown in progress),
 ``bad_request`` (malformed frame, unknown op, bad program text),
-``unsafe_query`` (counting statically certified divergent) and
+``unsafe_query`` (counting statically certified divergent),
+``worker_failed`` (a cluster worker died mid-request after the front's
+internal retries — idempotent solves may be retried), ``read_only``
+(a mutation reached a worker replica instead of the cluster front) and
 ``internal``.  Each maps to an exception class here so client code can
 ``except OverloadedError`` instead of string-matching.
 """
@@ -53,7 +58,19 @@ OPS = (
     "remove_fact",
     "remove_facts",
     "stats",
+    # Cluster control plane (handled by repro.cluster servers; a plain
+    # SolverServer answers them with a structured bad_request).
+    "epoch",
+    "apply_delta",
+    "load_snapshot",
 )
+
+#: The ops a worker replica accepts only from its own cluster front
+#: (authenticated by the spawn-time token).
+CLUSTER_OPS = ("epoch", "apply_delta", "load_snapshot")
+
+#: The idempotent ops clients may safely retry on worker failover.
+IDEMPOTENT_OPS = ("ping", "solve", "solve_batch", "stats", "epoch")
 
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_OVERLOADED = "overloaded"
@@ -61,6 +78,8 @@ ERROR_DEADLINE = "deadline_exceeded"
 ERROR_SHUTTING_DOWN = "shutting_down"
 ERROR_UNSAFE = "unsafe_query"
 ERROR_INTERNAL = "internal"
+ERROR_WORKER_FAILED = "worker_failed"
+ERROR_READ_ONLY = "read_only"
 
 
 class ServerError(ReproError):
@@ -96,6 +115,30 @@ class ShuttingDownError(ServerError):
     code = ERROR_SHUTTING_DOWN
 
 
+class WorkerFailedError(ServerError):
+    """A cluster worker died while serving the request.
+
+    Idempotent requests (``solve``/``solve_batch``) are safe to retry:
+    the cluster front reshards and retries internally first, so a
+    client only sees this code when the retry budget is exhausted —
+    back off and retry once, the failover usually completes within a
+    health-check interval.
+    """
+
+    code = ERROR_WORKER_FAILED
+
+
+class ReadOnlyError(ServerError):
+    """A mutation was sent to a read-only worker replica.
+
+    Worker snapshots are mutated only through the cluster front's
+    single-writer path (``apply_delta``/``load_snapshot``); clients
+    must route ``add_fact``/``remove_fact`` traffic to the front.
+    """
+
+    code = ERROR_READ_ONLY
+
+
 _ERROR_CLASSES = {
     cls.code: cls
     for cls in (
@@ -103,6 +146,8 @@ _ERROR_CLASSES = {
         OverloadedError,
         DeadlineExceededError,
         ShuttingDownError,
+        WorkerFailedError,
+        ReadOnlyError,
         ServerError,
     )
 }

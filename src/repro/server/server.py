@@ -91,10 +91,14 @@ class SolverServer:
             max_pending=max_pending,
         )
         self._programs: Dict[str, Program] = {}  # guarded-by: @loop
+        #: Source text per program key — what the cluster front forwards
+        #: to workers so both sides agree on the key for one program.
+        self._program_texts: Dict[str, str] = {}  # guarded-by: @loop
         self._default_key: Optional[str] = None  # guarded-by: @loop
         if program is not None:
             self._default_key = target_fingerprint(program)
             self._programs[self._default_key] = program
+            self._program_texts[self._default_key] = str(program)
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-batch"
         )
@@ -283,28 +287,41 @@ class SolverServer:
             return self.metrics_snapshot()
         if op == "add_fact":
             name, values = _fact_params(params)
-            result = self.service.mutate(inserts={name: [tuple(values)]})
+            result = await self._mutate(inserts={name: [tuple(values)]})
             return {"added": bool(result.changed), **_mutation_fields(result)}
         if op == "add_facts":
             name, rows = _rows_params(params)
-            result = self.service.mutate(inserts={name: rows})
+            result = await self._mutate(inserts={name: rows})
             return {"added": result.changed, **_mutation_fields(result)}
         if op == "remove_fact":
             name, values = _fact_params(params)
-            result = self.service.mutate(deletes={name: [tuple(values)]})
+            result = await self._mutate(deletes={name: [tuple(values)]})
             return {
                 "removed": bool(result.changed),
                 **_mutation_fields(result),
             }
         if op == "remove_facts":
             name, rows = _rows_params(params)
-            result = self.service.mutate(deletes={name: rows})
+            result = await self._mutate(deletes={name: rows})
             return {"removed": result.changed, **_mutation_fields(result)}
         if op == "solve":
             return await self._solve(params)
         if op == "solve_batch":
             return await self._solve_batch(params)
-        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+        raise ProtocolError(
+            f"op {op!r} is not served here (cluster control ops are "
+            "answered only by repro.cluster processes)"
+        )
+
+    async def _mutate(self, inserts=None, deletes=None):
+        """The single write path behind the four mutation ops.
+
+        Overridable: the cluster front replaces this with its
+        replicated single-writer protocol (apply locally, broadcast the
+        delta, reconcile stale workers); a worker replica overrides it
+        to reject client mutations with ``read_only``.
+        """
+        return self.service.mutate(inserts=inserts, deletes=deletes)
 
     async def _solve(self, params: Dict[str, object]):
         key, program, method, deadline = self._serve_params(params)
@@ -370,9 +387,12 @@ class SolverServer:
                     else self._programs[self._default_key]
                 )
                 self._programs.clear()
+                self._program_texts.clear()
                 if default is not None:
                     self._programs[self._default_key] = default
+                    self._program_texts[self._default_key] = str(default)
             self._programs[key] = program
+            self._program_texts[key] = text
         return key, program
 
     # --- execution ------------------------------------------------------
@@ -411,18 +431,21 @@ class SolverServer:
         if http_method != "GET":
             await _http_reply(writer, 405, {"error": "method not allowed"})
         elif path == "/health":
-            status = "draining" if self._stopping else "ok"
-            await _http_reply(
-                writer,
-                200,
-                {"status": status, "db_version": self.service.db_version},
-            )
+            await _http_reply(writer, 200, self.health_payload())
         elif path == "/metrics":
             await _http_reply(writer, 200, self.metrics_snapshot())
         else:
             await _http_reply(writer, 404, {"error": f"no route {path}"})
 
     # --- reporting ------------------------------------------------------
+
+    def health_payload(self) -> Dict[str, object]:
+        """The ``GET /health`` body.  Overridable: the cluster front
+        aggregates worker liveness into this report."""
+        return {
+            "status": "draining" if self._stopping else "ok",
+            "db_version": self.service.db_version,
+        }
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """The full serving picture: transport, coalescer, and service
@@ -481,6 +504,7 @@ def _mutation_fields(result) -> Dict[str, object]:
         "db_version": result.db_version,
         "plans_maintained": result.plans_maintained,
         "plans_invalidated": result.plans_invalidated,
+        "deferred": result.deferred,
         "maintenance": dict(result.maintenance),
     }
 
@@ -580,8 +604,8 @@ class ServerThread:
         return self.server
 
     def stop(self, grace: float = 5.0) -> None:
-        if self._loop is None:
-            return
+        if self._loop is None or self._loop.is_closed():
+            return  # never started, or already stopped
         future = asyncio.run_coroutine_threadsafe(
             self.server.stop(grace=grace), self._loop
         )

@@ -34,12 +34,22 @@ from .service import (
     MutationResult,
     SolverService,
 )
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    ImportedSnapshot,
+    export_snapshot,
+    import_snapshot,
+    read_snapshot,
+    warm_plan_cache,
+)
 
 __all__ = [
     "BATCH_METHODS",
+    "SNAPSHOT_FORMAT",
     "BatchMetrics",
     "BatchResult",
     "CompiledPlan",
+    "ImportedSnapshot",
     "MutationResult",
     "PlanCache",
     "PlanMaintainer",
@@ -48,7 +58,11 @@ __all__ = [
     "compile_program_plan",
     "compile_query_plan",
     "database_fingerprint",
+    "export_snapshot",
+    "import_snapshot",
     "pairs_fingerprint",
     "program_fingerprint",
+    "read_snapshot",
     "target_fingerprint",
+    "warm_plan_cache",
 ]

@@ -218,6 +218,9 @@ class ServiceMetrics:
         "maintenance_overdeleted",
         "maintenance_rederived",
         "maintenance_retrievals",
+        "maintenance_queued",
+        "maintenance_flushed",
+        "maintenance_flushes",
         "bound_checks",
         "bound_violations",
         "batch_latency",
@@ -240,6 +243,12 @@ class ServiceMetrics:
         self.maintenance_overdeleted = 0  # guarded-by: _lock
         self.maintenance_rederived = 0  # guarded-by: _lock
         self.maintenance_retrievals = 0  # guarded-by: _lock
+        # Bounded-staleness batching: EDB fact deltas queued by mutate()
+        # instead of maintained eagerly, and the flush events that later
+        # applied them to the cached plans (at the next solve/compile).
+        self.maintenance_queued = 0  # guarded-by: _lock
+        self.maintenance_flushed = 0  # guarded-by: _lock
+        self.maintenance_flushes = 0  # guarded-by: _lock
         # Predicted-vs-actual: batches served with a certified retrieval
         # bound attached, and how many measured above it (a violation
         # indicts the cost analyzer's soundness, never the answers).
@@ -285,6 +294,17 @@ class ServiceMetrics:
         with self._lock:
             self.maintenance_fallbacks += count
 
+    def record_maintenance_queued(self, facts: int) -> None:
+        """``facts`` EDB changes deferred by a batching mutate()."""
+        with self._lock:
+            self.maintenance_queued += facts
+
+    def record_maintenance_flush(self, facts: int) -> None:
+        """One lazy flush applied ``facts`` net queued changes."""
+        with self._lock:
+            self.maintenance_flushes += 1
+            self.maintenance_flushed += facts
+
     def record_bound_check(self, violated: bool) -> None:
         """One batch served with a certified bound attached."""
         with self._lock:
@@ -307,6 +327,9 @@ class ServiceMetrics:
                 "maintenance_overdeleted": self.maintenance_overdeleted,
                 "maintenance_rederived": self.maintenance_rederived,
                 "maintenance_retrievals": self.maintenance_retrievals,
+                "maintenance_queued": self.maintenance_queued,
+                "maintenance_flushed": self.maintenance_flushed,
+                "maintenance_flushes": self.maintenance_flushes,
                 "bound_checks": self.bound_checks,
                 "bound_violations": self.bound_violations,
             }

@@ -251,3 +251,22 @@ class TestBatch:
             line.split("\t")[1] for line in batch_out.out.splitlines()
         }
         assert batch_answers == set(solve_out.out.split())
+
+
+class TestServe:
+    def test_standbys_require_cluster_mode(self, program_file, facts_file,
+                                           capsys):
+        code = main(["serve", program_file, "--facts", facts_file,
+                     "--standbys", "1"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_flags_parse(self, program_file):
+        # The cluster/executor split: --workers N spawns a fleet,
+        # --executor-threads sizes the per-process batch pool.  Parsing
+        # must accept both (running the server would block; covered by
+        # the cluster e2e tests).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", program_file, "--workers", "3",
+                  "--standbys", "1", "--executor-threads", "4", "--help"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,105 @@
+"""Cluster e2e, process backend: real worker processes, real kills.
+
+The acceptance scenario for the cluster topology: a 3-worker fleet
+(plus one warm standby) serves concurrent batches while an active
+worker is SIGKILLed mid-flight — every accepted request must still be
+answered with one-shot ground truth (zero loss), the standby must be
+promoted, and a mutation after the failover must replicate to the
+survivors.
+
+Marked ``slow``: process spawns are expensive; the fast tier covers
+the same code paths on the thread backend (tests/test_cluster.py).
+CI runs this in the dedicated ``cluster-e2e`` job.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ClusterFront
+from repro.server import AsyncSolverClient, async_http_get
+from repro.service import SolverService
+
+from .test_server_e2e import QUERY, SOURCES, ground_truth
+
+pytestmark = pytest.mark.slow
+
+
+class TestClusterProcessE2E:
+    def test_kill_worker_mid_batch_loses_zero_requests(self):
+        async def main():
+            service = SolverService(QUERY.database())
+            front = ClusterFront(
+                service,
+                program=QUERY.to_program(),
+                backend="process",
+                workers=3,
+                standbys=1,
+                health_interval=0.5,
+                window_ms=20,
+            )
+            await front.start()
+            try:
+                async with await AsyncSolverClient.connect(
+                    port=front.port
+                ) as client:
+                    # Warm every worker's plan cache, then check the
+                    # fleet reports 3 actives + 1 standby.
+                    warm = await client.solve_batch(SOURCES)
+                    for source in SOURCES:
+                        assert warm[source] == ground_truth(source), source
+                    _status, health = await async_http_get(
+                        "127.0.0.1", front.port, "/health"
+                    )
+                    assert health["active_workers"] == 3
+                    assert len(health["workers"]) == 4
+
+                    # Fire concurrent batches and SIGKILL an active
+                    # worker while they are in flight.
+                    rounds = [
+                        asyncio.ensure_future(client.solve_batch(SOURCES))
+                        for _ in range(6)
+                    ]
+                    await asyncio.sleep(0.05)
+                    victim_id = front.fleet.active_ids()[0]
+                    front.fleet._handles[victim_id].process.kill()
+                    results = await asyncio.gather(*rounds)
+
+                    # Zero loss: every accepted request is answered,
+                    # and every answer is the one-shot ground truth.
+                    assert len(results) == 6
+                    for answers in results:
+                        for source in SOURCES:
+                            assert answers[source] == ground_truth(
+                                source
+                            ), source
+
+                    # The standby took over the dead worker's arcs.
+                    deadline = asyncio.get_running_loop().time() + 10.0
+                    while asyncio.get_running_loop().time() < deadline:
+                        if victim_id not in front.fleet.active_ids():
+                            break
+                        await asyncio.sleep(0.1)
+                    actives = front.fleet.active_ids()
+                    assert victim_id not in actives
+                    assert len(actives) == 3
+                    assert front.failovers >= 1
+
+                    # Post-failover mutation replicates to the survivors.
+                    assert await client.add_fact("l", "z0", "z1")
+                    assert await client.add_fact("r", "zr", "z1")
+                    assert await client.add_fact("e", "z1", "z1")
+                    assert await client.solve("z0") == frozenset({"zr"})
+                    epoch = front.service.db_version
+                    for report in front.fleet.describe():
+                        assert report["epoch"] == epoch, report
+
+                    _status, metrics = await async_http_get(
+                        "127.0.0.1", front.port, "/metrics"
+                    )
+                    assert metrics["cluster"]["failovers"] >= 1
+                    assert metrics["cluster"]["active_workers"] == 3
+            finally:
+                await front.stop()
+
+        asyncio.run(main())

@@ -1,0 +1,79 @@
+"""The consistent-hash ring: stability, coverage, failover movement."""
+
+import pytest
+
+from repro.cluster import ConsistentHashRing
+
+MEMBERS = ("worker-0", "worker-1", "worker-2")
+SOURCES = [f"c{i}" for i in range(200)] + [("pair", i) for i in range(50)]
+
+
+class TestPlacement:
+    def test_placement_is_deterministic_across_rebuilds(self):
+        ring = ConsistentHashRing(MEMBERS)
+        rebuilt = ConsistentHashRing(list(reversed(MEMBERS)))
+        for source in SOURCES:
+            assert ring.worker_for(source) == rebuilt.worker_for(source)
+
+    def test_shard_partitions_every_source_preserving_order(self):
+        ring = ConsistentHashRing(MEMBERS)
+        shards = ring.shard(SOURCES)
+        assert set(shards) <= set(MEMBERS)
+        flattened = [s for member in shards for s in shards[member]]
+        assert sorted(flattened, key=repr) == sorted(SOURCES, key=repr)
+        # Per-shard order follows the input order.
+        for member, shard in shards.items():
+            expected = [s for s in SOURCES if ring.worker_for(s) == member]
+            assert shard == expected
+
+    def test_virtual_nodes_spread_the_load(self):
+        ring = ConsistentHashRing(MEMBERS)
+        shards = ring.shard(SOURCES)
+        assert len(shards) == len(MEMBERS)  # nobody idle at this scale
+        for member in MEMBERS:
+            share = len(shards[member]) / len(SOURCES)
+            assert 0.1 < share < 0.65, (member, share)
+
+    def test_member_loss_moves_only_the_dead_workers_arcs(self):
+        ring = ConsistentHashRing(MEMBERS)
+        survivor_ring = ConsistentHashRing(MEMBERS[:-1])
+        moved = 0
+        for source in SOURCES:
+            before = ring.worker_for(source)
+            after = survivor_ring.worker_for(source)
+            if before == MEMBERS[-1]:
+                assert after in MEMBERS[:-1]
+                moved += 1
+            else:
+                # Surviving workers keep every placement they had, so
+                # their plan caches stay warm through a failover.
+                assert after == before
+        assert moved > 0
+
+    def test_duplicate_sources_stay_in_their_shard(self):
+        ring = ConsistentHashRing(MEMBERS)
+        shards = ring.shard(["c1", "c1", "c1"])
+        [(member, shard)] = shards.items()
+        assert shard == ["c1", "c1", "c1"]
+        assert member == ring.worker_for("c1")
+
+
+class TestEdgeCases:
+    def test_empty_ring_raises_lookup_error(self):
+        ring = ConsistentHashRing(())
+        assert len(ring) == 0
+        with pytest.raises(LookupError):
+            ring.worker_for("c1")
+
+    def test_single_member_owns_everything(self):
+        ring = ConsistentHashRing(("only",))
+        assert {ring.worker_for(s) for s in SOURCES} == {"only"}
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(MEMBERS, replicas=0)
+
+    def test_members_are_deduplicated(self):
+        ring = ConsistentHashRing(("a", "a", "b"))
+        assert ring.members == ("a", "b")
+        assert len(ring) == 2

@@ -175,9 +175,10 @@ class TestSelfAnalysis:
         # A clean report is only meaningful if the analyzer saw the
         # runtime annotations; a regression that stopped parsing them
         # would also report zero findings.  The floor covers the
-        # maintenance/plan-maintainer guards added alongside the cost
-        # analyzer, not just the original serving-stack ones.
-        assert self_report.guarded_attributes >= 50
+        # maintenance/plan-maintainer guards plus the repro.cluster
+        # fleet/front annotations, not just the original serving-stack
+        # ones.
+        assert self_report.guarded_attributes >= 65
 
     def test_shipped_lock_graph_is_acyclic_and_expected(self, self_report):
         assert (
@@ -188,6 +189,14 @@ class TestSelfAnalysis:
         # no reversal of it) or the lock-order pass is vacuous there.
         assert (
             "PlanMaintainer._lock -> MaintenanceState._lock"
+            in self_report.lock_edges
+        )
+        # The cluster fleet registers a worker handle while holding its
+        # own lock (spawn/attach), and handles never call back into the
+        # fleet — the analyzer must see exactly this direction or the
+        # failover paths' deadlock-freedom argument is unchecked.
+        assert (
+            "WorkerFleet._lock -> WorkerHandle._lock"
             in self_report.lock_edges
         )
         forward = {tuple(edge.split(" -> ")) for edge in self_report.lock_edges}

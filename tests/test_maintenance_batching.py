@@ -1,0 +1,161 @@
+"""Bounded-staleness maintenance batching (``maintenance_batching=True``).
+
+In batching mode a mutation applies the fact delta to the database and
+bumps the version, but defers the per-plan maintenance sweep: deltas
+queue (composing to a net delta) and flush once at the next solve.  A
+burst of K mutations then costs ONE sweep over the cached plans instead
+of K — the plans are stale between mutations, but never serve a query
+stale.
+"""
+
+from repro.datalog.database import Database
+from repro.service import SolverService
+
+from .test_service import FACTS, sg_database, sg_program
+
+
+def batching_service() -> SolverService:
+    return SolverService(sg_database(), maintenance_batching=True)
+
+
+class TestDeferredMaintenance:
+    def test_mutation_queues_instead_of_sweeping(self):
+        service = batching_service()
+        program = sg_program()
+        service.solve_batch(program, ["d"])
+        result = service.mutate(inserts={"flat": [("d", "d1")]})
+        assert result.changed == 1
+        assert result.deferred == 1
+        assert result.plans_maintained == 0
+        assert result.plans_invalidated == 0
+        assert service.db_version == 1
+        # The sweep has not run: the cached plan is still keyed at the
+        # old version, and no maintenance metrics moved.
+        snap = service.metrics.snapshot()
+        assert snap["maintenance_queued"] == 1
+        assert snap["maintenance_flushed"] == 0
+        assert snap["maintenance_flushes"] == 0
+        assert snap["plans_maintained"] == 0
+
+    def test_next_solve_flushes_and_hits_the_cache(self):
+        service = batching_service()
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        assert before.answers["d"] == frozenset({"y2"})
+        service.mutate(inserts={"flat": [("d", "d1")]})
+        after = service.solve_batch(program, ["d"])
+        # The flush maintained the plan in place and re-keyed it to the
+        # current version, so the solve itself is a cache hit.
+        assert after.cache_hit is True
+        assert after.plan is before.plan
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+        snap = service.metrics.snapshot()
+        assert snap["maintenance_flushed"] == 1
+        assert snap["maintenance_flushes"] == 1
+        assert snap["plans_maintained"] == 1
+        assert snap["compiles"] == 1
+
+    def test_burst_of_mutations_flushes_once(self):
+        service = batching_service()
+        program = sg_program()
+        service.solve_batch(program, ["d"])
+        for i in range(5):
+            service.mutate(inserts={"flat": [("d", f"d{i}")]})
+        assert service.db_version == 5
+        service.solve_batch(program, ["d"])
+        snap = service.metrics.snapshot()
+        # Five queued facts, ONE sweep over the single cached plan.
+        assert snap["maintenance_queued"] == 5
+        assert snap["maintenance_flushed"] == 5
+        assert snap["maintenance_flushes"] == 1
+        assert snap["plans_maintained"] == 1
+
+    def test_answers_match_eager_mode(self):
+        eager = SolverService(sg_database())
+        lazy = batching_service()
+        program = sg_program()
+        for service in (eager, lazy):
+            service.solve_batch(program, ["a", "d"])
+            service.mutate(inserts={"flat": [("d", "d1")], "up": [("e", "a")]})
+            service.mutate(deletes={"flat": [("a", "a1")]})
+        expected = eager.solve_batch(program, ["a", "d", "e"])
+        actual = lazy.solve_batch(program, ["a", "d", "e"])
+        assert actual.answers == expected.answers
+        assert eager.database.facts("flat") == lazy.database.facts("flat")
+
+    def test_insert_delete_churn_composes_to_net_delta(self):
+        service = batching_service()
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        # Churn: the insert's delete is queued, then cancelled by the
+        # re-insert — plus one surviving insert.
+        service.mutate(inserts={"flat": [("d", "d1")]})
+        service.mutate(deletes={"flat": [("d", "d1")]})
+        service.mutate(inserts={"flat": [("d", "d2")]})
+        assert service.db_version == 3
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is True
+        assert after.answers["d"] == frozenset({"y2", "d2"})
+        snap = service.metrics.snapshot()
+        assert snap["maintenance_queued"] == 3
+        # Net delta after cancellation: just the d2 insert.
+        assert snap["maintenance_flushed"] == 1
+        assert snap["maintenance_flushes"] == 1
+
+    def test_fully_cancelled_churn_still_rekeys_plans(self):
+        service = batching_service()
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        service.mutate(inserts={"flat": [("d", "d1")]})
+        service.mutate(deletes={"flat": [("d", "d1")]})
+        # The net delta is empty but the version advanced to 2; the
+        # flush must still re-key the plan or it could never hit again.
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is True
+        assert after.plan is before.plan
+        assert after.answers == before.answers
+        snap = service.metrics.snapshot()
+        assert snap["maintenance_flushed"] == 0
+        assert snap["maintenance_flushes"] == 1
+        assert snap["compiles"] == 1
+
+    def test_invalidation_drops_queued_deltas(self):
+        service = batching_service()
+        program = sg_program()
+        service.solve_batch(program, ["d"])
+        service.mutate(inserts={"flat": [("d", "d1")]})
+        dropped = service.invalidate_plans()
+        assert dropped == 1
+        # The queue died with the plans: the next solve recompiles from
+        # the live database (which already holds the insert) and no
+        # flush runs against a plan that no longer exists.
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is False
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+        assert service.metrics.snapshot()["maintenance_flushes"] == 0
+
+    def test_flush_before_solve_of_new_program(self):
+        # The flush keys off plan lookup, not program identity: a solve
+        # for a never-seen program still flushes first, so the plans
+        # cached for OTHER programs are brought current too.
+        service = batching_service()
+        program = sg_program()
+        before = service.solve_batch(program, ["d"])
+        service.mutate(inserts={"flat": [("d", "d1")]})
+        other = sg_program("a")
+        service.solve_batch(other, ["a"])
+        after = service.solve_batch(program, ["d"])
+        assert after.cache_hit is True
+        assert after.plan is before.plan
+        assert after.answers["d"] == frozenset({"y2", "d1"})
+
+    def test_eager_mode_unaffected(self):
+        service = SolverService(sg_database())
+        program = sg_program()
+        service.solve_batch(program, ["d"])
+        result = service.mutate(inserts={"flat": [("d", "d1")]})
+        assert result.deferred == 0
+        assert result.plans_maintained == 1
+        snap = service.metrics.snapshot()
+        assert snap["maintenance_queued"] == 0
+        assert snap["maintenance_flushes"] == 0

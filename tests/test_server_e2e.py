@@ -161,6 +161,81 @@ class TestAcceptance:
         asyncio.run(main())
 
 
+class TestDrainCoversExplicitBatches:
+    def test_stop_awaits_in_flight_solve_batch(self):
+        """Regression: a ``solve_batch`` executing on the worker pool is
+        held by the drain, not just by the write-grace window.
+
+        The explicit-batch path bypasses the coalescing window, so its
+        task must be tracked like a window flush — otherwise a SIGTERM
+        with a short grace closes the connection while the batch is
+        mid-fixpoint and the client's accepted request is dropped
+        without an answer.
+        """
+        server = make_server(window_ms=1)
+        inner = server.service.solve_batch
+
+        def slow_solve_batch(*args, **kwargs):
+            time.sleep(0.8)  # longer than stop()'s grace below
+            return inner(*args, **kwargs)
+
+        server.service.solve_batch = slow_solve_batch
+
+        async def main():
+            await server.start()
+            client = await AsyncSolverClient.connect(port=server.port)
+            try:
+                task = asyncio.ensure_future(
+                    client.solve_batch(SOURCES[:4])
+                )
+                await asyncio.sleep(0.2)  # batch is now on the pool
+                await server.stop(grace=0.05)
+                answers = await task
+                assert answers == {
+                    source: ground_truth(source) for source in SOURCES[:4]
+                }
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_drain_rejects_new_arrivals_with_shutting_down(self):
+        """While the drain holds an in-flight batch, a newly arriving
+        request on an open connection is rejected with a structured
+        ``shutting_down`` error — never silently dropped."""
+        from repro.server import ShuttingDownError
+
+        server = make_server(window_ms=1)
+        inner = server.service.solve_batch
+
+        def slow_solve_batch(*args, **kwargs):
+            time.sleep(0.5)
+            return inner(*args, **kwargs)
+
+        server.service.solve_batch = slow_solve_batch
+
+        async def main():
+            await server.start()
+            client = await AsyncSolverClient.connect(port=server.port)
+            try:
+                held = asyncio.ensure_future(
+                    client.solve_batch(SOURCES[:2])
+                )
+                await asyncio.sleep(0.15)
+                stopping = asyncio.ensure_future(server.stop(grace=0.05))
+                await asyncio.sleep(0.1)  # drain is now awaiting the batch
+                with pytest.raises(ShuttingDownError):
+                    await client.solve(SOURCES[0])
+                await stopping
+                assert await held == {
+                    source: ground_truth(source) for source in SOURCES[:2]
+                }
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+
 class TestSyncClient:
     def test_solve_and_mutate_over_the_wire(self):
         with ServerThread(make_server(window_ms=5)) as server:
@@ -413,6 +488,27 @@ class TestMalformedFrames:
                 response = json.loads(handle.readline())
                 assert response["ok"] is True
                 assert response["result"] == "pong"
+            finally:
+                handle.close()
+                sock.close()
+
+    def test_cluster_ops_rejected_by_plain_server(self):
+        """The cluster control ops are valid protocol (decode passes)
+        but a plain ``SolverServer`` answers them with a structured
+        ``bad_request`` — only ``repro.cluster`` processes serve them."""
+        with ServerThread(make_server()) as server:
+            sock = socket.create_connection(("127.0.0.1", server.port))
+            handle = sock.makefile("rwb")
+            try:
+                for i, op in enumerate(
+                    ("epoch", "apply_delta", "load_snapshot")
+                ):
+                    handle.write(encode_frame({"id": i, "op": op}))
+                    handle.flush()
+                    response = json.loads(handle.readline())
+                    assert response["ok"] is False, op
+                    assert response["error"]["code"] == "bad_request", op
+                    assert "repro.cluster" in response["error"]["message"]
             finally:
                 handle.close()
                 sock.close()

@@ -1,0 +1,40 @@
+"""Semantics-preserving static program optimization.
+
+The fourth analyzer in the repo — and the first one that *transforms*
+instead of reporting.  :func:`optimize_program` drives a registered
+pass pipeline (constant folding, subsumption, chain inlining, dead-rule
+elimination, argument slicing, bounded-recursion unfolding) to a
+fixpoint over a Datalog program — typically the output of the magic /
+supplementary / counting rewrites — and returns an
+:class:`OptimizationReport` carrying the optimized program, the
+per-pass :class:`OptimizationTrace` provenance, and JSON/SARIF
+renderings via the shared :mod:`repro.analysis.sarif` driver.
+
+Every pass preserves the answers of ``program.query`` and never
+increases charged tuple retrievals; the serving layer additionally
+cross-checks optimized plans against the unoptimized program at
+compile time (see :func:`repro.service.plan.compile_program_plan`).
+"""
+
+from .framework import (
+    OptimizationPass,
+    OptimizationReport,
+    OptimizationTrace,
+    TRACE_KINDS,
+    optimize_program,
+    register_pass,
+    registered_passes,
+)
+from .sarif import RULE_METADATA, report_to_sarif
+
+__all__ = [
+    "OptimizationPass",
+    "OptimizationReport",
+    "OptimizationTrace",
+    "TRACE_KINDS",
+    "RULE_METADATA",
+    "optimize_program",
+    "register_pass",
+    "registered_passes",
+    "report_to_sarif",
+]

@@ -1,0 +1,278 @@
+"""The program-optimizer framework: pass registry, traces, report, driver.
+
+Unlike the three reporting analyzers (:mod:`repro.analysis.static`,
+:mod:`repro.analysis.concurrency`, :mod:`repro.analysis.cost`), this one
+*transforms*: an :class:`OptimizationPass` is a named function from a
+program (plus an optional database snapshot) to an equivalent program
+and a list of trace deltas.  :func:`optimize_program` drives the
+registered pipeline to a fixpoint — each pass can expose work for the
+next (constant folding exposes duplicate literals, inlining exposes
+dead rules) — and folds everything into an :class:`OptimizationReport`
+carrying both programs, the per-pass provenance, and the usual
+text/JSON/SARIF renderings.
+
+Every pass must be semantics-preserving with respect to the program's
+query goal (answer set of ``program.query`` over any database consistent
+with the snapshot it was given) and *retrieval-monotone*: the optimized
+program never charges more tuple retrievals than the original.  Passes
+that need database emptiness facts abstain when no database is supplied,
+so a database-free optimization is valid for **every** database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ...datalog.database import Database
+from ...datalog.lint import LEVELS, Diagnostic
+from ...datalog.program import Program
+from ...datalog.rule import Rule
+
+#: Trace kinds — the delta vocabulary every pass reports in.
+TRACE_KINDS = (
+    "rule-removed",
+    "rule-added",
+    "rule-rewritten",
+    "literal-removed",
+    "argument-removed",
+)
+
+
+@dataclass(frozen=True)
+class OptimizationTrace:
+    """One optimizer delta: what changed, which pass did it, and why."""
+
+    pass_name: str
+    iteration: int
+    kind: str
+    code: str
+    message: str
+    rule: Optional[Rule] = None
+
+    def __str__(self):
+        prefix = f"{self.pass_name}[{self.code}]"
+        if self.rule is not None:
+            return f"{prefix}: {self.message}  (in: {self.rule})"
+        return f"{prefix}: {self.message}"
+
+
+#: A pass emits (new_program, deltas); the driver stamps pass/iteration.
+PassDelta = Tuple[str, str, str, Optional[Rule]]  # (kind, code, message, rule)
+PassFunction = Callable[
+    [Program, Optional[Database]], Tuple[Program, List[PassDelta]]
+]
+
+
+@dataclass(frozen=True)
+class OptimizationPass:
+    """One registered pass: a name, a description, and its function."""
+
+    name: str
+    description: str
+    run: PassFunction
+
+
+_REGISTRY: Dict[str, OptimizationPass] = {}
+_LOADED = False
+
+
+def register_pass(name: str, description: str):
+    """Decorator: add a pass to the default pipeline, in call order."""
+
+    def decorate(function: PassFunction) -> PassFunction:
+        _REGISTRY[name] = OptimizationPass(name, description, function)
+        return function
+
+    return decorate
+
+
+def _load_default_passes() -> None:
+    """Import the pass modules once, in pipeline order.
+
+    Registration order *is* execution order, so the imports here are
+    deliberately sequential: folding first (it exposes constants and
+    duplicate literals), then redundancy removal, structural
+    simplification, and finally the recursion-bounding rewrite.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    from . import folding  # noqa: F401  (1) constant propagation
+    from . import subsumption  # noqa: F401  (2) duplicates + θ-subsumption
+    from . import inlining  # noqa: F401  (3) chain-rule inlining
+    from . import deadcode  # noqa: F401  (4) goal cone + empty cascade
+    from . import slicing  # noqa: F401  (5) unused-argument slicing
+    from . import boundedness  # noqa: F401  (6) bounded-recursion unfolding
+
+    _LOADED = True
+
+
+def registered_passes() -> List[OptimizationPass]:
+    """The default pipeline, in registration (execution) order."""
+    _load_default_passes()
+    return list(_REGISTRY.values())
+
+
+@dataclass
+class OptimizationReport:
+    """Everything one optimizer run did to one program."""
+
+    goal: Optional[str]
+    passes_run: List[str]
+    iterations: int
+    traces: List[OptimizationTrace]
+    original: Program
+    program: Program
+    optimize_seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.traces)
+
+    @property
+    def rules_removed(self) -> int:
+        return sum(1 for t in self.traces if t.kind == "rule-removed")
+
+    @property
+    def rules_added(self) -> int:
+        return sum(1 for t in self.traces if t.kind == "rule-added")
+
+    @property
+    def literals_removed(self) -> int:
+        return sum(1 for t in self.traces if t.kind == "literal-removed")
+
+    @property
+    def arguments_removed(self) -> int:
+        return sum(1 for t in self.traces if t.kind == "argument-removed")
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """The traces as ``info``-level diagnostics (for shared tooling).
+
+        The optimizer never *complains* — every finding is an applied,
+        semantics-preserving improvement — so all traces render at
+        ``info`` severity.
+        """
+        return [
+            Diagnostic("info", t.code, t.message, t.rule) for t in self.traces
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        tally = {level: 0 for level in LEVELS}
+        tally["info"] = len(self.traces)
+        return tally
+
+    def exceeds(self, fail_on: str) -> bool:
+        """True when any trace is at or above ``fail_on`` severity.
+
+        Mirrors the other analyzers' gate so ``analyze --all`` can apply
+        one ``--fail-on`` across the merged set; optimizer traces are
+        all ``info``, so only ``--fail-on info`` can trip on them.
+        """
+        return bool(self.traces) and LEVELS.index("info") <= LEVELS.index(
+            fail_on
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """The metrics-facing scalar summary of this run."""
+        return {
+            "rules_removed": self.rules_removed,
+            "rules_added": self.rules_added,
+            "literals_removed": self.literals_removed,
+            "arguments_removed": self.arguments_removed,
+            "iterations": self.iterations,
+            "optimize_ms": round(self.optimize_seconds * 1000.0, 3),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-dict rendering (the CLI's ``--format json``)."""
+        return {
+            "goal": self.goal,
+            "passes": list(self.passes_run),
+            "iterations": self.iterations,
+            "changed": self.changed,
+            "counts": {
+                "rules_removed": self.rules_removed,
+                "rules_added": self.rules_added,
+                "literals_removed": self.literals_removed,
+                "arguments_removed": self.arguments_removed,
+            },
+            "original_rule_count": len(self.original.rules),
+            "optimized_rule_count": len(self.program.rules),
+            "optimize_ms": round(self.optimize_seconds * 1000.0, 3),
+            "traces": [
+                {
+                    "pass": t.pass_name,
+                    "iteration": t.iteration,
+                    "kind": t.kind,
+                    "code": t.code,
+                    "message": t.message,
+                    "rule": None if t.rule is None else str(t.rule),
+                }
+                for t in self.traces
+            ],
+            "optimized_program": str(self.program),
+        }
+
+    def to_sarif(self, artifact_uri: Optional[str] = None) -> Dict[str, object]:
+        from .sarif import report_to_sarif
+
+        return report_to_sarif(self, artifact_uri=artifact_uri)
+
+
+def optimize_program(
+    program: Program,
+    database: Optional[Database] = None,
+    passes: Optional[Iterable[str]] = None,
+    max_iterations: int = 16,
+) -> OptimizationReport:
+    """Run the (selected) pipeline over ``program`` to a fixpoint.
+
+    ``passes`` restricts the pipeline to the named subset, preserving
+    registration order; unknown names raise ``KeyError``.  ``database``
+    is an optional EDB snapshot — passes that rely on relation
+    emptiness abstain without one, so the database-free result is
+    correct for every database.  The input program is never mutated.
+    """
+    _load_default_passes()
+    if passes is None:
+        selected = registered_passes()
+    else:
+        wanted = set(passes)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(
+                f"unknown optimizer pass(es): {sorted(unknown)}; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        selected = [p for p in registered_passes() if p.name in wanted]
+    started = time.perf_counter()
+    current = program
+    traces: List[OptimizationTrace] = []
+    iteration = 0
+    changed = True
+    while changed and iteration < max_iterations:
+        changed = False
+        iteration += 1
+        for optimization_pass in selected:
+            current, deltas = optimization_pass.run(current, database)
+            if deltas:
+                changed = True
+                traces.extend(
+                    OptimizationTrace(
+                        optimization_pass.name, iteration, kind, code,
+                        message, rule,
+                    )
+                    for kind, code, message, rule in deltas
+                )
+    return OptimizationReport(
+        goal=None if program.query is None else str(program.query),
+        passes_run=[p.name for p in selected],
+        iterations=iteration,
+        traces=traces,
+        original=program,
+        program=current,
+        optimize_seconds=time.perf_counter() - started,
+    )

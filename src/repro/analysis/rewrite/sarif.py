@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 rendering of an :class:`OptimizationReport`.
+
+The optimizer reuses the shared ``sarifLog`` skeleton from
+:mod:`repro.analysis.sarif`.  Every trace renders at ``note`` level —
+each one is an applied improvement, not a complaint — anchored to the
+affected rule's text as a logical location, exactly like the Datalog
+static analyzer.  Run properties carry the headline deltas so CI can
+chart ``rulesRemoved`` without parsing messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    rule_descriptors,
+    sarif_level,
+    sarif_log,
+)
+
+__all__ = [
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "RULE_METADATA",
+    "report_to_sarif",
+]
+
+# Rule metadata: every trace code the pipeline can emit.
+RULE_METADATA: Dict[str, str] = {
+    "constant-folded": (
+        "A ground builtin was decided at optimization time and deleted."
+    ),
+    "statically-false": (
+        "A rule body is statically false; the rule was deleted."
+    ),
+    "duplicate-literal": (
+        "A body literal duplicated an earlier one and was removed."
+    ),
+    "subsumed-rule": (
+        "A rule was θ-subsumed by a more general rule and deleted."
+    ),
+    "inlined-rule": (
+        "A single-literal chain rule was inlined into its consumers."
+    ),
+    "dead-rule": (
+        "A rule outside the query goal's dependency cone was deleted."
+    ),
+    "empty-predicate": (
+        "A rule or literal depending on a provably-empty predicate was "
+        "simplified away."
+    ),
+    "sliced-argument": (
+        "An argument position no consumer reads was projected away."
+    ),
+    "bounded-recursion": (
+        "Certifiably bounded recursion was deleted or unfolded into "
+        "non-recursive strata."
+    ),
+}
+
+
+def report_to_sarif(
+    report, artifact_uri: Optional[str] = None
+) -> Dict[str, object]:
+    """One SARIF 2.1.0 ``sarifLog`` document for ``report``."""
+    codes = sorted({t.code for t in report.traces})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = []
+    for trace in report.traces:
+        result: Dict[str, object] = {
+            "ruleId": trace.code,
+            "ruleIndex": rule_index[trace.code],
+            "level": sarif_level("info"),
+            "message": {"text": f"[{trace.pass_name}] {trace.message}"},
+        }
+        location: Dict[str, object] = {}
+        if trace.rule is not None:
+            location["logicalLocations"] = [
+                {
+                    "fullyQualifiedName": str(trace.rule),
+                    "kind": "declaration",
+                }
+            ]
+        if artifact_uri is not None:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": artifact_uri}
+            }
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+    properties: Dict[str, object] = {
+        "rulesRemoved": report.rules_removed,
+        "rulesAdded": report.rules_added,
+        "literalsRemoved": report.literals_removed,
+        "argumentsRemoved": report.arguments_removed,
+        "iterations": report.iterations,
+        "optimizeMs": round(report.optimize_seconds * 1000.0, 3),
+    }
+    return sarif_log(
+        "repro-optimizer",
+        results,
+        rule_descriptors(codes, RULE_METADATA),
+        information_uri="https://dl.acm.org/doi/10.1145/38713.38725",
+        properties=properties,
+    )

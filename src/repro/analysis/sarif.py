@@ -80,3 +80,22 @@ def sarif_log(
         "version": SARIF_VERSION,
         "runs": [run],
     }
+
+
+def merge_sarif_logs(logs: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Merge several single-run SARIF logs into one multi-run document.
+
+    ``repro analyze --all`` runs every analyzer in the repo and ships
+    the union to CI as one artifact; SARIF models that as one log with
+    one ``runs[]`` entry per tool, so each analyzer keeps its own driver
+    name, rule table, and run-level properties.  Run order follows the
+    input order.
+    """
+    runs: List[Dict[str, object]] = []
+    for log in logs:
+        runs.extend(log.get("runs", []))
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }

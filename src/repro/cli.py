@@ -5,8 +5,9 @@ The main subcommands, all operating on textual Datalog files::
     python -m repro solve   program.dl [--facts facts.dl] [--method auto]
     python -m repro batch   program.dl [--facts facts.dl] --sources a,b,c
     python -m repro serve   program.dl [--facts facts.dl] [--port 7411] [--workers N]
-    python -m repro analyze program.dl [--facts facts.dl]
+    python -m repro analyze program.dl [--facts facts.dl] [--all]
     python -m repro rewrite program.dl [--kind magic|supplementary|counting|mc]
+    python -m repro optimize program.dl [--rewrite mc] [--format sarif]
 
 ``solve`` answers the program's query goal (``?- p(a, Y).``) with any of
 the paper's methods; ``batch`` answers the same query shape for many
@@ -243,7 +244,75 @@ def _cmd_analyze_cost(args) -> int:
     return 1 if report.exceeds(args.fail_on) else 0
 
 
+def _cmd_analyze_all(args) -> int:
+    """Run every analyzer in the repo and merge the findings.
+
+    Static program lint, the certified cost-bound analyzer, and the
+    program optimizer all run over the given program; the concurrency
+    race detector self-analyzes this installation's ``repro`` package.
+    ``--format sarif`` merges the four logs into one multi-run document
+    (one ``runs[]`` entry per driver) for CI ingestion, and ``--fail-on``
+    applies across the merged set.
+    """
+    import json
+    from pathlib import Path
+
+    import repro
+
+    from .analysis.concurrency import run_concurrency_analysis
+    from .analysis.cost import run_cost_analysis
+    from .analysis.rewrite import optimize_program
+    from .analysis.sarif import merge_sarif_logs
+    from .analysis.static import run_static_analysis
+
+    program, database = _load(args.program, args.facts)
+    reports = [
+        ("repro-lint", run_static_analysis(program, database)),
+        ("repro-cost", run_cost_analysis(program, database)),
+        ("repro-optimizer", optimize_program(program, database)),
+        (
+            "repro-lint-py",
+            run_concurrency_analysis([str(Path(repro.__file__).parent)]),
+        ),
+    ]
+    if args.format == "sarif":
+        logs = []
+        for name, report in reports:
+            if name == "repro-lint-py":
+                logs.append(report.to_sarif())
+            else:
+                logs.append(report.to_sarif(artifact_uri=args.program))
+        print(json.dumps(merge_sarif_logs(logs), indent=2, sort_keys=True))
+    elif args.format == "json":
+        print(
+            json.dumps(
+                {name: report.to_json() for name, report in reports},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for name, report in reports:
+            print(f"== {name} ==")
+            for diagnostic in report.diagnostics:
+                print(diagnostic)
+            print()
+    failing = 0
+    for name, report in reports:
+        counts = report.counts()
+        print(
+            f"-- {name}: {len(report.diagnostics)} finding(s), "
+            f"{counts['error']} error(s), {counts['warning']} warning(s)",
+            file=sys.stderr,
+        )
+        if report.exceeds(args.fail_on):
+            failing += 1
+    return 1 if failing else 0
+
+
 def cmd_analyze(args) -> int:
+    if args.all:
+        return _cmd_analyze_all(args)
     if args.cost:
         return _cmd_analyze_cost(args)
     program, database = _load(args.program, args.facts)
@@ -294,23 +363,86 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _rewritten(program: Program, database: Database, args) -> Program:
+    """Apply the ``--kind``/``--rewrite`` program transformation."""
+    kind = getattr(args, "kind", None) or args.rewrite
+    if kind == "magic":
+        return magic_rewrite(program)
+    if kind == "supplementary":
+        return supplementary_magic_rewrite(program)
+    if kind == "counting":
+        return counting_rewrite(program)
+    # mc
+    query = _extract_query(program, database)
+    strategy = _STRATEGIES[args.strategy]
+    mode = _MODES[args.mode]
+    reduced = compute_reduced_sets(query.instance(), strategy)
+    if mode is Mode.INTEGRATED:
+        reduced.ensure_source_pair(query.source)
+    return magic_counting_program(program, reduced, mode)
+
+
 def cmd_rewrite(args) -> int:
     program, database = _load(args.program, args.facts)
-    if args.kind == "magic":
-        print(magic_rewrite(program))
-    elif args.kind == "supplementary":
-        print(supplementary_magic_rewrite(program))
-    elif args.kind == "counting":
-        print(counting_rewrite(program))
-    else:  # mc
-        query = _extract_query(program, database)
-        strategy = _STRATEGIES[args.strategy]
-        mode = _MODES[args.mode]
-        reduced = compute_reduced_sets(query.instance(), strategy)
-        if mode is Mode.INTEGRATED:
-            reduced.ensure_source_pair(query.source)
-        print(magic_counting_program(program, reduced, mode))
+    print(_rewritten(program, database, args))
     return 0
+
+
+def _render_optimizer_diff(report) -> None:
+    """Diff-style rendering: removed rules ``-``, added rules ``+``."""
+    before = list(report.original.rules)
+    after = list(report.program.rules)
+    after_set = set(after)
+    before_set = set(before)
+    print(f"--- original ({len(before)} rules)")
+    print(f"+++ optimized ({len(after)} rules)")
+    for rule in before:
+        if rule not in after_set:
+            print(f"- {rule}")
+    for rule in after:
+        if rule not in before_set:
+            print(f"+ {rule}")
+    if not report.changed:
+        print("(no change — the program is already optimal "
+              "under the registered passes)")
+    print()
+    for trace in report.traces:
+        print(f"[{trace.pass_name}#{trace.iteration}] "
+              f"{trace.code}: {trace.message}")
+
+
+def cmd_optimize(args) -> int:
+    import json
+
+    from .analysis.rewrite import optimize_program
+
+    program, database = _load(args.program, args.facts)
+    if args.rewrite != "none":
+        program = _rewritten(program, database, args)
+    report = optimize_program(program, database)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(
+            json.dumps(
+                report.to_sarif(artifact_uri=args.program),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        _render_optimizer_diff(report)
+    summary = report.summary()
+    print(
+        f"-- {summary['rules_removed']} rule(s) removed, "
+        f"{summary['rules_added']} added, "
+        f"{summary['literals_removed']} literal(s) removed, "
+        f"{summary['arguments_removed']} argument(s) sliced "
+        f"in {summary['iterations']} iteration(s) "
+        f"({summary['optimize_ms']:.1f} ms)",
+        file=sys.stderr,
+    )
+    return 1 if report.exceeds(args.fail_on) else 0
 
 
 def cmd_generate(args) -> int:
@@ -563,13 +695,22 @@ def build_parser() -> argparse.ArgumentParser:
         "per-method retrieval bounds and the bound-ranked plan choice",
     )
     sub_analyze.add_argument(
+        "--all", action="store_true",
+        help="run every analyzer (program lint, cost bounds, optimizer, "
+        "concurrency self-analysis) and merge the findings; with "
+        "--format sarif one multi-run log with one runs[] entry per "
+        "analyzer",
+    )
+    sub_analyze.add_argument(
         "--format", default="text", choices=["text", "json", "sarif"],
-        help="output format for --cost (sarif emits SARIF 2.1.0 for CI)",
+        help="output format for --cost/--all (sarif emits SARIF 2.1.0 "
+        "for CI)",
     )
     sub_analyze.add_argument(
         "--fail-on", dest="fail_on", default="error",
         choices=["error", "warning"],
-        help="with --cost: lowest severity that forces a non-zero exit",
+        help="with --cost/--all: lowest severity that forces a non-zero "
+        "exit",
     )
     sub_analyze.set_defaults(handler=cmd_analyze)
 
@@ -586,6 +727,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub_rewrite.add_argument("--mode", default="integrated",
                              choices=sorted(_MODES))
     sub_rewrite.set_defaults(handler=cmd_rewrite)
+
+    sub_optimize = subparsers.add_parser(
+        "optimize",
+        help="run the semantics-preserving program optimizer and print "
+        "a diff-style report",
+    )
+    add_common(sub_optimize)
+    sub_optimize.add_argument(
+        "--rewrite", default="none",
+        choices=["none", "magic", "supplementary", "counting", "mc"],
+        help="first apply this rewrite, then optimize its output "
+        "(the optimizer's main use: cleaning rewrite-emitted programs)",
+    )
+    sub_optimize.add_argument("--strategy", default="multiple",
+                              choices=sorted(_STRATEGIES))
+    sub_optimize.add_argument("--mode", default="integrated",
+                              choices=sorted(_MODES))
+    sub_optimize.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format (sarif emits a SARIF 2.1.0 log for CI)",
+    )
+    sub_optimize.add_argument(
+        "--fail-on", dest="fail_on", default="error",
+        choices=["error", "warning"],
+        help="lowest severity that forces a non-zero exit code "
+        "(optimizer traces are info-level, so this exits 0 by default)",
+    )
+    sub_optimize.set_defaults(handler=cmd_optimize)
 
     sub_explain = subparsers.add_parser(
         "explain", help="print a proof tree for a ground fact"

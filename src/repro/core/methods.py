@@ -88,6 +88,40 @@ def magic_counting(
     )
 
 
+def method_program(
+    query: CSLQuery,
+    strategy: Strategy = Strategy.MULTIPLE,
+    mode: Mode = Mode.INTEGRATED,
+    scc_step1: bool = False,
+    optimize: bool = False,
+):
+    """One method's modified-rule listing as a Datalog program artifact.
+
+    Runs Step 1, emits the Section 4/5 modified rules via
+    :func:`~repro.core.program_rewrite.magic_counting_program`, and —
+    with ``optimize`` — feeds them through the static program optimizer
+    against the query's database snapshot.  Returns ``(program,
+    report)`` where ``report`` is the
+    :class:`~repro.analysis.rewrite.OptimizationReport` (``None`` when
+    ``optimize`` is off).  This is the inspectable/benchmarkable twin of
+    :func:`magic_counting`: same Step 1, but the Step 2 fixpoint stays
+    a program for the generic engine instead of a specialised loop.
+    """
+    from .program_rewrite import magic_counting_program
+
+    instance = query.instance()
+    reduced = compute_reduced_sets(instance, strategy, scc_variant=scc_step1)
+    if mode is Mode.INTEGRATED:
+        reduced.ensure_source_pair(instance.source)
+    program = magic_counting_program(query.to_program(), reduced, mode)
+    if not optimize:
+        return program, None
+    from ..analysis.rewrite import optimize_program
+
+    report = optimize_program(program, query.database())
+    return report.program, report
+
+
 def all_method_coordinates():
     """The eight (strategy, mode) pairs, in the paper's order."""
     return [

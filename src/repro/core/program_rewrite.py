@@ -174,12 +174,17 @@ def magic_counting_program(
     return rewritten
 
 
-def evaluate_with_program_rewrite(query, strategy, mode, scc_step1=False):
+def evaluate_with_program_rewrite(
+    query, strategy, mode, scc_step1=False, optimize=False
+):
     """Convenience: CSLQuery -> Step 1 -> emitted program -> semi-naive.
 
     Returns the answer set; used by the cross-validation tests to check
     the specialised Step-2 engines against the generic Datalog engine
-    evaluating the paper's literal rule listings.
+    evaluating the paper's literal rule listings.  ``optimize`` runs the
+    static program optimizer (:mod:`repro.analysis.rewrite`) over the
+    emitted rules first — answers are unchanged by contract, retrievals
+    only go down.
     """
     from ..datalog.evaluation import answer_tuples
     from .step1 import compute_reduced_sets
@@ -191,4 +196,8 @@ def evaluate_with_program_rewrite(query, strategy, mode, scc_step1=False):
     program = query.to_program()
     rewritten = magic_counting_program(program, reduced, mode)
     database = query.database()
+    if optimize:
+        from ..analysis.rewrite import optimize_program
+
+        rewritten = optimize_program(rewritten, database).program
     return frozenset(v for (v,) in answer_tuples(rewritten, database))

@@ -1,0 +1,128 @@
+"""Program surgery helpers: one-way matching and θ-subsumption.
+
+The optimizer (:mod:`repro.analysis.rewrite`) transforms programs rather
+than merely reporting on them, and the primitives it needs are slightly
+different from unification: *one-way* matching, where only the pattern's
+variables may bind and the target is treated as fixed.  That asymmetry
+is exactly θ-subsumption — rule ``G`` subsumes rule ``S`` when some
+substitution θ over ``G``'s variables maps ``G``'s head onto ``S``'s
+head and every element of ``G``'s body onto *some* element of ``S``'s
+body (polarity- and builtin-preserving).  Every fact ``S`` derives is
+then derivable by ``G`` alone, so dropping ``S`` preserves the least
+model.
+
+Matching is syntactic and sound in the presence of negation and
+builtins because body elements are only ever matched against elements
+of the same kind and polarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .atom import Atom, BuiltinAtom, Literal
+from .rule import BodyElement, Rule
+from .term import Term, Variable
+
+Substitution = Dict[Variable, Term]
+
+
+def match_terms(
+    pattern: Sequence[Term],
+    target: Sequence[Term],
+    theta: Substitution,
+) -> Optional[Substitution]:
+    """Extend ``theta`` so the pattern terms map onto the target terms.
+
+    Only pattern variables bind; target variables are treated as fixed
+    symbols (a pattern constant never matches a target variable).
+    Returns the extended substitution, or ``None`` on mismatch.
+    ``theta`` itself is never mutated.
+    """
+    if len(pattern) != len(target):
+        return None
+    bound = dict(theta)
+    for p, t in zip(pattern, target):
+        if p.is_variable:
+            existing = bound.get(p)
+            if existing is None:
+                bound[p] = t
+            elif existing != t:
+                return None
+        elif p != t:
+            return None
+    return bound
+
+
+def match_atoms(
+    pattern: Atom, target: Atom, theta: Substitution
+) -> Optional[Substitution]:
+    """One-way matching of two relational atoms."""
+    if pattern.predicate != target.predicate:
+        return None
+    return match_terms(pattern.terms, target.terms, theta)
+
+
+def match_elements(
+    pattern: BodyElement, target: BodyElement, theta: Substitution
+) -> Optional[Substitution]:
+    """One-way matching of body elements of the same kind and polarity."""
+    if isinstance(pattern, Literal):
+        if not isinstance(target, Literal) or pattern.negated != target.negated:
+            return None
+        return match_atoms(pattern.atom, target.atom, theta)
+    if isinstance(pattern, BuiltinAtom):
+        if not isinstance(target, BuiltinAtom) or pattern.name != target.name:
+            return None
+        return match_terms(pattern.args, target.args, theta)
+    return None
+
+
+def subsumes(general: Rule, specific: Rule) -> bool:
+    """True when ``general`` θ-subsumes ``specific``.
+
+    ``general`` is renamed apart first, so the check is insensitive to
+    shared variable names.  The body embedding is found by backtracking
+    search; bodies in this codebase are short (rewrite outputs top out
+    around six elements), so the worst case is harmless.
+    """
+    renamed = general.rename_apart("__subg")
+    theta = match_atoms(renamed.head, specific.head, {})
+    if theta is None:
+        return False
+    return _embed_body(renamed.body, specific.body, theta)
+
+
+def _embed_body(
+    pattern: Sequence[BodyElement],
+    target: Sequence[BodyElement],
+    theta: Substitution,
+) -> bool:
+    if not pattern:
+        return True
+    first, rest = pattern[0], pattern[1:]
+    for candidate in target:
+        extended = match_elements(first, candidate, theta)
+        if extended is not None and _embed_body(rest, target, extended):
+            return True
+    return False
+
+
+def replace_predicate_atoms(rule: Rule, predicate: str, rewrite) -> Rule:
+    """Rebuild ``rule`` with every body atom of ``predicate`` rewritten.
+
+    ``rewrite`` maps an :class:`Atom` to its replacement atom; polarity
+    is preserved.  The head is left untouched.
+    """
+    body = []
+    for element in rule.body:
+        if isinstance(element, Literal) and element.predicate == predicate:
+            body.append(Literal(rewrite(element.atom), element.negated))
+        else:
+            body.append(element)
+    return Rule(rule.head, tuple(body))
+
+
+def project_atom(atom: Atom, keep: Sequence[int]) -> Atom:
+    """The atom restricted to the argument positions in ``keep``."""
+    return Atom(atom.predicate, tuple(atom.terms[i] for i in keep))

@@ -127,12 +127,18 @@ class BatchMetrics:
         self._compile_ms: float = 0.0
         self._predicted_method: str = ""
         self._predicted_bound: Optional[int] = None
+        self._optimization: Optional[Dict[str, object]] = None
 
     def record_engine(self, engine: str, compile_seconds: float = 0.0) -> None:
         """Record which evaluation engine served the batch and what its
         (amortized) plan compilation cost was in wall-clock seconds."""
         self._engine = engine
         self._compile_ms = compile_seconds * 1000.0
+
+    def record_optimization(self, summary: Dict[str, object]) -> None:
+        """Record the plan optimizer's verified deltas for this batch
+        (the :meth:`OptimizationReport.summary` of the plan's program)."""
+        self._optimization = dict(summary)
 
     def record_predicted(self, method: str, bound: Optional[int]) -> None:
         """Record the statically certified retrieval bound for the batch
@@ -182,6 +188,14 @@ class BatchMetrics:
         if self._engine:
             report["engine"] = self._engine
             report["compile_ms"] = self._compile_ms
+        if self._optimization is not None:
+            report["rules_removed"] = self._optimization.get(
+                "rules_removed", 0
+            )
+            report["literals_removed"] = self._optimization.get(
+                "literals_removed", 0
+            )
+            report["optimize_ms"] = self._optimization.get("optimize_ms", 0.0)
         if self._predicted_method:
             report["predicted_method"] = self._predicted_method
             report["predicted_bound"] = self._predicted_bound
@@ -223,6 +237,9 @@ class ServiceMetrics:
         "maintenance_flushes",
         "bound_checks",
         "bound_violations",
+        "optimized_compiles",
+        "optimizer_rules_removed",
+        "optimizer_literals_removed",
         "batch_latency",
     )
 
@@ -254,6 +271,12 @@ class ServiceMetrics:
         # indicts the cost analyzer's soundness, never the answers).
         self.bound_checks = 0  # guarded-by: _lock
         self.bound_violations = 0  # guarded-by: _lock
+        # Program optimization at plan-compile time: how many compiles
+        # carried a changed (and compile-time-verified) optimized
+        # program, and the summed rule/literal deltas.
+        self.optimized_compiles = 0  # guarded-by: _lock
+        self.optimizer_rules_removed = 0  # guarded-by: _lock
+        self.optimizer_literals_removed = 0  # guarded-by: _lock
         self.batch_latency = LatencyHistogram()
 
     def record_batch(
@@ -305,6 +328,13 @@ class ServiceMetrics:
             self.maintenance_flushes += 1
             self.maintenance_flushed += facts
 
+    def record_optimization(self, rules_removed: int, literals_removed: int) -> None:
+        """One plan compile whose program the optimizer improved."""
+        with self._lock:
+            self.optimized_compiles += 1
+            self.optimizer_rules_removed += rules_removed
+            self.optimizer_literals_removed += literals_removed
+
     def record_bound_check(self, violated: bool) -> None:
         """One batch served with a certified bound attached."""
         with self._lock:
@@ -332,6 +362,9 @@ class ServiceMetrics:
                 "maintenance_flushes": self.maintenance_flushes,
                 "bound_checks": self.bound_checks,
                 "bound_violations": self.bound_violations,
+                "optimized_compiles": self.optimized_compiles,
+                "optimizer_rules_removed": self.optimizer_rules_removed,
+                "optimizer_literals_removed": self.optimizer_literals_removed,
             }
         for key, value in self.batch_latency.summary().items():
             report[f"batch_{key}"] = value

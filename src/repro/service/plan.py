@@ -224,6 +224,8 @@ class CompiledPlan:
         engine: str = "compiled",
         maintainer: Optional[PlanMaintainer] = None,
         database_dependent: bool = True,
+        optimization=None,
+        unoptimized_program: Optional[Program] = None,
     ):
         # The pair sets are replaced atomically (whole new frozenset)
         # under _exec_lock by maintain(); readers see either the old or
@@ -245,6 +247,14 @@ class CompiledPlan:
         # carry no database-derived state: maintain() only re-stamps
         # their version.
         self.database_dependent = database_dependent
+        # Program optimization provenance: the OptimizationReport when
+        # the optimizer ran (None when disabled), and the original
+        # program kept as the differential oracle.  Maintenance and
+        # materialization always run from the *unoptimized* program —
+        # the optimizer's database-dependent deletions are verified only
+        # against the compile-time snapshot, never trusted under churn.
+        self.optimization = optimization
+        self.unoptimized_program = unoptimized_program
         # The memo caches are filled lazily from whichever worker thread
         # first asks; _memo_lock keeps fill/evict/read atomic.
         self._memo_lock = threading.Lock()
@@ -511,6 +521,17 @@ class CompiledPlan:
             "maintainable": (
                 not self.database_dependent or self.maintainer is not None
             ),
+            "optimized": (
+                self.optimization is not None and self.optimization.changed
+            ),
+            "optimizer_rules_removed": (
+                0 if self.optimization is None
+                else self.optimization.rules_removed
+            ),
+            "optimizer_literals_removed": (
+                0 if self.optimization is None
+                else self.optimization.literals_removed
+            ),
         }
 
     def __repr__(self):
@@ -521,8 +542,38 @@ class CompiledPlan:
         )
 
 
+def _verified_optimization(program, database, query):
+    """Optimize ``program`` and verify the result at compile time.
+
+    The optimizer's database-dependent passes are exact only for the
+    snapshot they saw, so the plan keeps executing the *original*
+    materialization; the optimized program is accepted as provenance
+    only when it re-compiles to bit-identical ``L``/``E``/``R`` pair
+    sets (the compile-time differential oracle).  The verification
+    compile charges a throwaway counter, never the serving database's.
+    Returns the report, or ``None`` when verification fails.
+    """
+    from ..analysis.rewrite import optimize_program
+
+    report = optimize_program(program, database)
+    if not report.changed:
+        return report
+    try:
+        shadow = database.copy(CostCounter())
+        verified = CSLQuery.from_program(report.program, database=shadow)
+    except ReproError:
+        return None
+    if (
+        verified.left != query.left
+        or verified.exit != query.exit
+        or verified.right != query.right
+    ):
+        return None
+    return report
+
+
 def compile_program_plan(
-    program, database, db_version: int = 0
+    program, database, db_version: int = 0, optimize: bool = True
 ) -> CompiledPlan:
     """Compile a CSL-shaped Datalog program against ``database``.
 
@@ -534,7 +585,11 @@ def compile_program_plan(
     The compiled plan carries the full static-analysis report of the
     source program (lint, counting-safety certification, rewrite
     verification, method admissibility); the already-materialized query
-    is handed to the analyzer so nothing is recognized twice.
+    is handed to the analyzer so nothing is recognized twice.  With
+    ``optimize`` (the default) it additionally runs the program
+    optimizer (:mod:`repro.analysis.rewrite`) and attaches the verified
+    :class:`~repro.analysis.rewrite.OptimizationReport`, keeping the
+    unoptimized program on the plan as the differential oracle.
     """
     from ..analysis.static import run_static_analysis
     from ..datalog.engine import CompiledProgram
@@ -543,6 +598,9 @@ def compile_program_plan(
     analysis = analyze_linear(program)
     query = CSLQuery.from_program(
         program, analysis=analysis, database=database
+    )
+    optimization = (
+        _verified_optimization(program, database, query) if optimize else None
     )
     kernels = CompiledProgram(query.to_program())
     maintainer: Optional[PlanMaintainer] = None
@@ -575,6 +633,8 @@ def compile_program_plan(
         kernels=kernels,
         compile_seconds=time.perf_counter() - started,
         maintainer=maintainer,
+        optimization=optimization,
+        unoptimized_program=program,
     )
 
 

@@ -144,6 +144,7 @@ class SolverService:
         unsafe_fallback: bool = False,
         maintain_plans: bool = True,
         maintenance_batching: bool = False,
+        optimize: bool = True,
     ):
         """``maintain_plans`` selects what a database mutation does to
         the cached plans: ``True`` (default) updates each plan's
@@ -185,6 +186,11 @@ class SolverService:
         self.unsafe_fallback = unsafe_fallback
         self.maintain_plans = maintain_plans
         self.maintenance_batching = maintenance_batching
+        # Static program optimization at plan-compile time (verified
+        # against the unoptimized materialization; see
+        # compile_program_plan).  Default on; ``optimize=False`` keeps
+        # plan compiles strictly on the original program.
+        self.optimize = optimize
         # Reentrant: a verify_database mismatch inside _plan_for calls
         # _mutated while already holding the lock.
         self._lock = threading.RLock()
@@ -459,8 +465,16 @@ class SolverService:
                 plan.database_fp = database_fingerprint(self.database)
             else:
                 plan = compile_program_plan(
-                    target, self.database, db_version=self._db_version
+                    target,
+                    self.database,
+                    db_version=self._db_version,
+                    optimize=self.optimize,
                 )
+                if plan.optimization is not None and plan.optimization.changed:
+                    self.metrics.record_optimization(
+                        plan.optimization.rules_removed,
+                        plan.optimization.literals_removed,
+                    )
             self.plan_cache.put(key, plan)
             self.metrics.record_compile()
             return plan, False
@@ -545,6 +559,8 @@ class SolverService:
             counter = CostCounter()
             metrics = BatchMetrics(counter)
             metrics.record_engine(plan.engine, plan.compile_seconds)
+            if plan.optimization is not None and plan.optimization.changed:
+                metrics.record_optimization(plan.optimization.summary())
             metrics.record_predicted(_BOUND_METHOD[chosen], predicted)
             with plan.attached(counter):
                 # Execute-time version check: a concurrent mutation may

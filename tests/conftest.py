@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
 import random
 
 import pytest
@@ -73,3 +75,26 @@ def cyclic_query():
 @pytest.fixture
 def rng():
     return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def validate_sarif():
+    """Validate a SARIF document against the vendored 2.1.0 schema subset.
+
+    One loader shared by every analyzer's SARIF suite (static program
+    lint, concurrency, cost bounds, optimizer): skips uniformly when
+    ``jsonschema`` is unavailable and parses the schema once per
+    session.  Returns the document so call sites can keep asserting on
+    it.
+    """
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (pathlib.Path(__file__).parent / "data" / "sarif-2.1.0-subset.json")
+        .read_text()
+    )
+
+    def _validate(document):
+        jsonschema.validate(instance=document, schema=schema)
+        return document
+
+    return _validate

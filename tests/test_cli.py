@@ -128,6 +128,102 @@ class TestRewrite:
         assert "pc_sg(" in out
 
 
+class TestOptimize:
+    @pytest.fixture
+    def optimizable_file(self, tmp_path):
+        path = tmp_path / "optimizable.dl"
+        path.write_text(
+            "p(X) :- e(X, Y), e(X, Y).\n"
+            "junk(X) :- e(X, X).\n"
+            "e(a, b).\n"
+            "?- p(X).\n"
+        )
+        return str(path)
+
+    def test_text_diff_report(self, optimizable_file, capsys):
+        assert main(["optimize", optimizable_file]) == 0
+        captured = capsys.readouterr()
+        assert "--- original (2 rules)" in captured.out
+        assert "- junk(X) :- e(X, X)." in captured.out
+        assert "+ p(X) :- e(X, Y)." in captured.out
+        assert "rule(s) removed" in captured.err
+
+    def test_supplementary_rewrite_then_optimize(
+        self, program_file, facts_file, capsys
+    ):
+        assert main(
+            ["optimize", program_file, "--facts", facts_file,
+             "--rewrite", "supplementary"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "inlined-rule" in out
+
+    def test_json_format(self, optimizable_file, capsys):
+        import json
+
+        assert main(["optimize", optimizable_file, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["changed"] is True
+        assert document["counts"]["rules_removed"] == 1
+
+    def test_sarif_format(self, optimizable_file, capsys):
+        import json
+
+        assert main(["optimize", optimizable_file, "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-optimizer"
+
+    def test_clean_program_reports_no_change(
+        self, program_file, facts_file, capsys
+    ):
+        assert main(["optimize", program_file, "--facts", facts_file]) == 0
+        assert "no change" in capsys.readouterr().out
+
+
+class TestAnalyzeAll:
+    def test_merged_sarif_has_one_run_per_analyzer(
+        self, program_file, facts_file, capsys
+    ):
+        import json
+
+        assert main(
+            ["analyze", program_file, "--facts", facts_file, "--all",
+             "--format", "sarif"]
+        ) == 0
+        log = json.loads(capsys.readouterr().out)
+        names = [run["tool"]["driver"]["name"] for run in log["runs"]]
+        assert names == [
+            "repro-static-analyzer",
+            "repro-cost-analyzer",
+            "repro-optimizer",
+            "repro-concurrency-analyzer",
+        ]
+
+    def test_text_sections_and_stderr_counts(
+        self, program_file, facts_file, capsys
+    ):
+        assert main(
+            ["analyze", program_file, "--facts", facts_file, "--all"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "== repro-lint ==" in captured.out
+        assert "-- repro-lint-py:" in captured.err
+
+    def test_fail_on_spans_the_merged_set(self, tmp_path):
+        path = tmp_path / "warny.dl"
+        path.write_text(
+            "p(X) :- e(X, Y).\n"
+            "junk(X) :- ghost(X).\n"
+            "e(a, b).\n"
+            "?- p(X).\n"
+        )
+        assert main(["analyze", str(path), "--all"]) == 0
+        assert main(
+            ["analyze", str(path), "--all", "--fail-on", "warning"]
+        ) == 1
+
+
 class TestExplain:
     def test_proof_printed(self, program_file, facts_file, capsys):
         assert main(

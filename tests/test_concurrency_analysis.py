@@ -176,9 +176,18 @@ class TestSelfAnalysis:
         # runtime annotations; a regression that stopped parsing them
         # would also report zero findings.  The floor covers the
         # maintenance/plan-maintainer guards plus the repro.cluster
-        # fleet/front annotations, not just the original serving-stack
-        # ones.
-        assert self_report.guarded_attributes >= 65
+        # fleet/front annotations and the optimizer metrics counters
+        # (ServiceMetrics.optimized_compiles and friends), not just the
+        # original serving-stack ones.
+        assert self_report.guarded_attributes >= 88
+
+    def test_optimizer_package_is_inside_the_gate(self, self_report):
+        # The analysis.rewrite package ships pure functions (no locks),
+        # but the gate must actually scan it: a clean verdict that
+        # skipped the newest package would be vacuous there.
+        scanned = {str(path) for path in self_report.files}
+        assert any("analysis/rewrite" in path for path in scanned)
+        assert any("service/metrics" in path for path in scanned)
 
     def test_shipped_lock_graph_is_acyclic_and_expected(self, self_report):
         assert (
@@ -312,20 +321,14 @@ class TestModel:
 
 
 class TestSarif:
-    def test_sarif_validates_against_vendored_schema(self, corpus_report):
-        jsonschema = pytest.importorskip("jsonschema")
-        schema = json.loads(
-            (REPO / "tests" / "data" / "sarif-2.1.0-subset.json").read_text()
-        )
-        jsonschema.validate(instance=corpus_report.to_sarif(), schema=schema)
+    def test_sarif_validates_against_vendored_schema(
+        self, corpus_report, validate_sarif
+    ):
+        validate_sarif(corpus_report.to_sarif())
 
-    def test_empty_report_also_validates(self):
-        jsonschema = pytest.importorskip("jsonschema")
-        schema = json.loads(
-            (REPO / "tests" / "data" / "sarif-2.1.0-subset.json").read_text()
-        )
+    def test_empty_report_also_validates(self, validate_sarif):
         report = run_concurrency_analysis([str(SRC / "server")])
-        jsonschema.validate(instance=report.to_sarif(), schema=schema)
+        validate_sarif(report.to_sarif())
 
     def test_structure_and_level_mapping(self, corpus_report):
         document = corpus_report.to_sarif()

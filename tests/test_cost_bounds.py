@@ -312,6 +312,11 @@ class TestReport:
         assert document["certificate"]["bounds"]["counting"]["bound"] == 19
         assert document["recommendation"]["method"] == "counting"
 
+    def test_sarif_validates_against_vendored_schema(self, validate_sarif):
+        validate_sarif(analyze_cost_query(CYCLE).to_sarif(
+            artifact_uri="cycle.dl"
+        ))
+
     def test_sarif_carries_the_recommendation(self):
         report = analyze_cost_query(CYCLE)
         log = report.to_sarif(artifact_uri="cycle.dl")

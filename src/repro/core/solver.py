@@ -144,6 +144,12 @@ def adaptive_solve(
     return result
 
 
+def _fact_count(database, name: str) -> int:
+    """Row count of a relation without materializing its tuple set
+    (columnar relations decode on materialization; a count is free)."""
+    return len(database.relation(name)) if database.has_relation(name) else 0
+
+
 def naive_answer(query: CSLQuery, counter=None) -> AnswerResult:
     """Reference oracle: naive bottom-up evaluation of the original
     program (computes the whole of ``P`` and selects ``P(a, ·)``)."""
@@ -157,7 +163,7 @@ def naive_answer(query: CSLQuery, counter=None) -> AnswerResult:
         answers=frozenset(value for (value,) in tuples),
         method="naive",
         cost=database.counter,
-        details={"p_facts": len(database.facts("p"))},
+        details={"p_facts": _fact_count(database, "p")},
     )
 
 
@@ -180,7 +186,7 @@ def seminaive_answer(
         answers=frozenset(value for (value,) in tuples),
         method="seminaive" if engine == "seminaive" else f"seminaive_{engine}",
         cost=database.counter,
-        details={"p_facts": len(database.facts("p"))},
+        details={"p_facts": _fact_count(database, "p")},
     )
 
 

@@ -5,6 +5,14 @@ evaluation, the derived relations (IDB).  All relations created through a
 database share its :class:`CostCounter`, so a single counter captures the
 total tuple-retrieval cost of answering a query, exactly the unit the
 paper's complexity tables are expressed in.
+
+A database also fixes the physical storage backend of its relations:
+``"set"`` (the classic tuple-set store) or ``"columnar"`` (interned
+dense-int columns, see :mod:`repro.datalog.columnar`).  Columnar
+relations share the database's :class:`SymbolTable`, and
+:meth:`to_columnar` converts a set-backed database in place.  Retrieval
+charges are identical on both backends — charging lives above the
+storage boundary (see ``DESIGN.md``).
 """
 
 from __future__ import annotations
@@ -15,13 +23,63 @@ from ..errors import EvaluationError
 from .atom import Atom
 from .relation import CostCounter, Relation
 
+BACKENDS = ("set", "columnar")
+
 
 class Database:
     """A mutable map from predicate names to :class:`Relation` objects."""
 
-    def __init__(self, counter: Optional[CostCounter] = None):
+    def __init__(
+        self,
+        counter: Optional[CostCounter] = None,
+        backend: str = "set",
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.counter = counter if counter is not None else CostCounter()
         self._relations: Dict[str, Relation] = {}
+        self._backend = backend
+        self._symbols = None
+        self._vector: Optional[bool] = None
+
+    @property
+    def backend(self) -> str:
+        """The storage backend new relations are created with."""
+        return self._backend
+
+    @property
+    def symbols(self):
+        """The per-database interner (created on first use)."""
+        if self._symbols is None:
+            from .columnar import SymbolTable
+
+            self._symbols = SymbolTable()
+        return self._symbols
+
+    @property
+    def columnar_vector(self) -> bool:
+        """Whether columnar relations here vectorize through numpy."""
+        if self._vector is None:
+            from .columnar import numpy_enabled
+
+            self._vector = numpy_enabled()
+        return self._vector
+
+    def _new_relation(self, name: str, arity: int) -> Relation:
+        if self._backend == "columnar":
+            from .columnar import ColumnarBackend
+
+            return Relation(
+                name,
+                arity,
+                counter=self.counter,
+                backend=ColumnarBackend(
+                    name, arity, self.symbols, vector=self.columnar_vector
+                ),
+            )
+        return Relation(name, arity, counter=self.counter)
 
     def create(self, name: str, arity: int) -> Relation:
         """Create (or return the existing) relation ``name`` of ``arity``."""
@@ -33,9 +91,30 @@ class Database:
                     f"requested {arity}"
                 )
             return existing
-        relation = Relation(name, arity, counter=self.counter)
+        relation = self._new_relation(name, arity)
         self._relations[name] = relation
         return relation
+
+    def to_columnar(self) -> "Database":
+        """Convert every relation to the columnar backend, in place.
+
+        Constants are interned through :attr:`symbols`; relation objects
+        keep their identity, so external references (maintenance views,
+        cached plans) stay valid.  Idempotent; returns ``self``.
+        """
+        if self._backend == "columnar":
+            return self
+        from .columnar import ColumnarBackend
+
+        vector = self.columnar_vector
+        for name, relation in self._relations.items():
+            backend = ColumnarBackend(
+                name, relation.arity, self.symbols, vector=vector
+            )
+            backend.load_tuples(list(relation))
+            relation._set_backend(backend)
+        self._backend = "columnar"
+        return self
 
     def add_fact(self, name: str, *values) -> bool:
         """Insert a fact, creating the relation on first use."""
@@ -95,17 +174,41 @@ class Database:
     def names(self):
         return sorted(self._relations)
 
-    def facts(self, name: str) -> set:
-        """The tuple set of a relation (empty set when absent); uncharged."""
+    def facts(self, name: str):
+        """The tuple set of a relation (empty when absent); uncharged.
+
+        Returns a frozen snapshot memoized per mutation stamp — callers
+        compare, iterate, and test membership, so repeated calls on an
+        unchanged relation no longer materialize fresh copies.
+        """
         relation = self._relations.get(name)
-        return relation.as_set() if relation is not None else set()
+        return relation.as_set() if relation is not None else frozenset()
 
     def copy(self, counter: Optional[CostCounter] = None) -> "Database":
-        """A deep copy; useful to evaluate the same EDB with many methods."""
-        cloned = Database(counter if counter is not None else CostCounter())
+        """A deep copy; useful to evaluate the same EDB with many methods.
+
+        Preserves the storage backend.  A columnar copy shares this
+        database's :class:`SymbolTable` — the interner is append-only,
+        so sharing it is safe and keeps ids comparable across copies.
+        """
+        cloned = Database(
+            counter if counter is not None else CostCounter(),
+            backend=self._backend,
+        )
+        cloned._symbols = self._symbols
+        cloned._vector = self._vector
         for name, relation in self._relations.items():
             cloned._relations[name] = relation.copy(cloned.counter)
         return cloned
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes across relations (and the interner)."""
+        total = sum(
+            relation.memory_bytes() for relation in self._relations.values()
+        )
+        if self._symbols is not None:
+            total += self._symbols.memory_bytes()
+        return total
 
     def total_cost(self) -> int:
         return self.counter.retrievals

@@ -120,15 +120,23 @@ class JoinKernel:
     derived head tuples to ``out``.
     """
 
-    __slots__ = ("rule", "order", "relations", "delta_index", "num_slots", "_entry")
+    __slots__ = (
+        "rule", "order", "relations", "delta_index", "num_slots", "_entry",
+        "ops",
+    )
 
-    def __init__(self, rule, order, relations, delta_index, num_slots, entry):
+    def __init__(self, rule, order, relations, delta_index, num_slots, entry,
+                 ops=()):
         self.rule = rule
         self.order = order
         self.relations = relations
         self.delta_index = delta_index
         self.num_slots = num_slots
         self._entry = entry
+        # The flat op list the closure chain was folded from.  The
+        # columnar batch executor re-interprets these same ops over
+        # column vectors, so both engines share one compiled plan.
+        self.ops = tuple(ops)
 
     def execute(self, relations: Sequence[Relation], out: List[Tuple]) -> None:
         """Run the kernel against resolved relations, appending to ``out``."""
@@ -269,7 +277,8 @@ def compile_kernel(
 
     entry = _build_chain(ops)
     return JoinKernel(
-        rule, tuple(elements), tuple(rel_specs), delta_index, len(slots), entry
+        rule, tuple(elements), tuple(rel_specs), delta_index, len(slots),
+        entry, ops,
     )
 
 
@@ -783,4 +792,11 @@ def materialize_conjunction(
     """
     head = Atom("$conjunction", tuple(head_terms))
     kernel = compile_rule(Rule(head, tuple(elements)), plan=plan)
+    if database.backend == "columnar":
+        # Same compiled ops, executed over column vectors: the CSL
+        # materializer inherits the batch path on columnar databases
+        # (identical charges — see docs/engine.md).
+        from .columnar_engine import materialize_kernel_columnar
+
+        return materialize_kernel_columnar(kernel, database)
     return kernel.run(database)

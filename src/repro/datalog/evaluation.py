@@ -50,11 +50,12 @@ from .unify import ground_atom_tuple, lookup_pattern, match_tuple
 DEFAULT_MAX_ITERATIONS = 100_000
 
 # Engine selection for seminaive_evaluate.  "compiled" lowers rules to
-# join kernels once per program (repro.datalog.engine); "interpreted" is
-# the recursive-generator evaluator below, kept as the differential
-# oracle.
+# join kernels once per program (repro.datalog.engine); "columnar" runs
+# the same kernels as batch joins over interned column vectors
+# (repro.datalog.columnar_engine); "interpreted" is the
+# recursive-generator evaluator below, kept as the differential oracle.
 DEFAULT_ENGINE = "compiled"
-SEMINAIVE_ENGINES = ("compiled", "interpreted")
+SEMINAIVE_ENGINES = ("compiled", "interpreted", "columnar")
 
 
 class _FactSource:
@@ -208,18 +209,29 @@ def seminaive_evaluate(
     occurrence of a stratum predicate, a delta version of the rule joins
     that occurrence against the facts new in the previous round.
 
-    ``engine`` selects ``"compiled"`` (default: join kernels from
-    :mod:`repro.datalog.engine`) or ``"interpreted"`` (this module's
-    tuple-at-a-time evaluator, the differential oracle).  ``plan`` is
-    forwarded to the compiled engine: ``"mirror"`` (default) replays the
-    interpreter's join order for bit-for-bit cost parity, ``"cost"``
-    orders bodies once with the planner's statistics.
+    ``engine`` selects ``"compiled"`` (join kernels from
+    :mod:`repro.datalog.engine`), ``"columnar"`` (the same kernels run
+    as batch joins over the columnar interned backend — a set-backed
+    database is converted in place), or ``"interpreted"`` (this
+    module's tuple-at-a-time evaluator, the differential oracle).  When
+    ``engine`` is omitted, a columnar-backed database routes to the
+    columnar engine and anything else to the compiled default.  ``plan``
+    is forwarded to the compiled/columnar engines: ``"mirror"``
+    (default) replays the interpreter's join order for bit-for-bit cost
+    parity, ``"cost"`` orders bodies once with the planner's statistics.
     """
-    engine = engine or DEFAULT_ENGINE
+    if engine is None:
+        engine = "columnar" if database.backend == "columnar" else DEFAULT_ENGINE
     if engine == "compiled":
         from .engine import compiled_seminaive_evaluate
 
         return compiled_seminaive_evaluate(
+            program, database, max_iterations, plan=plan or "mirror"
+        )
+    if engine == "columnar":
+        from .columnar_engine import columnar_seminaive_evaluate
+
+        return columnar_seminaive_evaluate(
             program, database, max_iterations, plan=plan or "mirror"
         )
     if engine != "interpreted":

@@ -1,4 +1,4 @@
-"""Relations: set-backed tuple stores with hash indexes and cost accounting.
+"""Relations: tuple stores behind a storage backend, with cost accounting.
 
 The paper measures every method in a single unit: "the cost of retrieving
 a tuple in a database relation" (Section 3).  To reproduce its tables we
@@ -9,14 +9,19 @@ counting, magic, and all eight magic counting variants — read the database
 exclusively through this layer, so their measured costs are directly
 comparable and have the paper's asymptotic shape.
 
-Relations store plain Python tuples of hashable values.  Hash indexes on
-arbitrary column subsets are built lazily on first use and maintained
-incrementally by :meth:`Relation.add`.
+Physical storage lives behind :class:`StorageBackend`.  The default
+:class:`SetBackend` stores plain Python tuples of hashable values in a
+set, with hash indexes on arbitrary column subsets built lazily on first
+use and maintained incrementally.  The columnar interned backend (see
+``repro.datalog.columnar``) stores the same logical relation as flat
+integer columns.  Charging lives entirely in :class:`Relation` and
+:class:`CostCounter`, *above* the backend boundary, which is what makes
+retrieval counts backend-independent by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 
 class CostCounter:
@@ -36,9 +41,24 @@ class CostCounter:
         self.per_relation: Dict[str, int] = {}
 
     def charge_probe(self, relation_name: str) -> None:
-        self.probes += 1
-        self.retrievals += 1
-        self.per_relation[relation_name] = self.per_relation.get(relation_name, 0) + 1
+        self.charge_probe_batch(relation_name, 1)
+
+    def charge_probe_batch(self, relation_name: str, count: int) -> None:
+        """Charge ``count`` probes at once.
+
+        The single audited entry point for probe charging: a batch engine
+        that issues one physical lookup on behalf of ``count`` frontier
+        rows must end up with exactly the charges a per-tuple engine
+        accrues from ``count`` calls to :meth:`charge_probe`.  Keeping
+        both paths on one method makes that equivalence structural.
+        """
+        if count <= 0:
+            return
+        self.probes += count
+        self.retrievals += count
+        self.per_relation[relation_name] = (
+            self.per_relation.get(relation_name, 0) + count
+        )
 
     def charge_tuples(self, relation_name: str, count: int) -> None:
         if count <= 0:
@@ -73,77 +93,93 @@ class CostCounter:
         )
 
 
-class Relation:
-    """A named relation: a set of same-arity tuples with lazy hash indexes.
+class StorageBackend:
+    """Physical storage for one relation: uncharged, set-semantic tuples.
 
-    ``lookup(pattern)`` is the single read primitive: ``pattern`` is a
-    tuple whose bound positions carry values and whose free positions are
-    ``None``.  Examples for a binary relation ``L``::
+    Backends own the bytes; :class:`Relation` owns the charging.  Every
+    method below is cost-free by contract — a backend must never touch a
+    :class:`CostCounter`, so the paper's retrieval counts cannot depend
+    on which backend a database happens to use.
 
-        L.lookup((b, None))   # all successors of b        (index on col 0)
-        L.lookup((None, c))   # all predecessors of c      (index on col 1)
-        L.lookup((b, c))      # membership test
-        L.lookup((None, None))# full scan
-
-    Every call charges the attached :class:`CostCounter` as described in
-    the module docstring.
+    ``version`` is a mutation stamp: it increases on every successful
+    add/discard, letting callers memoize derived snapshots (frozen sets,
+    rebuilt indexes) without watching individual mutations.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "counter")
-
-    def __init__(
-        self,
-        name: str,
-        arity: int,
-        tuples: Iterable[Tuple] = (),
-        counter: Optional[CostCounter] = None,
-    ):
-        if arity < 0:
-            raise ValueError("arity must be non-negative")
-        self.name = name
-        self.arity = arity
-        # A counterless relation gets a private counter: charges stay
-        # observable on the instance instead of leaking into shared
-        # module state (which would mix costs across unrelated runs).
-        self.counter = counter if counter is not None else CostCounter()
-        self._tuples: set = set()
-        # positions (sorted tuple of bound column indexes) -> key -> list of tuples
-        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}
-        for tup in tuples:
-            self.add(tup)
+    kind: str = "abstract"
+    name: str
+    arity: int
+    version: int
 
     def add(self, tup: Tuple) -> bool:
-        """Insert a tuple; returns True when it was new."""
+        raise NotImplementedError
+
+    def add_new(self, tuples: Iterable[Tuple]) -> List[Tuple]:
+        raise NotImplementedError
+
+    def discard(self, tup: Tuple) -> bool:
+        raise NotImplementedError
+
+    def matches(self, positions: Tuple[int, ...], key: Tuple) -> Iterable[Tuple]:
+        """Uncharged: tuples whose ``positions`` columns equal ``key``."""
+        raise NotImplementedError
+
+    def contains(self, tup: Tuple) -> bool:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Tuple]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def column_values(self, column: int) -> FrozenSet:
+        raise NotImplementedError
+
+    def clone(self) -> "StorageBackend":
+        """An independent copy (shared immutable state is allowed)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes for tuples, columns, and indexes."""
+        raise NotImplementedError
+
+    def _check(self, tup: Tuple) -> Tuple:
         tup = tuple(tup)
         if len(tup) != self.arity:
             raise ValueError(
                 f"relation {self.name} has arity {self.arity}, got tuple {tup!r}"
             )
+        return tup
+
+
+class SetBackend(StorageBackend):
+    """The classic store: a set of tuples plus lazy hash indexes."""
+
+    kind = "set"
+
+    __slots__ = ("name", "arity", "version", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int):
+        self.name = name
+        self.arity = arity
+        self.version = 0
+        self._tuples: set = set()
+        # positions (sorted tuple of bound column indexes) -> key -> tuples
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}
+
+    def add(self, tup: Tuple) -> bool:
+        tup = self._check(tup)
         if tup in self._tuples:
             return False
         self._tuples.add(tup)
         for positions, index in self._indexes.items():
             key = tuple(tup[i] for i in positions)
             index.setdefault(key, []).append(tup)
+        self.version += 1
         return True
 
-    def add_all(self, tuples: Iterable[Tuple]) -> int:
-        """Insert many tuples; returns how many were new.
-
-        Bulk path: dedupes against the stored tuples first, then extends
-        each lazy index in a single pass instead of touching every index
-        once per tuple (as per-tuple :meth:`add` must).
-        """
-        return len(self.add_new(tuples))
-
     def add_new(self, tuples: Iterable[Tuple]) -> List[Tuple]:
-        """Bulk insert; returns the tuples that were actually new.
-
-        The semi-naive engines flush each round's delta through this:
-        the returned list *is* the confirmed delta, already deduplicated
-        against the stored facts, with every existing hash index
-        extended in one sweep.
-        """
         fresh: List[Tuple] = []
         stored = self._tuples
         arity = self.arity
@@ -162,20 +198,11 @@ class Relation:
                 for tup in fresh:
                     key = tuple(tup[i] for i in positions)
                     index.setdefault(key, []).append(tup)
+            self.version += 1
         return fresh
 
     def discard(self, tup: Tuple) -> bool:
-        """Remove a tuple; returns True when it was present.
-
-        Every lazy hash index is updated in place, so deletions keep the
-        read path (:meth:`lookup`/:meth:`probe`) exact — the maintenance
-        layer depends on this to retract facts without rebuilding.
-        """
-        tup = tuple(tup)
-        if len(tup) != self.arity:
-            raise ValueError(
-                f"relation {self.name} has arity {self.arity}, got tuple {tup!r}"
-            )
+        tup = self._check(tup)
         if tup not in self._tuples:
             return False
         self._tuples.discard(tup)
@@ -189,11 +216,8 @@ class Relation:
                     pass
                 if not bucket:
                     del index[key]
+        self.version += 1
         return True
-
-    def discard_all(self, tuples: Iterable[Tuple]) -> int:
-        """Remove many tuples; returns how many were present."""
-        return sum(1 for tup in tuples if self.discard(tup))
 
     def _index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple, List[Tuple]]:
         index = self._indexes.get(positions)
@@ -204,6 +228,132 @@ class Relation:
                 index.setdefault(key, []).append(tup)
             self._indexes[positions] = index
         return index
+
+    def matches(self, positions: Tuple[int, ...], key: Tuple) -> Iterable[Tuple]:
+        if not positions:
+            return self._tuples
+        if len(positions) == self.arity:
+            tup = tuple(key)
+            return (tup,) if tup in self._tuples else ()
+        return self._index_for(positions).get(key, ())
+
+    def contains(self, tup: Tuple) -> bool:
+        return tuple(tup) in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def column_values(self, column: int) -> FrozenSet:
+        return frozenset(tup[column] for tup in self._tuples)
+
+    def clone(self) -> "SetBackend":
+        twin = SetBackend(self.name, self.arity)
+        twin._tuples = set(self._tuples)
+        # Lazy indexes are rebuilt on demand in the clone.
+        return twin
+
+    def memory_bytes(self) -> int:
+        # Estimate, not a measurement: a CPython tuple costs roughly
+        # 56 bytes + 8 per slot, set/dict entries roughly 64 each.
+        n = len(self._tuples)
+        total = 64 + n * (56 + 8 * self.arity) + n * 64
+        for index in self._indexes.values():
+            total += 64 * len(index) + 8 * n
+        return total
+
+
+class Relation:
+    """A named relation: same-arity tuples behind a storage backend.
+
+    ``lookup(pattern)`` is the single read primitive: ``pattern`` is a
+    tuple whose bound positions carry values and whose free positions are
+    ``None``.  Examples for a binary relation ``L``::
+
+        L.lookup((b, None))   # all successors of b        (index on col 0)
+        L.lookup((None, c))   # all predecessors of c      (index on col 1)
+        L.lookup((b, c))      # membership test
+        L.lookup((None, None))# full scan
+
+    Every call charges the attached :class:`CostCounter` as described in
+    the module docstring.
+    """
+
+    __slots__ = ("name", "arity", "counter", "_backend", "_frozen", "_frozen_version")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Iterable[Tuple] = (),
+        counter: Optional[CostCounter] = None,
+        backend: Optional[StorageBackend] = None,
+    ):
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        # A counterless relation gets a private counter: charges stay
+        # observable on the instance instead of leaking into shared
+        # module state (which would mix costs across unrelated runs).
+        self.counter = counter if counter is not None else CostCounter()
+        self._backend = backend if backend is not None else SetBackend(name, arity)
+        self._frozen: Optional[FrozenSet[Tuple]] = None
+        self._frozen_version = -1
+        if tuples:
+            self._backend.add_new(tuples)
+
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        return self._backend.kind
+
+    def _set_backend(self, backend: StorageBackend) -> None:
+        """Swap the physical store in place (same logical contents).
+
+        Used by ``Database.to_columnar``: external holders of this
+        Relation (maintenance views, compiled plans) keep working
+        because the object identity and charged API are unchanged.
+        """
+        self._backend = backend
+        self._frozen = None
+        self._frozen_version = -1
+
+    def add(self, tup: Tuple) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        return self._backend.add(tup)
+
+    def add_all(self, tuples: Iterable[Tuple]) -> int:
+        """Insert many tuples; returns how many were new."""
+        return len(self._backend.add_new(tuples))
+
+    def add_new(self, tuples: Iterable[Tuple]) -> List[Tuple]:
+        """Bulk insert; returns the tuples that were actually new.
+
+        The semi-naive engines flush each round's delta through this:
+        the returned list *is* the confirmed delta, already deduplicated
+        against the stored facts, with backend indexes extended or
+        invalidated in one sweep.
+        """
+        return self._backend.add_new(tuples)
+
+    def discard(self, tup: Tuple) -> bool:
+        """Remove a tuple; returns True when it was present.
+
+        Backend indexes are updated (or invalidated) so the read path
+        (:meth:`lookup`/:meth:`probe`) stays exact — the maintenance
+        layer depends on this to retract facts without rebuilding.
+        """
+        return self._backend.discard(tup)
+
+    def discard_all(self, tuples: Iterable[Tuple]) -> int:
+        """Remove many tuples; returns how many were present."""
+        return sum(1 for tup in tuples if self._backend.discard(tup))
 
     def lookup(self, pattern: Tuple) -> Iterator[Tuple]:
         """Yield tuples matching ``pattern`` (None = free position).
@@ -236,13 +386,7 @@ class Relation:
         (settled on exhaustion or abandonment, as for :meth:`lookup`).
         """
         self.counter.charge_probe(self.name)
-        if not positions:
-            matches: Iterable[Tuple] = self._tuples
-        elif len(positions) == self.arity:
-            tup = tuple(key)
-            matches = (tup,) if tup in self._tuples else ()
-        else:
-            matches = self._index_for(positions).get(key, ())
+        matches = self._backend.matches(positions, key)
         count = 0
         try:
             for tup in matches:
@@ -254,7 +398,7 @@ class Relation:
     def contains(self, tup: Tuple) -> bool:
         """Membership test, charged as one probe (plus one hit if found)."""
         self.counter.charge_probe(self.name)
-        found = tuple(tup) in self._tuples
+        found = self._backend.contains(tup)
         if found:
             self.counter.charge_tuples(self.name, 1)
         return found
@@ -264,24 +408,49 @@ class Relation:
     # relations without modelling database work.
 
     def __contains__(self, tup) -> bool:
-        return tuple(tup) in self._tuples
+        return self._backend.contains(tup)
 
     def __iter__(self) -> Iterator[Tuple]:
-        return iter(self._tuples)
+        return iter(self._backend)
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._backend)
 
-    def as_set(self) -> set:
-        return set(self._tuples)
+    def as_set(self) -> FrozenSet[Tuple]:
+        """A frozen snapshot of the stored tuples (uncharged).
 
-    def column_values(self, column: int) -> set:
+        Memoized against the backend's mutation stamp: repeated calls on
+        an unchanged relation return the same frozenset instead of
+        materializing a fresh copy each time — snapshot export and the
+        maintenance layer call this in loops.
+        """
+        backend = self._backend
+        if self._frozen is None or self._frozen_version != backend.version:
+            self._frozen = frozenset(backend)
+            self._frozen_version = backend.version
+        return self._frozen
+
+    def column_values(self, column: int) -> FrozenSet:
         """Distinct values of one column (uncharged; used for statistics)."""
-        return {tup[column] for tup in self._tuples}
+        return self._backend.column_values(column)
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of this relation's storage."""
+        return self._backend.memory_bytes()
 
     def copy(self, counter: Optional[CostCounter] = None) -> "Relation":
+        """An independent relation with the same tuples.
+
+        Clones the backend wholesale (a set copy, or columnar array
+        copies sharing the interner) instead of re-adding tuple by
+        tuple through the index-maintenance path.
+        """
         return Relation(
-            self.name, self.arity, self._tuples, counter or self.counter
+            self.name,
+            self.arity,
+            (),
+            counter or self.counter,
+            backend=self._backend.clone(),
         )
 
     def __repr__(self):

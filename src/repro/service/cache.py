@@ -106,7 +106,13 @@ class PlanCache:
             return dropped
 
     def stats(self) -> Dict[str, int]:
-        """A plain-dict summary, symmetric with ``CostCounter.snapshot``."""
+        """A plain-dict summary, symmetric with ``CostCounter.snapshot``.
+
+        ``resident_bytes`` estimates the memory held by every cached
+        plan's pair relations (tuples plus indexes) so operators can
+        watch what the plan cache actually pins, not just how many
+        entries it holds.
+        """
         with self._lock:
             return {
                 "plans": len(self._plans),
@@ -115,6 +121,13 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                # The direct cache API accepts arbitrary values (tests
+                # stub plans with sentinels), so size only real plans.
+                "resident_bytes": sum(
+                    plan.memory_bytes()
+                    for plan in self._plans.values()
+                    if hasattr(plan, "memory_bytes")
+                ),
             }
 
     def __len__(self) -> int:

@@ -125,15 +125,27 @@ class BatchMetrics:
         self._last_time = time.perf_counter()
         self._engine: str = ""
         self._compile_ms: float = 0.0
+        self._backend: str = ""
+        self._plan_bytes: int = 0
         self._predicted_method: str = ""
         self._predicted_bound: Optional[int] = None
         self._optimization: Optional[Dict[str, object]] = None
 
-    def record_engine(self, engine: str, compile_seconds: float = 0.0) -> None:
-        """Record which evaluation engine served the batch and what its
-        (amortized) plan compilation cost was in wall-clock seconds."""
+    def record_engine(
+        self,
+        engine: str,
+        compile_seconds: float = 0.0,
+        backend: str = "",
+        plan_bytes: int = 0,
+    ) -> None:
+        """Record which evaluation engine served the batch, what its
+        (amortized) plan compilation cost was in wall-clock seconds,
+        the storage backend the plan was compiled against, and the
+        plan's estimated resident bytes (pair tuples plus indexes)."""
         self._engine = engine
         self._compile_ms = compile_seconds * 1000.0
+        self._backend = backend
+        self._plan_bytes = plan_bytes
 
     def record_optimization(self, summary: Dict[str, object]) -> None:
         """Record the plan optimizer's verified deltas for this batch
@@ -188,6 +200,9 @@ class BatchMetrics:
         if self._engine:
             report["engine"] = self._engine
             report["compile_ms"] = self._compile_ms
+            if self._backend:
+                report["backend"] = self._backend
+                report["plan_bytes"] = self._plan_bytes
         if self._optimization is not None:
             report["rules_removed"] = self._optimization.get(
                 "rules_removed", 0

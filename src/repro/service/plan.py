@@ -226,6 +226,7 @@ class CompiledPlan:
         database_dependent: bool = True,
         optimization=None,
         unoptimized_program: Optional[Program] = None,
+        backend: str = "set",
     ):
         # The pair sets are replaced atomically (whole new frozenset)
         # under _exec_lock by maintain(); readers see either the old or
@@ -240,6 +241,10 @@ class CompiledPlan:
         self.static_report = static_report
         self.compile_seconds = compile_seconds
         self.engine = engine
+        # Storage backend of the database this plan was compiled from
+        # ("set" or "columnar") — recorded for observability; the shared
+        # pair relations themselves are always set-backed.
+        self.backend = backend
         # Maintenance: present only when the source program is inside
         # the supported fragment; None means maintain() must fall back.
         self.maintainer = maintainer
@@ -506,6 +511,15 @@ class CompiledPlan:
 
     # --- reporting ----------------------------------------------------
 
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of the plan's shared pair relations
+        (tuples plus their lazy hash indexes)."""
+        return (
+            self.left_relation.memory_bytes()
+            + self.exit_relation.memory_bytes()
+            + self.right_relation.memory_bytes()
+        )
+
     def describe(self) -> Dict[str, object]:
         return {
             "fingerprint": self.fingerprint,
@@ -517,6 +531,8 @@ class CompiledPlan:
             "default_source": self.default_source,
             "counting_safety": self.relation_certificate.verdict,
             "engine": self.engine,
+            "backend": self.backend,
+            "memory_bytes": self.memory_bytes(),
             "compile_ms": self.compile_seconds * 1000.0,
             "maintainable": (
                 not self.database_dependent or self.maintainer is not None
@@ -635,6 +651,7 @@ def compile_program_plan(
         maintainer=maintainer,
         optimization=optimization,
         unoptimized_program=program,
+        backend=database.backend,
     )
 
 

@@ -558,7 +558,12 @@ class SolverService:
             predicted = self._predicted_bound(plan, chosen, source_list)
             counter = CostCounter()
             metrics = BatchMetrics(counter)
-            metrics.record_engine(plan.engine, plan.compile_seconds)
+            metrics.record_engine(
+                plan.engine,
+                plan.compile_seconds,
+                backend=plan.backend,
+                plan_bytes=plan.memory_bytes(),
+            )
             if plan.optimization is not None and plan.optimization.changed:
                 metrics.record_optimization(plan.optimization.summary())
             metrics.record_predicted(_BOUND_METHOD[chosen], predicted)

@@ -24,7 +24,7 @@ import os
 import tempfile
 from typing import Dict, Iterable, Optional, Tuple
 
-from ..datalog.database import Database
+from ..datalog.database import BACKENDS, Database
 from ..errors import ReproError
 from .service import SolverService
 
@@ -54,10 +54,13 @@ def export_snapshot(
     database = service.database
     relations = {}
     for name in database.names():
+        relation = database.relation(name)
         relations[name] = {
-            "arity": database.relation(name).arity,
+            "arity": relation.arity,
+            # Iterate the relation directly (uncharged) instead of
+            # forcing an as_set() materialization of a frozen copy.
             "rows": sorted(
-                ([_encode(v) for v in row] for row in database.facts(name)),
+                ([_encode(v) for v in row] for row in relation),
                 key=repr,
             ),
         }
@@ -65,8 +68,16 @@ def export_snapshot(
         "format": SNAPSHOT_FORMAT,
         "epoch": service.db_version,
         "program": program_text,
+        "backend": database.backend,
         "relations": relations,
     }
+    if database.backend == "columnar":
+        # Export the interner dictionary in id order so an import can
+        # re-intern identically: same value -> same dense id on both
+        # sides of the replication boundary.
+        payload["symbols"] = [
+            _encode(v) for v in database.symbols.values_snapshot()
+        ]
     directory = os.path.dirname(os.path.abspath(path)) or "."
     handle, staging = tempfile.mkstemp(
         prefix=".snapshot-", suffix=".json", dir=directory
@@ -94,7 +105,19 @@ def read_snapshot(path: str) -> Tuple[Database, int, Optional[str]]:
             f"unsupported snapshot format {payload.get('format')!r} "
             f"in {path} (expected {SNAPSHOT_FORMAT})"
         )
-    database = Database()
+    backend = str(payload.get("backend", "set"))
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unsupported snapshot backend {backend!r} in {path} "
+            f"(expected one of {BACKENDS})"
+        )
+    database = Database(backend=backend)
+    if database.backend == "columnar":
+        # Replay the exporter's interner in id order before any fact
+        # lands, so the imported columns carry identical dense ids.
+        database.symbols.intern_many(
+            _decode(v) for v in payload.get("symbols", [])
+        )
     for name, relation in sorted(payload.get("relations", {}).items()):
         database.create(name, int(relation["arity"]))
         database.add_facts(

@@ -6,10 +6,11 @@ optional negation restricted to EDB predicates so stratifiability is
 guaranteed) plus random databases, then checks:
 
 * naive and semi-naive evaluation derive identical models;
-* the compiled join-kernel engine and the tuple-at-a-time interpreter
-  derive identical models with bit-for-bit identical cost-counter
-  snapshots (same-plan mode), on both random Datalog programs and
-  random CSL instances from :mod:`repro.workloads.random_graphs`;
+* the compiled join-kernel engine, the tuple-at-a-time interpreter and
+  the columnar batch engine derive identical models with bit-for-bit
+  identical cost-counter snapshots (same-plan mode), on both random
+  Datalog programs and random CSL instances from
+  :mod:`repro.workloads.random_graphs`;
 * magic and supplementary-magic rewritten programs answer the goal
   exactly like the original program, for bound and free goals alike.
 """
@@ -110,13 +111,14 @@ class TestEngineAgreement:
 
 
 class TestCompiledEngineParity:
-    """Differential check of the compiled engine against the interpreter.
+    """Differential check of all three semi-naive engines.
 
-    In mirror-plan mode the compiled kernels replay the interpreter's
-    join order and read state through the same charged primitives, so
-    both the derived model *and* the CostCounter snapshot — totals and
-    per-relation breakdown, delta relations included — must be
-    identical, not merely equivalent.
+    In mirror-plan mode the compiled kernels and the columnar batch
+    executor replay the interpreter's join order and read state through
+    the same charged primitives, so both the derived model *and* the
+    CostCounter snapshot — totals and per-relation breakdown, delta
+    relations included — must be identical across the interpreter, the
+    compiled engine, and the columnar engine, not merely equivalent.
     """
 
     @settings(max_examples=120, deadline=None)
@@ -124,14 +126,22 @@ class TestCompiledEngineParity:
     def test_same_model_and_same_costs(self, program, spec):
         interpreted_db = build_db(spec)
         compiled_db = build_db(spec)
+        columnar_db = build_db(spec)
         seminaive_evaluate(program, interpreted_db, engine="interpreted")
         seminaive_evaluate(program, compiled_db, engine="compiled")
+        seminaive_evaluate(program, columnar_db, engine="columnar")
         for predicate in program.idb_predicates():
             assert interpreted_db.facts(predicate) == compiled_db.facts(
                 predicate
             ), predicate
+            assert interpreted_db.facts(predicate) == columnar_db.facts(
+                predicate
+            ), predicate
         assert (
             interpreted_db.counter.snapshot() == compiled_db.counter.snapshot()
+        )
+        assert (
+            interpreted_db.counter.snapshot() == columnar_db.counter.snapshot()
         )
 
     @settings(max_examples=60, deadline=None)
@@ -156,8 +166,11 @@ class TestCompiledEngineParity:
         query = random_csl(seed)
         interpreted = seminaive_answer(query, engine="interpreted")
         compiled = seminaive_answer(query, engine="compiled")
+        columnar = seminaive_answer(query, engine="columnar")
         assert interpreted.answers == compiled.answers
         assert interpreted.cost.snapshot() == compiled.cost.snapshot()
+        assert interpreted.answers == columnar.answers
+        assert interpreted.cost.snapshot() == columnar.cost.snapshot()
 
 
 class TestRewriteAgreement:
